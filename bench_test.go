@@ -1,0 +1,190 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md's index (E1–E9). Each
+// regenerates its table through internal/experiments — the same code
+// path as cmd/benchreport — so `go test -bench=. -benchtime=1x` is a
+// full reproduction run, and the b.N loop measures the end-to-end cost
+// of the experiment itself. The E7 trio additionally measures the
+// CPU cost per transferred megabyte of each TCP implementation, which
+// is the quantitative answer to §3.1's performance objection.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/datalink"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/stuffing"
+	"repro/internal/transport/harness"
+	"repro/internal/transport/sublayered"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.ByID(id, 1)
+		if r == nil || len(r.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkE1DataLinkStack regenerates the Fig. 2 replacement table.
+func BenchmarkE1DataLinkStack(b *testing.B) { benchExperiment(b, "e1") }
+
+// BenchmarkE2Routing regenerates the DV/LS convergence and live-swap
+// table.
+func BenchmarkE2Routing(b *testing.B) { benchExperiment(b, "e2") }
+
+// BenchmarkE3SublayeredTCP regenerates the loss-sweep stream-integrity
+// table.
+func BenchmarkE3SublayeredTCP(b *testing.B) { benchExperiment(b, "e3") }
+
+// BenchmarkE4Interop regenerates the 2×2 interop matrix.
+func BenchmarkE4Interop(b *testing.B) { benchExperiment(b, "e4") }
+
+// BenchmarkE5Stuffing regenerates the rule-library and overhead table.
+func BenchmarkE5Stuffing(b *testing.B) { benchExperiment(b, "e5") }
+
+// BenchmarkE5RuleLibrary measures the decision procedure over the full
+// 8-bit-flag candidate family (the "Coq proof" replacement).
+func BenchmarkE5RuleLibrary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(stuffing.Library(8)) == 0 {
+			b.Fatal("empty library")
+		}
+	}
+}
+
+// BenchmarkE6Entanglement regenerates the instrumented entanglement
+// comparison.
+func BenchmarkE6Entanglement(b *testing.B) { benchExperiment(b, "e6") }
+
+// benchTransfer measures the CPU cost of moving 1 MB through a given
+// pairing on a clean two-hop path.
+func benchTransfer(b *testing.B, client, server harness.Kind) {
+	b.Helper()
+	data := make([]byte, 1_000_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := harness.BuildWorld(harness.WorldConfig{
+			Seed: 1, Link: netsim.LinkConfig{Delay: time.Millisecond},
+			Client: client, Server: server,
+		})
+		res, err := harness.RunTransfer(w, data, nil, time.Hour)
+		if err != nil || !bytes.Equal(res.ServerGot, data) {
+			b.Fatal("transfer failed")
+		}
+	}
+}
+
+// BenchmarkE7PerformanceMonolithic: baseline CPU cost per MB.
+func BenchmarkE7PerformanceMonolithic(b *testing.B) {
+	benchTransfer(b, harness.KindMonolithic, harness.KindMonolithic)
+}
+
+// BenchmarkE7PerformanceSublayered: the Fig. 5 stack, native header.
+func BenchmarkE7PerformanceSublayered(b *testing.B) {
+	benchTransfer(b, harness.KindSublayeredNative, harness.KindSublayeredNative)
+}
+
+// BenchmarkE7PerformanceShim: sublayered behind the §3.1 shim talking
+// to the monolithic baseline — the interop configuration's cost.
+func BenchmarkE7PerformanceShim(b *testing.B) {
+	benchTransfer(b, harness.KindSublayeredShim, harness.KindMonolithic)
+}
+
+// BenchmarkE8Replace regenerates the CC × CM swap matrix.
+func BenchmarkE8Replace(b *testing.B) { benchExperiment(b, "e8") }
+
+// BenchmarkE9Offload regenerates the hardware-partition table.
+func BenchmarkE9Offload(b *testing.B) { benchExperiment(b, "e9") }
+
+// --- ablation benches for DESIGN.md's called-out choices ---
+
+// BenchmarkAblationDelayedAcks measures the challenge-3 tune: ack
+// thinning's effect on total work for a clean 1 MB transfer.
+func BenchmarkAblationDelayedAcks(b *testing.B) {
+	for _, delayed := range []bool{false, true} {
+		name := "ack-every-segment"
+		if delayed {
+			name = "delayed-acks"
+		}
+		b.Run(name, func(b *testing.B) {
+			data := make([]byte, 1_000_000)
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := harness.BuildWorld(harness.WorldConfig{
+					Seed: 1, Link: netsim.LinkConfig{Delay: time.Millisecond},
+					Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
+					SubCfg: sublayered.Config{DelayedAcks: delayed},
+				})
+				res, err := harness.RunTransfer(w, data, nil, time.Hour)
+				if err != nil || len(res.ServerGot) != len(data) {
+					b.Fatal("transfer failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSACK measures selective acknowledgements' value on
+// a lossy path (native mode).
+func BenchmarkAblationSACK(b *testing.B) {
+	for _, sack := range []bool{false, true} {
+		name := "cumulative-only"
+		if sack {
+			name = "with-sack"
+		}
+		b.Run(name, func(b *testing.B) {
+			data := make([]byte, 300_000)
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				w := harness.BuildWorld(harness.WorldConfig{
+					Seed: 1, Link: netsim.LinkConfig{Delay: 2 * time.Millisecond, LossProb: 0.05},
+					Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
+					SubCfg: sublayered.Config{NativeSACK: sack},
+				})
+				res, err := harness.RunTransfer(w, data, nil, time.Hour)
+				if err != nil || len(res.ServerGot) != len(data) {
+					b.Fatal("transfer failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNestedFraming compares the recursive two-sublayer
+// framing against the monolithic framer (the cost of literal
+// recursion).
+func BenchmarkAblationNestedFraming(b *testing.B) {
+	pkt := make([]byte, 512)
+	for _, nested := range []bool{false, true} {
+		name := "monolithic-framer"
+		fr := func() datalink.Framer { return datalink.NewBitStuffFramer(stuffing.HDLC()) }
+		if nested {
+			name = "nested-framer"
+			fr = func() datalink.Framer { return datalink.NewNestedFramer(stuffing.HDLC()) }
+		}
+		b.Run(name, func(b *testing.B) {
+			f := fr()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bits, err := f.Frame(pkt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := f.Deframe(bits); len(got) != 1 {
+					b.Fatal("deframe failed")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+// Command benchreport regenerates the experiment tables of
+// EXPERIMENTS.md (E1–E9 from DESIGN.md) in one run.
+//
+//	benchreport            # run everything
+//	benchreport -e e5      # one experiment
+//	benchreport -seed 7    # different world seed
+//
+// All numbers are deterministic functions of the seed: the simulator's
+// virtual clock and seeded randomness make every table reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("e", "", "experiment id (e1..e9); empty runs all")
+		seed = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *exp == "" {
+		for _, r := range experiments.All(*seed) {
+			fmt.Println(r.Text())
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		r := experiments.ByID(strings.TrimSpace(id), *seed)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "benchreport: unknown experiment %q (want e1..e9)\n", id)
+			os.Exit(2)
+		}
+		fmt.Println(r.Text())
+	}
+}

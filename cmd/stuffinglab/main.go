@@ -1,0 +1,109 @@
+// Command stuffinglab explores the §4.1 verified bit-stuffing space:
+// validate a rule, encode/decode a message, or enumerate the library
+// of valid rules for a flag length.
+//
+//	stuffinglab -library -flaglen 8          # the rule library, ranked
+//	stuffinglab -flag 01111110 -watch 11111 -stuff 0 -data 1011111111
+//	stuffinglab -validate -flag 0101 -watch 10 -stuff 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bitio"
+	"repro/internal/stuffing"
+)
+
+func main() {
+	var (
+		library  = flag.Bool("library", false, "enumerate the valid-rule library")
+		flagLen  = flag.Int("flaglen", 8, "flag length for -library")
+		top      = flag.Int("top", 15, "library rows to print")
+		flagBits = flag.String("flag", "01111110", "flag pattern")
+		watch    = flag.String("watch", "11111", "watch pattern")
+		stuffBit = flag.Int("stuff", 0, "stuff bit (0 or 1)")
+		data     = flag.String("data", "", "data bits to encode/decode")
+		validate = flag.Bool("validate", false, "only run the decision procedure")
+	)
+	flag.Parse()
+
+	if *library {
+		lib := stuffing.Library(*flagLen)
+		hdlc := stuffing.HDLC().MarkovOverhead()
+		fmt.Printf("valid rules for %d-bit flags: %d (paper's family found 66)\n", *flagLen, len(lib))
+		cheaper := 0
+		for _, r := range lib {
+			if r.MarkovOverhead() < hdlc {
+				cheaper++
+			}
+		}
+		fmt.Printf("cheaper than HDLC's exact rate (1/%.1f): %d\n\n", 1/hdlc, cheaper)
+		fmt.Printf("%-40s %14s %14s\n", "rule", "naive", "exact")
+		for i, r := range lib {
+			if i == *top {
+				fmt.Printf("... %d more\n", len(lib)-i)
+				break
+			}
+			fmt.Printf("%-40s %14s %14s\n", r.String(),
+				fmt.Sprintf("1/%.0f", 1/r.NaiveOverhead()),
+				fmt.Sprintf("1/%.1f", 1/r.MarkovOverhead()))
+		}
+		return
+	}
+
+	rule, err := parseRule(*flagBits, *watch, *stuffBit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stuffinglab:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("rule: %s\n", rule)
+	if verr := rule.Validate(); verr != nil {
+		fmt.Printf("decision procedure: INVALID — %v\n", verr)
+		if ce, ok := rule.CheckExhaustive(12); !ok {
+			fmt.Printf("counterexample data: %s\n", ce)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("decision procedure: VALID for all data strings\n")
+	fmt.Printf("overhead: naive 1/%.0f, exact 1/%.1f\n",
+		1/rule.NaiveOverhead(), 1/rule.MarkovOverhead())
+	if *validate || *data == "" {
+		return
+	}
+	d, err := bitio.Parse(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stuffinglab:", err)
+		os.Exit(2)
+	}
+	enc, err := rule.Encode(d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stuffinglab:", err)
+		os.Exit(1)
+	}
+	dec, err := rule.Decode(enc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stuffinglab:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("data:    %s (%d bits)\n", d, d.Len())
+	fmt.Printf("encoded: %s (%d bits, %d stuffed)\n", enc, enc.Len(),
+		enc.Len()-d.Len()-2*rule.Flag.Len())
+	fmt.Printf("decoded: %s (round trip %v)\n", dec, dec.Equal(d))
+}
+
+func parseRule(f, w string, b int) (stuffing.Rule, error) {
+	fb, err := bitio.Parse(f)
+	if err != nil {
+		return stuffing.Rule{}, err
+	}
+	wb, err := bitio.Parse(w)
+	if err != nil {
+		return stuffing.Rule{}, err
+	}
+	if b != 0 && b != 1 {
+		return stuffing.Rule{}, fmt.Errorf("stuff bit must be 0 or 1")
+	}
+	return stuffing.Rule{Flag: fb, Watch: wb, Insert: bitio.Bit(b)}, nil
+}

@@ -1,0 +1,73 @@
+// Ccswap: the paper's §3 fungibility claim for the transport — swap
+// congestion control (window-based NewReno ⇄ a rate-based scheme ⇄ a
+// fixed window) and connection management (three-way handshake with
+// two ISN generators ⇄ Watson's timer-based scheme) without touching
+// DM, RD or each other. Each combination runs the same transfer over
+// the same lossy path.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/transport/harness"
+	"repro/internal/transport/sublayered"
+)
+
+func main() {
+	ccs := []struct {
+		name string
+		mk   func(mss int) sublayered.CongestionControl
+	}{
+		{"newreno   ", func(mss int) sublayered.CongestionControl { return sublayered.NewNewReno(mss) }},
+		{"rate-based", func(mss int) sublayered.CongestionControl { return sublayered.NewRateBased(mss) }},
+		{"fixed-16k ", func(mss int) sublayered.CongestionControl { return sublayered.NewFixedWindow(16 << 10) }},
+	}
+	cms := []struct {
+		name string
+		mk   func() func() sublayered.ConnManager
+	}{
+		{"handshake/rfc1948", func() func() sublayered.ConnManager {
+			return func() sublayered.ConnManager {
+				return sublayered.NewHandshakeCM(&sublayered.CryptoISN{}, sublayered.CMConfig{})
+			}
+		}},
+		{"handshake/rfc793 ", func() func() sublayered.ConnManager {
+			return func() sublayered.ConnManager {
+				return sublayered.NewHandshakeCM(sublayered.ClockISN{}, sublayered.CMConfig{})
+			}
+		}},
+		{"timer/watson     ", func() func() sublayered.ConnManager {
+			reg := sublayered.NewIncarnationRegistry()
+			return func() sublayered.ConnManager { return sublayered.NewTimerCM(reg, sublayered.CMConfig{}) }
+		}},
+	}
+
+	data := make([]byte, 150_000)
+	rand.New(rand.NewSource(1)).Read(data)
+
+	fmt.Println("same 150 KB transfer, same 4%-loss path, every CC × CM combination:")
+	fmt.Printf("%-12s %-19s %-8s %s\n", "congestion", "connection-mgmt", "intact", "virtual-time")
+	for _, cc := range ccs {
+		for _, cm := range cms {
+			w := harness.BuildWorld(harness.WorldConfig{
+				Seed:   11,
+				Link:   netsim.LinkConfig{Delay: 2 * time.Millisecond, LossProb: 0.04, ReorderProb: 0.04},
+				Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
+				SubCfg: sublayered.Config{NewCC: cc.mk, NewCM: cm.mk()},
+			})
+			res, err := harness.RunTransfer(w, data, nil, time.Hour)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%-12s %-19s %-8v %v\n", cc.name, cm.name,
+				bytes.Equal(res.ServerGot, data),
+				res.Elapsed.Truncate(time.Millisecond))
+		}
+	}
+	fmt.Println("\nnine combinations, zero code changed outside the swapped sublayer (T3).")
+	fmt.Println("timer-based rows start a round-trip sooner: no handshake to wait for.")
+}

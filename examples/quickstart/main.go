@@ -1,0 +1,67 @@
+// Quickstart: compose the paper's Fig. 2 data-link sublayers — error
+// recovery over error detection over framing over line coding — wire
+// two stacks across a deliberately unreliable simulated link, and send
+// packets through. Everything arrives in order, exactly once.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datalink"
+	"repro/internal/netsim"
+	"repro/internal/stuffing"
+	"repro/internal/sublayer"
+)
+
+func main() {
+	sim := netsim.NewSimulator(42)
+
+	// Pick an implementation for each sublayer. Swap any of them —
+	// the other sublayers neither know nor care (litmus test T3).
+	cfg := datalink.StackConfig{
+		ARQ:      datalink.NewGoBackN(datalink.ARQConfig{Window: 8}),
+		Checksum: datalink.CRC32{},
+		Framer:   datalink.NewBitStuffFramer(stuffing.HDLC()),
+		Code:     datalink.NRZI{},
+	}
+	alice, err := datalink.NewStack(sim, "alice", cfg)
+	if err != nil {
+		panic(err)
+	}
+	bob, err := datalink.NewStack(sim, "bob", cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(alice.Describe())
+
+	var received []string
+	bob.SetApp(func(p *sublayer.PDU) { received = append(received, string(p.Data)) })
+	alice.SetApp(func(p *sublayer.PDU) {})
+
+	// A link that loses 20% of frames and flips bits in 10% of them.
+	datalink.Connect(sim, alice, bob, netsim.LinkConfig{
+		Delay:       5 * time.Millisecond,
+		LossProb:    0.20,
+		CorruptProb: 0.10,
+	})
+
+	messages := []string{
+		"the flag is 01111110",        // bit-stuffing transparency
+		"\x7e\x7e\x7e escape city",    // byte values that look like flags
+		"sublayering: layers, nested", // plain text
+	}
+	for i, m := range messages {
+		alice.Send(sublayer.NewPDU([]byte(fmt.Sprintf("%d: %s", i, m))))
+	}
+
+	sim.RunFor(30 * time.Second) // virtual time; finishes in microseconds
+
+	fmt.Printf("\nreceived at bob, in order, exactly once:\n")
+	for _, m := range received {
+		fmt.Printf("  %q\n", m)
+	}
+	arq := alice.Layers()[0].(*datalink.GoBackN).Stats()
+	fmt.Printf("\nrecovery work on a 20%%-loss link: %d retransmits, %d acks from bob\n",
+		arq.Retransmits, bob.Layers()[0].(*datalink.GoBackN).Stats().AcksSent)
+}

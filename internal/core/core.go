@@ -1,0 +1,68 @@
+// Package core is the front door to the reproduction's primary
+// contribution: sublayering — "layering recursively within each layer"
+// — as an executable architecture.
+//
+// The concrete machinery lives in focused packages; core re-exports
+// the names a downstream user starts from and documents how the pieces
+// instantiate the paper:
+//
+//   - Sublayer, Stack, PDU (from internal/sublayer): the generic
+//     composition framework enforcing the paper's litmus tests — T1
+//     (ordered, each adds a distinct peer service), T2 (narrow
+//     interfaces), T3 (separate bits and state, so implementations are
+//     replaceable).
+//   - The data-link instantiation (internal/datalink): encoding,
+//     framing, error detection, error recovery / MAC — Fig. 2.
+//   - The network instantiation (internal/network): neighbor
+//     determination, route computation (distance vector ⇄ link state),
+//     forwarding — Figs. 3–4.
+//   - The transport instantiation (internal/transport/sublayered):
+//     DM, CM, RD, OSR — Fig. 5 — with the Fig. 6 header
+//     (internal/tcpwire) and the §3.1 interop shim; the monolithic
+//     lwIP-style baseline lives in internal/transport/monolithic.
+//   - The verification substrate (internal/verify, internal/stuffing):
+//     contracts, bounded-exhaustive checking, the exact stuffing-rule
+//     decision procedure, and the entanglement tracker behind the §4
+//     experiments.
+//
+// Use the Classify helper to apply the paper's layer-vs-sublayer
+// principles to a module of your own.
+package core
+
+import (
+	"repro/internal/sublayer"
+)
+
+// Sublayer is one module within a layer; see sublayer.Sublayer.
+type Sublayer = sublayer.Sublayer
+
+// Stack composes sublayers and polices the litmus tests.
+type Stack = sublayer.Stack
+
+// PDU is the unit passed between sublayers.
+type PDU = sublayer.PDU
+
+// Meta is the typed interface data accompanying a PDU (T2).
+type Meta = sublayer.Meta
+
+// Runtime is what a sublayer may touch outside itself.
+type Runtime = sublayer.Runtime
+
+// Descriptor captures the paper's layer-vs-sublayer principles.
+type Descriptor = sublayer.Descriptor
+
+// Classification is the verdict of those principles.
+type Classification = sublayer.Classification
+
+// Classification values.
+const (
+	ClassSublayer   = sublayer.ClassSublayer
+	ClassLayer      = sublayer.ClassLayer
+	ClassFunctional = sublayer.ClassFunctional
+)
+
+// NewStack builds a stack from top to bottom, validating T1 metadata.
+var NewStack = sublayer.New
+
+// MustNewStack is NewStack that panics on a malformed stack.
+var MustNewStack = sublayer.MustNew

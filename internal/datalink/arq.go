@@ -1,0 +1,82 @@
+package datalink
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Error recovery (ARQ) is the top Fig. 2 sublayer: it "adds a header
+// with sequence numbers to guarantee delivery using retransmissions,
+// but depends on error detection" — frames arriving with
+// Meta.ErrDetected set are treated as lost. Three classic schemes are
+// provided behind identical semantics (reliable, in-order,
+// exactly-once delivery of frames): stop-and-wait, go-back-N and
+// selective repeat. Every instance is full duplex; acknowledgements
+// travel as their own frames.
+
+// ARQ header: kind(1) seq(2) ack(2).
+const arqHeaderLen = 5
+
+type arqKind byte
+
+const (
+	arqData arqKind = 1
+	arqAck  arqKind = 2
+)
+
+func arqEncap(kind arqKind, seq, ack uint16, payload []byte) []byte {
+	out := make([]byte, arqHeaderLen+len(payload))
+	out[0] = byte(kind)
+	binary.BigEndian.PutUint16(out[1:3], seq)
+	binary.BigEndian.PutUint16(out[3:5], ack)
+	copy(out[arqHeaderLen:], payload)
+	return out
+}
+
+func arqDecap(data []byte) (kind arqKind, seq, ack uint16, payload []byte, ok bool) {
+	if len(data) < arqHeaderLen {
+		return 0, 0, 0, nil, false
+	}
+	kind = arqKind(data[0])
+	if kind != arqData && kind != arqAck {
+		return 0, 0, 0, nil, false
+	}
+	seq = binary.BigEndian.Uint16(data[1:3])
+	ack = binary.BigEndian.Uint16(data[3:5])
+	return kind, seq, ack, data[arqHeaderLen:], true
+}
+
+// seq16Less reports a < b in mod-2^16 arithmetic (window < 2^15).
+func seq16Less(a, b uint16) bool { return int16(a-b) < 0 }
+
+// ARQStats counts recovery events.
+type ARQStats struct {
+	Sent        uint64 // data frames first transmitted
+	Retransmits uint64
+	Delivered   uint64 // frames delivered upward, exactly once each
+	DupDropped  uint64 // duplicate data frames discarded
+	ErrDropped  uint64 // frames discarded because error detection flagged them
+	AcksSent    uint64
+	GaveUp      uint64
+}
+
+// ARQConfig tunes an ARQ sublayer.
+type ARQConfig struct {
+	// Window is the sender window in frames (ignored by stop-and-wait).
+	Window int
+	// RTO is the retransmission timeout.
+	RTO time.Duration
+	// MaxRetries bounds retransmissions of one frame; 0 = unlimited.
+	MaxRetries int
+}
+
+// withDefaults fills zero fields.
+func (c ARQConfig) withDefaults() ARQConfig {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.RTO <= 0 {
+		c.RTO = 200 * time.Millisecond
+	}
+	return c
+}

@@ -1,0 +1,202 @@
+package datalink
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/stuffing"
+	"repro/internal/sublayer"
+)
+
+// Nested sublayering within framing — §4.1's recursive step: "the
+// upper sublayer is a stuffing sublayer that does stuffing (at the
+// sender) and unstuffing (at the receiver). The lower sublayer adds
+// flags (at the sender) and removes flags (at the receiver). This is a
+// nested sublayering within framing, which is itself a sublayer of the
+// Data Link."
+//
+// StuffSublayer and FlagSublayer are full sublayer.Sublayer
+// implementations, so the recursion is literal: a framing sublayer
+// whose implementation is itself a two-sublayer stack. The litmus
+// tests hold one level down — T1: stuffing adds transparency, flagging
+// adds delimitation; T2: the interface between them is "a frame
+// without flags"; T3: the stuffing rule depends on the flag only
+// through the interface (the Watch pattern), exactly the dependency
+// the paper's lemmas surface.
+
+// StuffSublayer performs stuffing on the way down and unstuffing on
+// the way up. It never sees flags.
+type StuffSublayer struct {
+	rule stuffing.Rule
+	rt   sublayer.Runtime
+}
+
+// NewStuffSublayer returns the stuffing half of the nested framing.
+func NewStuffSublayer(rule stuffing.Rule) *StuffSublayer {
+	if err := rule.Validate(); err != nil {
+		panic("datalink: " + err.Error())
+	}
+	return &StuffSublayer{rule: rule}
+}
+
+// Name implements sublayer.Sublayer.
+func (s *StuffSublayer) Name() string { return "stuffing" }
+
+// Service implements sublayer.Sublayer (T1).
+func (s *StuffSublayer) Service() string {
+	return "makes the payload transparent: the flag pattern cannot appear in it"
+}
+
+// Attach implements sublayer.Sublayer.
+func (s *StuffSublayer) Attach(rt sublayer.Runtime) { s.rt = rt }
+
+// HandleDown stuffs the packet's bits.
+func (s *StuffSublayer) HandleDown(p *sublayer.PDU) {
+	stuffed, err := s.rule.Stuff(pduBits(p))
+	if err != nil {
+		s.rt.Drop(p, err.Error())
+		return
+	}
+	p.Data, p.BitLen = packBits(stuffed)
+	s.rt.SendDown(p)
+}
+
+// HandleUp unstuffs; a malformed escape means corruption, which is
+// flagged upward the same way error detection flags bad checksums.
+func (s *StuffSublayer) HandleUp(p *sublayer.PDU) {
+	out, err := s.rule.Unstuff(pduBits(p))
+	if err != nil {
+		s.rt.Drop(p, err.Error())
+		return
+	}
+	b, err := out.ToBytesExact()
+	if err != nil {
+		s.rt.Drop(p, "unstuffed payload not octet-aligned")
+		return
+	}
+	p.Data, p.BitLen = b, 0
+	s.rt.DeliverUp(p)
+}
+
+// FlagSublayer brackets stuffed payloads with flags on the way down
+// and hunts flag-delimited frames on the way up. It never inspects the
+// payload beyond searching for the flag pattern.
+type FlagSublayer struct {
+	flag bitio.Bits
+	rt   sublayer.Runtime
+}
+
+// NewFlagSublayer returns the flag half of the nested framing.
+func NewFlagSublayer(flag bitio.Bits) *FlagSublayer {
+	if flag.Len() < 2 {
+		panic("datalink: flag must be at least 2 bits")
+	}
+	return &FlagSublayer{flag: flag}
+}
+
+// Name implements sublayer.Sublayer.
+func (f *FlagSublayer) Name() string { return "flagging" }
+
+// Service implements sublayer.Sublayer (T1).
+func (f *FlagSublayer) Service() string {
+	return "delimits the start and end of a frame with the flag pattern"
+}
+
+// Attach implements sublayer.Sublayer.
+func (f *FlagSublayer) Attach(rt sublayer.Runtime) { f.rt = rt }
+
+// HandleDown adds flags around the (stuffed) bits.
+func (f *FlagSublayer) HandleDown(p *sublayer.PDU) {
+	framed := f.flag.Append(pduBits(p)).Append(f.flag)
+	p.Data, p.BitLen = packBits(framed)
+	f.rt.SendDown(p)
+}
+
+// HandleUp hunts flags (reset semantics, tolerating junk around the
+// frame) and delivers each span upward for unstuffing.
+func (f *FlagSublayer) HandleUp(p *sublayer.PDU) {
+	bits := pduBits(p)
+	m := bitio.NewMatcher(f.flag)
+	prevEnd := -1
+	found := false
+	for i := 0; i < bits.Len(); i++ {
+		if !m.Feed(bits.At(i)) {
+			continue
+		}
+		m.Reset()
+		end := i + 1
+		start := end - f.flag.Len()
+		if prevEnd >= 0 && start > prevEnd {
+			span := bits.Slice(prevEnd, start)
+			data, n := packBits(span)
+			found = true
+			f.rt.DeliverUp(&sublayer.PDU{Data: data, BitLen: n, Meta: p.Meta})
+		}
+		prevEnd = end
+	}
+	if !found {
+		f.rt.Drop(p, "no flag-delimited frame")
+	}
+}
+
+// packBits packs a bit string into (bytes, bitlen) for a PDU.
+func packBits(b bitio.Bits) ([]byte, int) {
+	data, n := b.Bytes()
+	return data, n
+}
+
+// NestedFramer adapts the two-sublayer composition to the Framer
+// interface, so the recursive implementation drops into the Fig. 2
+// stack wherever the monolithic BitStuffFramer does — sublayering all
+// the way down, observable from outside only by its name.
+type NestedFramer struct {
+	rule stuffing.Rule
+}
+
+// NewNestedFramer composes stuffing-over-flagging per §4.1. The rule
+// is validated eagerly, as for BitStuffFramer.
+func NewNestedFramer(rule stuffing.Rule) *NestedFramer {
+	if err := rule.Validate(); err != nil {
+		panic("datalink: " + err.Error())
+	}
+	return &NestedFramer{rule: rule}
+}
+
+// Name implements Framer.
+func (n *NestedFramer) Name() string { return "nested(stuffing/flagging)" }
+
+// Frame implements Framer by running the packet down the two-sublayer
+// stack.
+func (n *NestedFramer) Frame(packet []byte) (bitio.Bits, error) {
+	var out bitio.Bits
+	st := mustMiniStack(n.rule, func(p *sublayer.PDU) {
+		out = pduBits(p)
+	}, nil)
+	st.Send(sublayer.NewPDU(packet))
+	return out, nil
+}
+
+// Deframe implements Framer by running the bits up the stack.
+func (n *NestedFramer) Deframe(bits bitio.Bits) [][]byte {
+	var frames [][]byte
+	st := mustMiniStack(n.rule, nil, func(p *sublayer.PDU) {
+		frames = append(frames, append([]byte(nil), p.Data...))
+	})
+	data, bl := packBits(bits)
+	st.Receive(&sublayer.PDU{Data: data, BitLen: bl})
+	return frames
+}
+
+// mustMiniStack builds the two-sublayer nested framing stack. A fresh
+// pair of sublayers per call keeps the adapter stateless, like the
+// other framers. Neither sublayer uses timers or randomness, so the
+// stack needs no simulator.
+func mustMiniStack(rule stuffing.Rule, wire func(*sublayer.PDU), app func(*sublayer.PDU)) *sublayer.Stack {
+	st := sublayer.MustNew(nil, "nested-framing",
+		NewStuffSublayer(rule), NewFlagSublayer(rule.Flag))
+	if wire != nil {
+		st.SetWire(wire)
+	}
+	if app != nil {
+		st.SetApp(app)
+	}
+	return st
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table of EXPERIMENTS.md — one
+// function per experiment E1–E9 from DESIGN.md. Each function builds
+// its own simulated world from a seed, runs the workload, and returns
+// a formatted table plus structured rows, so cmd/benchreport, the
+// root-level benchmarks and the tests all share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one regenerated experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the paper-vs-measured commentary.
+	Notes []string
+}
+
+// Text renders the result as an aligned table.
+func (r *Result) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		for i, c := range cols {
+			w := 8
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment with the default seed.
+func All(seed int64) []*Result {
+	return []*Result{
+		E1DataLink(seed),
+		E2Routing(seed),
+		E3SublayeredTCP(seed),
+		E4Interop(seed),
+		E5Stuffing(),
+		E6Entanglement(seed),
+		E7Performance(seed),
+		E8Replace(seed),
+		E9Offload(seed),
+	}
+}
+
+// ByID returns the named experiment's generator, or nil.
+func ByID(id string, seed int64) *Result {
+	switch strings.ToLower(id) {
+	case "e1":
+		return E1DataLink(seed)
+	case "e2":
+		return E2Routing(seed)
+	case "e3":
+		return E3SublayeredTCP(seed)
+	case "e4":
+		return E4Interop(seed)
+	case "e5":
+		return E5Stuffing()
+	case "e6":
+		return E6Entanglement(seed)
+	case "e7":
+		return E7Performance(seed)
+	case "e8":
+		return E8Replace(seed)
+	case "e9":
+		return E9Offload(seed)
+	}
+	return nil
+}

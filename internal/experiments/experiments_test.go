@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Each experiment generator must run, produce rows, and satisfy its
+// headline claim. These are the executable versions of EXPERIMENTS.md.
+
+func TestE1AllVariantsDeliver(t *testing.T) {
+	r := E1DataLink(1)
+	if len(r.Rows) < 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !strings.HasPrefix(row[1], "40/") || row[1] != "40/40" {
+			t.Errorf("variant %q delivered %s", row[0], row[1])
+		}
+	}
+}
+
+func TestE2BothComputersAgree(t *testing.T) {
+	r := E2Routing(2)
+	for _, row := range r.Rows[:3] {
+		if row[2] != "true" || row[3] != "true" {
+			t.Errorf("scenario %q: dv=%s ls=%s", row[0], row[2], row[3])
+		}
+	}
+	// Live-swap row keeps the forwarding plane; reconvergence rows
+	// report a bounded time.
+	foundSwap, foundReconv := false, false
+	for _, row := range r.Rows {
+		if strings.HasPrefix(row[0], "live swap") {
+			foundSwap = true
+			if !strings.Contains(row[3], "true") {
+				t.Errorf("live swap replaced forwarding plane: %v", row)
+			}
+		}
+		if strings.HasPrefix(row[0], "reconverge") {
+			foundReconv = true
+			if strings.Contains(row[2], "did not") {
+				t.Errorf("no reconvergence: %v", row)
+			}
+		}
+	}
+	if !foundSwap || !foundReconv {
+		t.Errorf("missing rows: swap=%v reconv=%v", foundSwap, foundReconv)
+	}
+}
+
+func TestE3StreamsIntact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long transfer sweep")
+	}
+	r := E3SublayeredTCP(3)
+	for _, row := range r.Rows {
+		if row[2] != "true" {
+			t.Errorf("loss %s: stream corrupted", row[0])
+		}
+	}
+}
+
+func TestE4MatrixInterops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long transfer matrix")
+	}
+	r := E4Interop(4)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[2] != "true" || row[3] != "true" {
+			t.Errorf("%s→%s: up=%s down=%s", row[0], row[1], row[2], row[3])
+		}
+	}
+}
+
+func TestE5PaperNumbers(t *testing.T) {
+	r := E5Stuffing()
+	if r.Rows[0][1] != "1/32" {
+		t.Errorf("HDLC naive overhead = %s, want 1/32", r.Rows[0][1])
+	}
+	if r.Rows[1][1] != "1/128" {
+		t.Errorf("alternate rule naive overhead = %s, want 1/128", r.Rows[1][1])
+	}
+	for _, row := range r.Rows {
+		if row[4] != "true" {
+			t.Errorf("rule %q not valid", row[0])
+		}
+	}
+}
+
+func TestE6SublayeredLessEntangled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumented transfers")
+	}
+	r := E6Entanglement(6)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	mono, sub := r.Rows[0], r.Rows[1]
+	parse := func(s string) int { v, _ := strconv.Atoi(s); return v }
+	mShared, sShared := parse(mono[3]), parse(sub[3])
+	mPairs, sPairs := parse(mono[5]), parse(sub[5])
+	mMax, sMax := parse(mono[6]), parse(sub[6])
+	if sShared >= mShared {
+		t.Errorf("sublayered shares %d vars, monolithic %d (expected fewer)", sShared, mShared)
+	}
+	// The paper's O(N²) claim: monolithic interaction density is higher.
+	mDensity := float64(mPairs) / float64(mMax)
+	sDensity := float64(sPairs) / float64(sMax)
+	if sDensity >= mDensity {
+		t.Errorf("interaction density: sublayered %.2f vs monolithic %.2f", sDensity, mDensity)
+	}
+}
+
+func TestE9SimpleCutWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offload workload")
+	}
+	r := E9Offload(9)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestResultTextRenders(t *testing.T) {
+	r := E5Stuffing()
+	txt := r.Text()
+	for _, want := range []string{"E5", "HDLC", "note:"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text missing %q", want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("e5", 1) == nil || ByID("E5", 1) == nil {
+		t.Error("ByID e5 nil")
+	}
+	if ByID("nope", 1) != nil {
+		t.Error("unknown id not nil")
+	}
+}

@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Packet is the unit carried by links: opaque bytes plus the ECN
+// congestion-experienced mark (the simulator's stand-in for the IP ECN
+// codepoint, which the OSR sublayer's congestion control reads).
+type Packet struct {
+	Data []byte
+	ECN  bool
+}
+
+// Clone deep-copies a packet so impairments (corruption, duplication)
+// never alias caller memory.
+func (p *Packet) Clone() *Packet {
+	d := make([]byte, len(p.Data))
+	copy(d, p.Data)
+	return &Packet{Data: d, ECN: p.ECN}
+}
+
+// Handler consumes delivered packets.
+type Handler func(pkt *Packet)
+
+// LinkConfig describes one direction of a point-to-point link.
+type LinkConfig struct {
+	// Delay is the propagation delay; Jitter adds a uniform random
+	// extra delay in [0, Jitter).
+	Delay  time.Duration
+	Jitter time.Duration
+	// RateBps is the serialization rate in bits per second; zero means
+	// infinitely fast (no serialization delay, no queue).
+	RateBps int64
+	// QueueLimit bounds the number of packets waiting for the
+	// serializer (drop-tail). Zero means unbounded.
+	QueueLimit int
+	// ECNThreshold marks packets with congestion-experienced when the
+	// queue occupancy at enqueue time is at least this many packets.
+	// Zero disables marking.
+	ECNThreshold int
+	// LossProb drops a packet entirely.
+	LossProb float64
+	// DupProb delivers a packet twice (the copy trails by 1µs).
+	DupProb float64
+	// ReorderProb delays a packet by an extra uniform amount in
+	// (0, 4×Delay] so later packets can overtake it.
+	ReorderProb float64
+	// CorruptProb flips one random bit of the payload. Error-detection
+	// sublayers are expected to catch these.
+	CorruptProb float64
+}
+
+// LinkStats counts what happened to traffic on a link.
+type LinkStats struct {
+	Sent      uint64
+	Delivered uint64
+	Lost      uint64
+	Duplicate uint64
+	Reordered uint64
+	Corrupted uint64
+	QueueDrop uint64
+	ECNMarked uint64
+}
+
+// Link is a unidirectional impaired channel. Create with
+// Simulator.NewLink; send with Send. Delivery invokes the destination
+// handler inside the event loop.
+type Link struct {
+	sim   *Simulator
+	cfg   LinkConfig
+	dst   Handler
+	stats LinkStats
+	// serializer state: the time at which the transmitter frees up.
+	txFree Time
+	queued int
+	// Up gates delivery: a downed link silently drops (used by routing
+	// failure experiments).
+	up bool
+}
+
+// NewLink creates a unidirectional link delivering to dst.
+func (s *Simulator) NewLink(cfg LinkConfig, dst Handler) *Link {
+	if dst == nil {
+		panic("netsim: NewLink with nil destination")
+	}
+	return &Link{sim: s, cfg: cfg, dst: dst, up: true}
+}
+
+// SetUp raises or cuts the link. Packets sent while down are counted as
+// lost.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Up reports whether the link is passing traffic.
+func (l *Link) Up() bool { return l.up }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Send transmits data over the link, applying serialization, queueing,
+// ECN marking and the configured impairments. The data is copied.
+func (l *Link) Send(data []byte) {
+	l.SendPacket(&Packet{Data: data})
+}
+
+// SendPacket is Send for a packet that may already carry an ECN mark.
+func (l *Link) SendPacket(pkt *Packet) {
+	l.stats.Sent++
+	if !l.up {
+		l.stats.Lost++
+		return
+	}
+	rng := l.sim.rng
+	if chance(rng, l.cfg.LossProb) {
+		l.stats.Lost++
+		return
+	}
+	p := pkt.Clone()
+
+	// Serialization and queueing.
+	depart := l.sim.Now()
+	if l.cfg.RateBps > 0 {
+		if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
+			l.stats.QueueDrop++
+			return
+		}
+		if l.cfg.ECNThreshold > 0 && l.queued >= l.cfg.ECNThreshold {
+			p.ECN = true
+			l.stats.ECNMarked++
+		}
+		txTime := Time(int64(len(p.Data)) * 8 * int64(time.Second) / l.cfg.RateBps)
+		start := l.txFree
+		if start < l.sim.Now() {
+			start = l.sim.Now()
+		}
+		l.txFree = start + txTime
+		depart = l.txFree
+		l.queued++
+		l.sim.ScheduleAt(depart, func() { l.queued-- })
+	}
+
+	extra := Time(0)
+	if l.cfg.Jitter > 0 {
+		extra += Time(rng.Int63n(l.cfg.Jitter.Nanoseconds()))
+	}
+	if chance(rng, l.cfg.ReorderProb) {
+		l.stats.Reordered++
+		span := 4 * l.cfg.Delay.Nanoseconds()
+		if span <= 0 {
+			span = int64(400 * time.Microsecond)
+		}
+		extra += Time(1 + rng.Int63n(span))
+	}
+	if chance(rng, l.cfg.CorruptProb) && len(p.Data) > 0 {
+		l.stats.Corrupted++
+		bit := rng.Intn(len(p.Data) * 8)
+		p.Data[bit/8] ^= 1 << uint(7-bit%8)
+	}
+
+	arrive := depart + durTicks(l.cfg.Delay) + extra
+	l.deliverAt(arrive, p)
+	if chance(rng, l.cfg.DupProb) {
+		l.stats.Duplicate++
+		l.deliverAt(arrive+durTicks(time.Microsecond), p.Clone())
+	}
+}
+
+func (l *Link) deliverAt(at Time, p *Packet) {
+	l.sim.ScheduleAt(at, func() {
+		if !l.up {
+			l.stats.Lost++
+			return
+		}
+		l.stats.Delivered++
+		l.dst(p)
+	})
+}
+
+func chance(rng *rand.Rand, p float64) bool {
+	return p > 0 && rng.Float64() < p
+}
+
+// Duplex bundles the two directions of a point-to-point link.
+type Duplex struct {
+	AB *Link // a → b
+	BA *Link // b → a
+}
+
+// NewDuplex builds a symmetric bidirectional link with the same config
+// in each direction, delivering to the two handlers.
+func (s *Simulator) NewDuplex(cfg LinkConfig, toA, toB Handler) *Duplex {
+	return &Duplex{AB: s.NewLink(cfg, toB), BA: s.NewLink(cfg, toA)}
+}
+
+// SetUp raises or cuts both directions.
+func (d *Duplex) SetUp(up bool) {
+	d.AB.SetUp(up)
+	d.BA.SetUp(up)
+}

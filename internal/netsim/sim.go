@@ -1,0 +1,226 @@
+// Package netsim is a deterministic discrete-event network simulator.
+//
+// Every protocol in this repository — data link, routing, transport —
+// runs over netsim rather than a real network. All time is virtual and
+// all randomness flows from a single seeded source, so every experiment
+// in EXPERIMENTS.md is an exact function of its seed: loss patterns,
+// reordering, corruption and timer interleavings replay identically.
+//
+// The model is intentionally small: a Simulator owns a virtual clock
+// and an event heap; a Link is a unidirectional channel with
+// configurable propagation delay, jitter, serialization rate, queue
+// limit, loss, duplication, reordering, bit corruption and ECN marking;
+// a Bus is a shared broadcast medium with collisions for the MAC
+// sublayer experiments.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds since simulation start.
+type Time int64
+
+// Duration converts a standard library duration to simulator ticks.
+func durTicks(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// String formats the time as a duration for traces.
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tiebreak for simultaneous events: determinism
+	fn   func()
+	dead bool
+	idx  int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock, the event queue and the random
+// source. It is not safe for concurrent use; all protocol code runs
+// single-threaded inside event callbacks, which is what makes runs
+// reproducible.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	steps  uint64
+}
+
+// NewSimulator returns a simulator whose randomness derives from seed.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation-owned random source. Protocol code must
+// use this (never the global source) to stay deterministic.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Timer is a handle to a scheduled callback.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// cancellation prevented a pending firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.dead }
+
+// Schedule runs fn after virtual delay d (clamped to ≥ 0).
+func (s *Simulator) Schedule(d time.Duration, fn func()) *Timer {
+	t := s.now + durTicks(d)
+	if t < s.now {
+		t = s.now
+	}
+	return s.ScheduleAt(t, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at (clamped to ≥ now).
+func (s *Simulator) ScheduleAt(at Time, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	e := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return &Timer{ev: e}
+}
+
+// Step executes the next pending event. It reports false when the queue
+// is empty.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.dead {
+			continue
+		}
+		e.dead = true // a fired timer is no longer Active
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the step limit is hit;
+// it returns the number of events executed. A zero limit means no
+// limit. Protocols with periodic timers never drain the queue, so most
+// callers use RunFor or RunUntilIdle instead.
+func (s *Simulator) Run(limit int) int {
+	n := 0
+	for (limit == 0 || n < limit) && s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunFor executes events for a span of virtual time, then stops with
+// the clock advanced to exactly start+d.
+func (s *Simulator) RunFor(d time.Duration) {
+	s.RunUntil(s.now + durTicks(d))
+}
+
+// RunUntil executes all events scheduled strictly up to and including
+// time t, then sets the clock to t.
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.events) > 0 {
+		// Peek.
+		e := s.events[0]
+		if e.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Steps returns the total number of events executed, a cheap progress
+// metric for benchmarks.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Every schedules fn to run every interval until the returned Repeater
+// is stopped. The first firing is after one interval.
+func (s *Simulator) Every(interval time.Duration, fn func()) *Repeater {
+	r := &Repeater{sim: s, interval: interval, fn: fn}
+	r.arm()
+	return r
+}
+
+// Repeater is a periodic timer.
+type Repeater struct {
+	sim      *Simulator
+	interval time.Duration
+	fn       func()
+	t        *Timer
+	stopped  bool
+}
+
+func (r *Repeater) arm() {
+	r.t = r.sim.Schedule(r.interval, func() {
+		if r.stopped {
+			return
+		}
+		r.fn()
+		if !r.stopped {
+			r.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (r *Repeater) Stop() {
+	r.stopped = true
+	if r.t != nil {
+		r.t.Stop()
+	}
+}
+
+func (s *Simulator) String() string {
+	return fmt.Sprintf("sim(t=%v, pending=%d, steps=%d)", s.now, len(s.events), s.steps)
+}

@@ -1,0 +1,135 @@
+// Package network implements the paper's Figs. 3–4 network-layer
+// sublayering: a data plane (forwarding) fed by a control plane that is
+// itself sublayered into route computation above neighbor
+// determination.
+//
+//	forwarding        — data plane: FIB lookup, TTL, local delivery
+//	route computation — distance vector OR link state, swappable
+//	neighbor determination — hello handshakes directly on the data link
+//
+// Litmus test T3 holds the strong way the paper notes: the sublayers
+// use completely different packets (hellos, routing PDUs, data
+// datagrams — distinguished by a wire class byte), not merely different
+// headers in the same packet, and "one can change route computation
+// from distance vector to Link State without changing forwarding",
+// which experiment E2 demonstrates.
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is a node address — the network layer's namespace (the paper's
+// "names" principle: layers own identifiers; sublayers borrow them).
+type Addr uint16
+
+// String renders an address.
+func (a Addr) String() string { return fmt.Sprintf("n%d", uint16(a)) }
+
+// Proto identifies the payload protocol of a data datagram.
+type Proto uint8
+
+// Assigned protocol numbers.
+const (
+	// ProtoTCP carries RFC 793 wire-format segments (the monolithic
+	// TCP, and sublayered TCP behind the shim).
+	ProtoTCP Proto = 6
+	// ProtoUDP carries bare datagrams.
+	ProtoUDP Proto = 17
+	// ProtoSubTCP carries the paper's Fig. 6 sublayered-native header.
+	ProtoSubTCP Proto = 99
+)
+
+// Wire packet classes. Control sublayers use entirely different
+// packets from the data plane (T3).
+const (
+	classData    byte = 0
+	classHello   byte = 1
+	classRouting byte = 2
+)
+
+// DefaultTTL is the initial hop limit of locally originated datagrams.
+const DefaultTTL = 32
+
+// HeaderLen is the data datagram header size: class(1) src(2) dst(2)
+// ttl(1) proto(1).
+const HeaderLen = 7
+
+// Datagram is the network-layer data PDU.
+type Datagram struct {
+	Src, Dst Addr
+	TTL      uint8
+	Proto    Proto
+	ECN      bool // congestion-experienced; carried out-of-band per hop
+	Payload  []byte
+}
+
+// errTruncated reports a short packet.
+var errTruncated = errors.New("network: truncated packet")
+
+// Marshal encodes the datagram for the wire.
+func (d *Datagram) Marshal() []byte {
+	out := make([]byte, HeaderLen+len(d.Payload))
+	out[0] = classData
+	binary.BigEndian.PutUint16(out[1:3], uint16(d.Src))
+	binary.BigEndian.PutUint16(out[3:5], uint16(d.Dst))
+	out[5] = d.TTL
+	out[6] = byte(d.Proto)
+	copy(out[HeaderLen:], d.Payload)
+	return out
+}
+
+// UnmarshalDatagram decodes a class-data packet.
+func UnmarshalDatagram(data []byte) (*Datagram, error) {
+	if len(data) < HeaderLen {
+		return nil, errTruncated
+	}
+	if data[0] != classData {
+		return nil, fmt.Errorf("network: packet class %d is not data", data[0])
+	}
+	return &Datagram{
+		Src:     Addr(binary.BigEndian.Uint16(data[1:3])),
+		Dst:     Addr(binary.BigEndian.Uint16(data[3:5])),
+		TTL:     data[5],
+		Proto:   Proto(data[6]),
+		Payload: append([]byte(nil), data[HeaderLen:]...),
+	}, nil
+}
+
+// helloLen is the hello packet size: class(1) sender(2) cost(1).
+const helloLen = 4
+
+// marshalHello encodes a neighbor-determination hello.
+func marshalHello(sender Addr, cost uint8) []byte {
+	out := make([]byte, helloLen)
+	out[0] = classHello
+	binary.BigEndian.PutUint16(out[1:3], uint16(sender))
+	out[3] = cost
+	return out
+}
+
+func unmarshalHello(data []byte) (sender Addr, cost uint8, err error) {
+	if len(data) < helloLen || data[0] != classHello {
+		return 0, 0, errTruncated
+	}
+	return Addr(binary.BigEndian.Uint16(data[1:3])), data[3], nil
+}
+
+// marshalRouting wraps a route-computation payload: class(1) sender(2)
+// body.
+func marshalRouting(sender Addr, body []byte) []byte {
+	out := make([]byte, 3+len(body))
+	out[0] = classRouting
+	binary.BigEndian.PutUint16(out[1:3], uint16(sender))
+	copy(out[3:], body)
+	return out
+}
+
+func unmarshalRouting(data []byte) (sender Addr, body []byte, err error) {
+	if len(data) < 3 || data[0] != classRouting {
+		return 0, nil, errTruncated
+	}
+	return Addr(binary.BigEndian.Uint16(data[1:3])), data[3:], nil
+}

@@ -1,0 +1,249 @@
+package network
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// DistanceVector is RIP-style route computation: periodically advertise
+// the full distance table to each neighbor, with split horizon and
+// poison reverse; metric 16 is unreachable.
+type DistanceVector struct {
+	env RoutingEnv
+	cfg DVConfig
+
+	table  map[Addr]*dvEntry
+	timers []*netsim.Repeater
+	trig   *netsim.Timer
+	stats  DVStats
+}
+
+type dvEntry struct {
+	route    Route
+	poisoned netsim.Time // when the route went to Infinity (for GC)
+}
+
+// DVConfig tunes the protocol.
+type DVConfig struct {
+	// AdvertiseInterval is the periodic full-table advertisement period
+	// (default 2s).
+	AdvertiseInterval time.Duration
+	// TriggerDelay batches triggered updates (default 50ms).
+	TriggerDelay time.Duration
+	// GCTime removes a poisoned route after this long (default 3×
+	// advertise interval).
+	GCTime time.Duration
+}
+
+// DVStats counts protocol events.
+type DVStats struct {
+	AdvertsSent     uint64
+	AdvertsReceived uint64
+	TriggeredSent   uint64
+	RouteChanges    uint64
+}
+
+func (c DVConfig) withDefaults() DVConfig {
+	if c.AdvertiseInterval <= 0 {
+		c.AdvertiseInterval = 2 * time.Second
+	}
+	if c.TriggerDelay <= 0 {
+		c.TriggerDelay = 50 * time.Millisecond
+	}
+	if c.GCTime <= 0 {
+		c.GCTime = 3 * c.AdvertiseInterval
+	}
+	return c
+}
+
+// NewDistanceVector returns a distance-vector route computer.
+func NewDistanceVector(cfg DVConfig) *DistanceVector {
+	return &DistanceVector{cfg: cfg.withDefaults(), table: make(map[Addr]*dvEntry)}
+}
+
+// Name implements RouteComputer.
+func (d *DistanceVector) Name() string { return "distance-vector" }
+
+// Attach implements RouteComputer.
+func (d *DistanceVector) Attach(env RoutingEnv) {
+	d.env = env
+	d.table[env.Self()] = &dvEntry{route: Route{Dst: env.Self(), NextHop: env.Self(), If: -1, Metric: 0}}
+}
+
+// Start implements RouteComputer.
+func (d *DistanceVector) Start() {
+	d.timers = append(d.timers,
+		d.env.Sim().Every(d.cfg.AdvertiseInterval, func() {
+			d.advertise(false)
+			d.gc()
+		}))
+	d.env.Sim().Schedule(0, func() { d.advertise(false) })
+}
+
+// Stop implements RouteComputer.
+func (d *DistanceVector) Stop() {
+	for _, t := range d.timers {
+		t.Stop()
+	}
+	d.timers = nil
+	if d.trig != nil {
+		d.trig.Stop()
+	}
+}
+
+// Stats returns a snapshot of protocol counters.
+func (d *DistanceVector) Stats() DVStats { return d.stats }
+
+// OnNeighborChange implements RouteComputer: adopt direct routes to new
+// neighbors, poison routes through vanished ones.
+func (d *DistanceVector) OnNeighborChange() {
+	alive := make(map[int]Neighbor)
+	for _, n := range d.env.Neighbors() {
+		alive[n.If] = n
+	}
+	changed := false
+	// Poison everything routed through an interface whose neighbor is
+	// gone.
+	for _, e := range d.table {
+		if e.route.If < 0 || e.route.Metric >= Infinity {
+			continue
+		}
+		if _, ok := alive[e.route.If]; !ok {
+			e.route.Metric = Infinity
+			e.poisoned = d.env.Sim().Now()
+			changed = true
+		}
+	}
+	// Direct neighbor routes.
+	for _, n := range alive {
+		m := int(n.Cost)
+		e, ok := d.table[n.Addr]
+		if !ok || e.route.Metric > m {
+			d.table[n.Addr] = &dvEntry{route: Route{Dst: n.Addr, NextHop: n.Addr, If: n.If, Metric: m}}
+			changed = true
+		}
+	}
+	if changed {
+		d.stats.RouteChanges++
+		d.install()
+		d.trigger()
+	}
+}
+
+// OnPacket implements RouteComputer: merge a neighbor's vector.
+func (d *DistanceVector) OnPacket(ifi int, sender Addr, body []byte) {
+	if len(body) < 1 || body[0] != routingProtoDV {
+		return // another protocol's PDU (e.g. mid-swap link state)
+	}
+	body = body[1:]
+	d.stats.AdvertsReceived++
+	// Find the adjacency to get the link cost; ignore vectors from
+	// non-neighbors (stale or spoofed).
+	var nb *Neighbor
+	for _, n := range d.env.Neighbors() {
+		if n.If == ifi && n.Addr == sender {
+			n := n
+			nb = &n
+			break
+		}
+	}
+	if nb == nil {
+		return
+	}
+	changed := false
+	for len(body) >= 3 {
+		dst := Addr(binary.BigEndian.Uint16(body[0:2]))
+		m := int(body[2])
+		body = body[3:]
+		if dst == d.env.Self() {
+			continue
+		}
+		cand := m + int(nb.Cost)
+		if cand > Infinity {
+			cand = Infinity
+		}
+		e, ok := d.table[dst]
+		switch {
+		case !ok && cand < Infinity:
+			d.table[dst] = &dvEntry{route: Route{Dst: dst, NextHop: sender, If: ifi, Metric: cand}}
+			changed = true
+		case ok && e.route.NextHop == sender && e.route.If == ifi && cand != e.route.Metric:
+			// News from the current next hop is authoritative, better
+			// or worse.
+			e.route.Metric = cand
+			if cand >= Infinity {
+				e.poisoned = d.env.Sim().Now()
+			}
+			changed = true
+		case ok && cand < e.route.Metric:
+			e.route = Route{Dst: dst, NextHop: sender, If: ifi, Metric: cand}
+			e.poisoned = 0
+			changed = true
+		}
+	}
+	if changed {
+		d.stats.RouteChanges++
+		d.install()
+		d.trigger()
+	}
+}
+
+// Routes implements RouteComputer.
+func (d *DistanceVector) Routes() map[Addr]Route {
+	out := make(map[Addr]Route, len(d.table))
+	for a, e := range d.table {
+		if e.route.Metric < Infinity {
+			out[a] = e.route
+		}
+	}
+	return out
+}
+
+// advertise sends the (split-horizon, poison-reverse) vector on every
+// interface with a live neighbor.
+func (d *DistanceVector) advertise(triggered bool) {
+	for _, n := range d.env.Neighbors() {
+		body := make([]byte, 0, 1+3*len(d.table))
+		body = append(body, routingProtoDV)
+		for _, e := range d.table {
+			m := e.route.Metric
+			if e.route.If == n.If && e.route.Dst != d.env.Self() {
+				m = Infinity // poison reverse
+			}
+			var rec [3]byte
+			binary.BigEndian.PutUint16(rec[0:2], uint16(e.route.Dst))
+			rec[2] = byte(m)
+			body = append(body, rec[:]...)
+		}
+		if triggered {
+			d.stats.TriggeredSent++
+		} else {
+			d.stats.AdvertsSent++
+		}
+		d.env.SendRouting(n.If, body)
+	}
+}
+
+// trigger schedules a batched triggered update.
+func (d *DistanceVector) trigger() {
+	if d.trig != nil && d.trig.Active() {
+		return
+	}
+	d.trig = d.env.Sim().Schedule(d.cfg.TriggerDelay, func() { d.advertise(true) })
+}
+
+// gc removes long-poisoned routes.
+func (d *DistanceVector) gc() {
+	cut := netsim.Time(d.cfg.GCTime.Nanoseconds())
+	for a, e := range d.table {
+		if e.route.Metric >= Infinity && e.poisoned > 0 && d.env.Sim().Now()-e.poisoned > cut {
+			delete(d.table, a)
+		}
+	}
+}
+
+func (d *DistanceVector) install() {
+	d.env.InstallFIB(d.Routes())
+}

@@ -1,0 +1,55 @@
+package network
+
+// Forwarder is the data plane of Fig. 3: it holds the forwarding
+// database (FIB) that route computation installs, and moves data
+// datagrams hop by hop. Data packets never traverse the control
+// sublayers — the paper's observation that control sublayers "provide
+// information for the data plane that bypasses them."
+type Forwarder struct {
+	self  Addr
+	fib   map[Addr]Route
+	stats ForwardStats
+}
+
+// ForwardStats counts data-plane outcomes.
+type ForwardStats struct {
+	Originated     uint64
+	Forwarded      uint64
+	LocalDelivered uint64
+	NoRoute        uint64
+	TTLExpired     uint64
+	Malformed      uint64
+}
+
+// newForwarder is created by the Router.
+func newForwarder(self Addr) *Forwarder {
+	return &Forwarder{self: self, fib: make(map[Addr]Route)}
+}
+
+// Install replaces the FIB — the single T2 interface from route
+// computation into the data plane.
+func (f *Forwarder) Install(routes map[Addr]Route) {
+	fib := make(map[Addr]Route, len(routes))
+	for a, r := range routes {
+		fib[a] = r
+	}
+	f.fib = fib
+}
+
+// Lookup returns the route toward dst.
+func (f *Forwarder) Lookup(dst Addr) (Route, bool) {
+	r, ok := f.fib[dst]
+	return r, ok
+}
+
+// FIB returns a copy of the forwarding database.
+func (f *Forwarder) FIB() map[Addr]Route {
+	out := make(map[Addr]Route, len(f.fib))
+	for a, r := range f.fib {
+		out[a] = r
+	}
+	return out
+}
+
+// Stats returns a snapshot of the data-plane counters.
+func (f *Forwarder) Stats() ForwardStats { return f.stats }

@@ -1,0 +1,69 @@
+package network
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sublayer"
+)
+
+// Port is a router's attachment to one link. The router does not care
+// what is underneath: a bare simulated link, or a full Fig. 2 data-link
+// sublayer stack — the layering boundary the paper's Fig. 3 draws
+// between the network sublayers and "Data Link".
+type Port interface {
+	// Send transmits one packet, carrying the ECN mark.
+	Send(data []byte, ecn bool)
+	// SetReceiver registers the upcall for received packets.
+	SetReceiver(fn func(data []byte, ecn bool))
+}
+
+// linkPort adapts a unidirectional netsim link pair into a Port.
+type linkPort struct {
+	out  *netsim.Link
+	recv func(data []byte, ecn bool)
+}
+
+// NewLinkPort returns a Port transmitting on out. Wire the reverse
+// direction's delivery to the returned port's Deliver.
+func NewLinkPort(out *netsim.Link) *linkPort { return &linkPort{out: out} }
+
+// Send implements Port.
+func (p *linkPort) Send(data []byte, ecn bool) {
+	p.out.SendPacket(&netsim.Packet{Data: data, ECN: ecn})
+}
+
+// SetReceiver implements Port.
+func (p *linkPort) SetReceiver(fn func(data []byte, ecn bool)) { p.recv = fn }
+
+// Deliver feeds a packet from the wire into the port.
+func (p *linkPort) Deliver(pkt *netsim.Packet) {
+	if p.recv != nil {
+		p.recv(pkt.Data, pkt.ECN)
+	}
+}
+
+// stackPort adapts a data-link sublayer stack into a Port: the network
+// layer rides on top of the Fig. 2 stack.
+type stackPort struct {
+	stack *sublayer.Stack
+	recv  func(data []byte, ecn bool)
+}
+
+// NewStackPort returns a Port sending through the top of a data-link
+// stack. The stack's app output is claimed by the port.
+func NewStackPort(stack *sublayer.Stack) Port {
+	p := &stackPort{stack: stack}
+	stack.SetApp(func(pdu *sublayer.PDU) {
+		if p.recv != nil {
+			p.recv(pdu.Data, pdu.Meta.ECN)
+		}
+	})
+	return p
+}
+
+// Send implements Port.
+func (p *stackPort) Send(data []byte, ecn bool) {
+	p.stack.Send(&sublayer.PDU{Data: data, Meta: sublayer.Meta{ECN: ecn}})
+}
+
+// SetReceiver implements Port.
+func (p *stackPort) SetReceiver(fn func(data []byte, ecn bool)) { p.recv = fn }

@@ -1,0 +1,214 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Router assembles the Fig. 3 node: forwarding (data plane) over route
+// computation over neighbor determination, attached to any number of
+// Ports. Transport protocols register per-protocol handlers, which is
+// the network layer's public service interface upward.
+type Router struct {
+	sim  *netsim.Simulator
+	addr Addr
+
+	ports    []Port
+	nt       *NeighborTable
+	rc       RouteComputer
+	fwd      *Forwarder
+	handlers map[Proto]func(*Datagram)
+	started  bool
+	tap      func(ifi int, data []byte)
+}
+
+// NewRouter builds a router with the given route computer. Ports are
+// added with AddPort; call Start once the topology is wired.
+func NewRouter(sim *netsim.Simulator, addr Addr, rc RouteComputer, ncfg NeighborConfig) *Router {
+	r := &Router{
+		sim:      sim,
+		addr:     addr,
+		nt:       newNeighborTable(sim, addr, ncfg),
+		rc:       rc,
+		fwd:      newForwarder(addr),
+		handlers: make(map[Proto]func(*Datagram)),
+	}
+	r.nt.Subscribe(func() { r.rc.OnNeighborChange() })
+	rc.Attach((*routerEnv)(r))
+	return r
+}
+
+// Addr returns the router's address.
+func (r *Router) Addr() Addr { return r.addr }
+
+// Neighbors exposes the neighbor-determination sublayer.
+func (r *Router) Neighbors() *NeighborTable { return r.nt }
+
+// Computer returns the active route-computation sublayer.
+func (r *Router) Computer() RouteComputer { return r.rc }
+
+// Forwarder exposes the data plane.
+func (r *Router) Forwarder() *Forwarder { return r.fwd }
+
+// AddPort attaches an interface with a link cost and returns its index.
+func (r *Router) AddPort(p Port, cost uint8) int {
+	ifi := r.nt.addPort(p, cost)
+	r.ports = append(r.ports, p)
+	p.SetReceiver(func(data []byte, ecn bool) { r.receive(ifi, data, ecn) })
+	return ifi
+}
+
+// Start launches the control plane.
+func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.nt.start()
+	r.rc.Start()
+}
+
+// SwapComputer replaces the route-computation sublayer at runtime — the
+// paper's fungibility claim for the network layer (E2). The forwarding
+// plane and neighbor sublayer are untouched; the new computer simply
+// installs its own FIB when it converges.
+func (r *Router) SwapComputer(rc RouteComputer) {
+	r.rc.Stop()
+	r.rc = rc
+	rc.Attach((*routerEnv)(r))
+	if r.started {
+		rc.Start()
+		rc.OnNeighborChange()
+	}
+}
+
+// Handle registers the upward delivery hook for a protocol — the
+// network layer's public interface (it is a layer, not a sublayer: it
+// has names and a complete service).
+func (r *Router) Handle(p Proto, fn func(*Datagram)) { r.handlers[p] = fn }
+
+// Send originates a datagram toward dst.
+func (r *Router) Send(dst Addr, proto Proto, payload []byte) error {
+	return r.SendECN(dst, proto, payload, false)
+}
+
+// SendECN originates a datagram carrying an ECN mark (used by
+// transports that echo congestion signals).
+func (r *Router) SendECN(dst Addr, proto Proto, payload []byte, ecn bool) error {
+	dg := &Datagram{Src: r.addr, Dst: dst, TTL: DefaultTTL, Proto: proto, ECN: ecn, Payload: payload}
+	r.fwd.stats.Originated++
+	if dst == r.addr {
+		r.deliverLocal(dg)
+		return nil
+	}
+	return r.transmit(dg)
+}
+
+func (r *Router) transmit(dg *Datagram) error {
+	route, ok := r.fwd.Lookup(dg.Dst)
+	if !ok || route.If < 0 {
+		r.fwd.stats.NoRoute++
+		return fmt.Errorf("network: %v has no route to %v", r.addr, dg.Dst)
+	}
+	r.ports[route.If].Send(dg.Marshal(), dg.ECN)
+	return nil
+}
+
+// Tap installs an observer invoked with every packet the router
+// receives, before demultiplexing — the hook packet tracing hangs off.
+func (r *Router) Tap(fn func(ifi int, data []byte)) { r.tap = fn }
+
+// receive demultiplexes a wire packet by class: hello to the neighbor
+// sublayer, routing to the route computer, data to the forwarder. The
+// three sublayers literally use different packets (T3).
+func (r *Router) receive(ifi int, data []byte, ecn bool) {
+	if len(data) == 0 {
+		return
+	}
+	if r.tap != nil {
+		r.tap(ifi, data)
+	}
+	switch data[0] {
+	case classHello:
+		r.nt.onHello(ifi, data)
+	case classRouting:
+		sender, body, err := unmarshalRouting(data)
+		if err != nil {
+			return
+		}
+		r.rc.OnPacket(ifi, sender, body)
+	case classData:
+		dg, err := UnmarshalDatagram(data)
+		if err != nil {
+			r.fwd.stats.Malformed++
+			return
+		}
+		dg.ECN = dg.ECN || ecn
+		r.forward(dg)
+	}
+}
+
+// forward moves a datagram toward its destination or delivers it.
+func (r *Router) forward(dg *Datagram) {
+	if dg.Dst == r.addr {
+		r.deliverLocal(dg)
+		return
+	}
+	if dg.TTL <= 1 {
+		r.fwd.stats.TTLExpired++
+		return
+	}
+	dg.TTL--
+	if err := r.transmit(dg); err != nil {
+		return // NoRoute already counted
+	}
+	r.fwd.stats.Forwarded++
+}
+
+func (r *Router) deliverLocal(dg *Datagram) {
+	r.fwd.stats.LocalDelivered++
+	if h, ok := r.handlers[dg.Proto]; ok {
+		h(dg)
+	}
+}
+
+// routerEnv adapts Router into the RoutingEnv the route computer sees,
+// keeping the computer's view narrow (T2).
+type routerEnv Router
+
+// Self implements RoutingEnv.
+func (e *routerEnv) Self() Addr { return e.addr }
+
+// Neighbors implements RoutingEnv.
+func (e *routerEnv) Neighbors() []Neighbor { return e.nt.Neighbors() }
+
+// SendRouting implements RoutingEnv.
+func (e *routerEnv) SendRouting(ifi int, body []byte) {
+	if ifi < 0 || ifi >= len(e.ports) {
+		return
+	}
+	e.ports[ifi].Send(marshalRouting(e.addr, body), false)
+}
+
+// InstallFIB implements RoutingEnv.
+func (e *routerEnv) InstallFIB(routes map[Addr]Route) { e.fwd.Install(routes) }
+
+// Sim implements RoutingEnv.
+func (e *routerEnv) Sim() *netsim.Simulator { return e.sim }
+
+// ConnectRouters wires two routers with a duplex link of the given
+// config and cost, returning the duplex for failure injection.
+func ConnectRouters(sim *netsim.Simulator, a, b *Router, cfg netsim.LinkConfig, cost uint8) *netsim.Duplex {
+	pa := NewLinkPort(nil)
+	pb := NewLinkPort(nil)
+	d := sim.NewDuplex(cfg,
+		func(pkt *netsim.Packet) { pa.Deliver(pkt) },
+		func(pkt *netsim.Packet) { pb.Deliver(pkt) },
+	)
+	pa.out = d.AB
+	pb.out = d.BA
+	a.AddPort(pa, cost)
+	b.AddPort(pb, cost)
+	return d
+}

@@ -1,0 +1,85 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// Route is one FIB entry.
+type Route struct {
+	Dst     Addr
+	NextHop Addr
+	If      int // outgoing interface index
+	Metric  int
+}
+
+// Infinity is the distance-vector unreachable metric (RIP's 16).
+const Infinity = 16
+
+// Routing-protocol identifiers, the first byte of every routing PDU
+// body. A computer ignores PDUs from a different protocol — without
+// this, a live algorithm swap (E2) lets in-flight distance vectors be
+// misparsed as link-state packets and poison the new database.
+const (
+	routingProtoDV byte = 1
+	routingProtoLS byte = 2
+)
+
+// RouteComputer is the route-computation sublayer: it consumes the
+// neighbor table below, exchanges its own control packets with peer
+// computers, and installs the forwarding database above — the narrow
+// T2 interfaces of Fig. 4. Distance vector and link state implement it
+// interchangeably; experiment E2 swaps them under a live forwarding
+// plane.
+type RouteComputer interface {
+	// Name identifies the algorithm ("distance-vector", "link-state").
+	Name() string
+	// Attach hands the computer its environment. Called once.
+	Attach(env RoutingEnv)
+	// Start begins periodic behaviour (advertisements, refresh).
+	Start()
+	// Stop cancels all timers; used when swapping algorithms.
+	Stop()
+	// OnNeighborChange reacts to adjacency changes from the sublayer
+	// below.
+	OnNeighborChange()
+	// OnPacket processes a routing control packet from a neighbor.
+	OnPacket(ifi int, sender Addr, body []byte)
+	// Routes returns the current best routes for inspection.
+	Routes() map[Addr]Route
+}
+
+// RoutingEnv is everything route computation may touch: the neighbor
+// sublayer below, its own control channel, and the FIB above.
+type RoutingEnv interface {
+	// Self is this router's address (borrowed from the layer
+	// namespace; sublayers have no names of their own).
+	Self() Addr
+	// Neighbors reads the neighbor-determination sublayer's table.
+	Neighbors() []Neighbor
+	// SendRouting transmits a routing packet on one interface.
+	SendRouting(ifi int, body []byte)
+	// InstallFIB replaces the forwarding database (T2 upward).
+	InstallFIB(routes map[Addr]Route)
+	// Sim exposes virtual time for the computer's timers.
+	Sim() *netsim.Simulator
+}
+
+// FormatRoutes renders a routing table deterministically for tests and
+// the subnet tool.
+func FormatRoutes(routes map[Addr]Route) string {
+	var dsts []Addr
+	for d := range routes {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	var b strings.Builder
+	for _, d := range dsts {
+		r := routes[d]
+		fmt.Fprintf(&b, "%v via %v if%d metric %d\n", r.Dst, r.NextHop, r.If, r.Metric)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package network
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Topology is a convenience builder for multi-router simulations used
+// by tests, benches and the subnet tool.
+type Topology struct {
+	Sim     *netsim.Simulator
+	Routers map[Addr]*Router
+	Links   map[[2]Addr]*netsim.Duplex
+	edges   []Edge
+}
+
+// Edge is one bidirectional adjacency.
+type Edge struct {
+	A, B Addr
+	Cost uint8
+}
+
+// BuildTopology constructs routers for every address appearing in
+// edges, each with a route computer from mk, links them, and starts
+// the control plane.
+func BuildTopology(sim *netsim.Simulator, edges []Edge, link netsim.LinkConfig, ncfg NeighborConfig, mk func() RouteComputer) *Topology {
+	t := &Topology{
+		Sim:     sim,
+		Routers: make(map[Addr]*Router),
+		Links:   make(map[[2]Addr]*netsim.Duplex),
+		edges:   edges,
+	}
+	for _, e := range edges {
+		for _, a := range []Addr{e.A, e.B} {
+			if t.Routers[a] == nil {
+				t.Routers[a] = NewRouter(sim, a, mk(), ncfg)
+			}
+		}
+	}
+	for _, e := range edges {
+		t.Links[[2]Addr{e.A, e.B}] = ConnectRouters(sim, t.Routers[e.A], t.Routers[e.B], link, e.Cost)
+	}
+	for _, r := range t.Routers {
+		r.Start()
+	}
+	return t
+}
+
+// CutLink takes the A–B link down (both directions).
+func (t *Topology) CutLink(a, b Addr) bool {
+	if d, ok := t.Links[[2]Addr{a, b}]; ok {
+		d.SetUp(false)
+		return true
+	}
+	if d, ok := t.Links[[2]Addr{b, a}]; ok {
+		d.SetUp(false)
+		return true
+	}
+	return false
+}
+
+// RestoreLink brings the A–B link back up.
+func (t *Topology) RestoreLink(a, b Addr) bool {
+	if d, ok := t.Links[[2]Addr{a, b}]; ok {
+		d.SetUp(true)
+		return true
+	}
+	if d, ok := t.Links[[2]Addr{b, a}]; ok {
+		d.SetUp(true)
+		return true
+	}
+	return false
+}
+
+// ReferenceDistances computes all-pairs shortest paths over the edge
+// list with Floyd–Warshall — the ground truth that both route
+// computers must converge to (experiment E2). Unreachable pairs are
+// absent from the result.
+func ReferenceDistances(edges []Edge) map[Addr]map[Addr]int {
+	nodes := make(map[Addr]bool)
+	for _, e := range edges {
+		nodes[e.A], nodes[e.B] = true, true
+	}
+	dist := make(map[Addr]map[Addr]int)
+	for a := range nodes {
+		dist[a] = map[Addr]int{a: 0}
+	}
+	for _, e := range edges {
+		c := int(e.Cost)
+		if cur, ok := dist[e.A][e.B]; !ok || c < cur {
+			dist[e.A][e.B] = c
+			dist[e.B][e.A] = c
+		}
+	}
+	for k := range nodes {
+		for i := range nodes {
+			dik, ok := dist[i][k]
+			if !ok {
+				continue
+			}
+			for j := range nodes {
+				dkj, ok := dist[k][j]
+				if !ok {
+					continue
+				}
+				if cur, ok := dist[i][j]; !ok || dik+dkj < cur {
+					dist[i][j] = dik + dkj
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// RandomConnectedGraph generates n nodes with a random spanning tree
+// plus extra random edges, unit-ish random costs — the workload of the
+// E2 sweep.
+func RandomConnectedGraph(rng *rand.Rand, n, extraEdges int, maxCost int) []Edge {
+	if maxCost < 1 {
+		maxCost = 1
+	}
+	var edges []Edge
+	seen := make(map[[2]Addr]bool)
+	add := func(a, b Addr) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]Addr{a, b}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		edges = append(edges, Edge{A: a, B: b, Cost: uint8(1 + rng.Intn(maxCost))})
+	}
+	// Random spanning tree: attach each node to a random earlier one.
+	for i := 2; i <= n; i++ {
+		add(Addr(i), Addr(1+rng.Intn(i-1)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		add(Addr(1+rng.Intn(n)), Addr(1+rng.Intn(n)))
+	}
+	return edges
+}
+
+// ConvergenceBudget estimates how long to run the simulation for the
+// control plane to converge on a graph of the given diameter: hello
+// discovery plus per-hop propagation with slack.
+func ConvergenceBudget(ncfg NeighborConfig, diameterHint int) time.Duration {
+	c := ncfg.withDefaults()
+	return c.HelloInterval*3 + time.Duration(diameterHint+2)*2*time.Second
+}

@@ -1,0 +1,282 @@
+package stuffing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitio"
+	"repro/internal/verify"
+)
+
+// RegisterLemmas populates a verify.Registry with the executable lemma
+// library for a rule — the Go analogue of the paper's 57-lemma Coq
+// development. The lemmas are organised exactly as the paper's proof
+// is: independent per-sublayer lemmas (stuffing alone, flagging alone)
+// followed by the composition theorem, "which allows us to modularly
+// reason about the distributed protocol." Run them with
+// Registry.RunAll; the count is reported by experiment E5.
+func RegisterLemmas(reg *verify.Registry, r Rule, maxLen int) {
+	rnd := func(seed int64, n int) bitio.Bits {
+		rng := rand.New(rand.NewSource(seed))
+		w := bitio.NewWriter(n)
+		for i := 0; i < n; i++ {
+			w.WriteBit(bitio.Bit(rng.Intn(2)))
+		}
+		return w.Bits()
+	}
+	forAll := func(check func(bitio.Bits) error) error {
+		if bad, err := verify.ExhaustiveBits(maxLen, check); err != nil {
+			return fmt.Errorf("counterexample %s: %w", bad, err)
+		}
+		// Long random strings past the exhaustive bound.
+		for seed := int64(1); seed <= 20; seed++ {
+			if err := check(rnd(seed, 256)); err != nil {
+				return fmt.Errorf("random counterexample (seed %d): %w", seed, err)
+			}
+		}
+		return nil
+	}
+
+	// --- stuffing-sublayer lemmas (flag never consulted) ---
+
+	reg.Add("stuffing", "unstuff-inverts-stuff", func() error {
+		return forAll(func(d bitio.Bits) error {
+			st, err := r.Stuff(d)
+			if err != nil {
+				return err
+			}
+			back, err := r.Unstuff(st)
+			if err != nil {
+				return err
+			}
+			if !back.Equal(d) {
+				return fmt.Errorf("unstuff(stuff(d)) != d")
+			}
+			return nil
+		})
+	})
+	reg.Add("stuffing", "stuff-monotone-length", func() error {
+		return forAll(func(d bitio.Bits) error {
+			st, err := r.Stuff(d)
+			if err != nil {
+				return err
+			}
+			if st.Len() < d.Len() {
+				return fmt.Errorf("stuffing shrank the data")
+			}
+			return nil
+		})
+	})
+	reg.Add("stuffing", "stuff-bounded-expansion", func() error {
+		// At most one stuffed bit per data bit: each data bit completes
+		// at most one watch occurrence (self-extending watches like
+		// "01" reach this bound; longer watches stay far below it).
+		return forAll(func(d bitio.Bits) error {
+			st, err := r.Stuff(d)
+			if err != nil {
+				return err
+			}
+			if st.Len() > 2*d.Len() {
+				return fmt.Errorf("stuffed %d bits into %d data bits", st.Len()-d.Len(), d.Len())
+			}
+			return nil
+		})
+	})
+	reg.Add("stuffing", "watch-always-escaped", func() error {
+		// In stuffed output, every Watch occurrence is followed by the
+		// stuff bit.
+		return forAll(func(d bitio.Bits) error {
+			st, err := r.Stuff(d)
+			if err != nil {
+				return err
+			}
+			m := bitio.NewMatcher(r.Watch)
+			for i := 0; i < st.Len(); i++ {
+				if m.Feed(st.At(i)) {
+					if i+1 >= st.Len() || st.At(i+1) != r.Insert {
+						return fmt.Errorf("watch at bit %d not followed by stuff bit", i)
+					}
+				}
+			}
+			return nil
+		})
+	})
+	reg.Add("stuffing", "stuff-deterministic", func() error {
+		return forAll(func(d bitio.Bits) error {
+			a, err1 := r.Stuff(d)
+			b, err2 := r.Stuff(d)
+			if err1 != nil || err2 != nil || !a.Equal(b) {
+				return fmt.Errorf("stuffing not deterministic")
+			}
+			return nil
+		})
+	})
+	reg.Add("stuffing", "idempotent-on-clean", func() error {
+		// Data with no Watch occurrence passes through unchanged.
+		return forAll(func(d bitio.Bits) error {
+			if d.Index(r.Watch, 0) >= 0 {
+				return nil
+			}
+			st, err := r.Stuff(d)
+			if err != nil {
+				return err
+			}
+			if !st.Equal(d) {
+				return fmt.Errorf("clean data was modified")
+			}
+			return nil
+		})
+	})
+
+	// --- flag-sublayer lemmas (payload treated as opaque) ---
+
+	reg.Add("flagging", "addflags-prefix-suffix", func() error {
+		return forAll(func(d bitio.Bits) error {
+			f := r.AddFlags(d)
+			if !f.HasPrefix(r.Flag) || !f.HasSuffix(r.Flag) {
+				return fmt.Errorf("flags missing")
+			}
+			if f.Len() != d.Len()+2*r.Flag.Len() {
+				return fmt.Errorf("length wrong")
+			}
+			return nil
+		})
+	})
+	reg.Add("flagging", "removeflags-inverts-addflags", func() error {
+		return forAll(func(d bitio.Bits) error {
+			back, err := r.RemoveFlags(r.AddFlags(d))
+			if err != nil {
+				return err
+			}
+			if !back.Equal(d) {
+				return fmt.Errorf("removeflags(addflags(d)) != d")
+			}
+			return nil
+		})
+	})
+	reg.Add("flagging", "rejects-missing-flags", func() error {
+		if _, err := r.RemoveFlags(bitio.MustParse("1")); err == nil {
+			return fmt.Errorf("short frame accepted")
+		}
+		return nil
+	})
+
+	// --- interface lemma: the one cross-sublayer dependency (T3's
+	// caveat: "the correctness of stuffing depends on the flag") ---
+
+	reg.Add("interface", "stuffed-payload-flag-free", func() error {
+		return forAll(func(d bitio.Bits) error {
+			st, err := r.Stuff(d)
+			if err != nil {
+				return err
+			}
+			if st.Index(r.Flag, 0) >= 0 {
+				return fmt.Errorf("flag appears inside stuffed payload")
+			}
+			return nil
+		})
+	})
+	reg.Add("interface", "no-early-end-flag", func() error {
+		// No flag occurrence ends inside stuffed-payload ++ flag before
+		// the true closing position.
+		return forAll(func(d bitio.Bits) error {
+			st, err := r.Stuff(d)
+			if err != nil {
+				return err
+			}
+			stream := st.Append(r.Flag)
+			m := bitio.NewMatcher(r.Flag)
+			for i := 0; i < stream.Len(); i++ {
+				if m.Feed(stream.At(i)) && i != stream.Len()-1 {
+					return fmt.Errorf("flag completes %d bits early", stream.Len()-1-i)
+				}
+			}
+			return nil
+		})
+	})
+
+	// --- composition theorem (the paper's main specification) ---
+
+	reg.Add("composition", "decode-inverts-encode", func() error {
+		return forAll(func(d bitio.Bits) error {
+			if !r.RoundTrip(d) {
+				return fmt.Errorf("round trip failed")
+			}
+			return nil
+		})
+	})
+	reg.Add("composition", "deframe-recovers-from-stream", func() error {
+		return forAll(func(d bitio.Bits) error {
+			if d.Len() == 0 {
+				return nil // empty frames are idle fill by convention
+			}
+			enc, err := r.Encode(d)
+			if err != nil {
+				return err
+			}
+			stream := r.Flag.Append(enc).Append(r.Flag)
+			frames, errs := r.Deframe(stream)
+			if len(frames) != 1 || errs[0] != nil || !frames[0].Equal(d) {
+				return fmt.Errorf("deframe recovered %d frames", len(frames))
+			}
+			return nil
+		})
+	})
+	reg.Add("composition", "back-to-back-frames-separate", func() error {
+		return forAll(func(d bitio.Bits) error {
+			if d.Len() == 0 {
+				return nil
+			}
+			e1, err := r.Encode(d)
+			if err != nil {
+				return err
+			}
+			e2, err := r.Encode(d)
+			if err != nil {
+				return err
+			}
+			frames, _ := r.Deframe(e1.Append(e2))
+			if len(frames) != 2 || !frames[0].Equal(d) || !frames[1].Equal(d) {
+				return fmt.Errorf("adjacent frames not separated (%d found)", len(frames))
+			}
+			return nil
+		})
+	})
+
+	// --- meta-lemmas about the decision procedure itself ---
+
+	reg.Add("meta", "validate-accepts-this-rule", func() error {
+		return r.Validate()
+	})
+	reg.Add("meta", "overhead-models-agree-on-ranking", func() error {
+		// The naive model and the exact Markov model must agree that
+		// longer watch patterns cost less.
+		a, b := HDLC(), LowOverhead()
+		naiveSays := a.NaiveOverhead() > b.NaiveOverhead()
+		markovSays := a.MarkovOverhead() > b.MarkovOverhead()
+		if naiveSays != markovSays {
+			return fmt.Errorf("models disagree on HDLC vs low-overhead ranking")
+		}
+		return nil
+	})
+	reg.Add("meta", "markov-at-most-naive", func() error {
+		// Self-overlap can only reduce the match rate below the naive
+		// per-position probability.
+		for _, rr := range []Rule{HDLC(), LowOverhead()} {
+			if rr.MarkovOverhead() > rr.NaiveOverhead()+1e-9 {
+				return fmt.Errorf("markov rate above naive for %v", rr)
+			}
+		}
+		return nil
+	})
+	reg.Add("meta", "empirical-matches-markov", func() error {
+		for _, rr := range []Rule{HDLC(), LowOverhead()} {
+			m, e := rr.MarkovOverhead(), rr.EmpiricalOverhead(1<<16, 11)
+			if math.Abs(m-e) > 0.2*m {
+				return fmt.Errorf("empirical %v far from markov %v", e, m)
+			}
+		}
+		return nil
+	})
+}

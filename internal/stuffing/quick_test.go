@@ -1,0 +1,131 @@
+package stuffing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+// validRules is a cached sample of valid rules across flag lengths,
+// used as the domain of the property tests.
+var validRules = func() []Rule {
+	rules := []Rule{HDLC(), LowOverhead()}
+	for _, fl := range []int{4, 5, 6} {
+		lib := Library(fl)
+		step := len(lib)/5 + 1
+		for i := 0; i < len(lib); i += step {
+			rules = append(rules, lib[i])
+		}
+	}
+	return rules
+}()
+
+// ruleAndData is a quick.Generator pairing a random valid rule with
+// random data bits.
+type ruleAndData struct {
+	rule Rule
+	data bitio.Bits
+}
+
+// Generate implements quick.Generator.
+func (ruleAndData) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(200)
+	w := bitio.NewWriter(n)
+	for i := 0; i < n; i++ {
+		w.WriteBit(bitio.Bit(r.Intn(2)))
+	}
+	return reflect.ValueOf(ruleAndData{
+		rule: validRules[r.Intn(len(validRules))],
+		data: w.Bits(),
+	})
+}
+
+// Property: the paper's main specification holds for every valid rule
+// on arbitrary data.
+func TestQuickRoundTripValidRules(t *testing.T) {
+	f := func(rd ruleAndData) bool { return rd.rule.RoundTrip(rd.data) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stuffed output never contains the flag, for every valid
+// rule (the interface lemma, quick-checked).
+func TestQuickStuffedFlagFree(t *testing.T) {
+	f := func(rd ruleAndData) bool {
+		st, err := rd.rule.Stuff(rd.data)
+		if err != nil {
+			return false
+		}
+		return st.Index(rd.rule.Flag, 0) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stuffing inserts at most one bit per data bit (each data
+// bit completes at most one watch occurrence; a stuff bit may set up
+// the next data bit's match but never matches by itself in a valid
+// rule).
+func TestQuickBoundedExpansion(t *testing.T) {
+	f := func(rd ruleAndData) bool {
+		st, err := rd.rule.Stuff(rd.data)
+		if err != nil {
+			return false
+		}
+		return st.Len() <= 2*rd.data.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concatenated encodings deframe to exactly their payloads,
+// in order (stream composition).
+func TestQuickStreamComposition(t *testing.T) {
+	f := func(rd ruleAndData, extra []byte) bool {
+		if rd.data.Len() == 0 {
+			return true
+		}
+		d2 := bitio.FromBytes(extra)
+		if d2.Len() == 0 {
+			d2 = bitio.MustParse("1")
+		}
+		e1, err := rd.rule.Encode(rd.data)
+		if err != nil {
+			return false
+		}
+		e2, err := rd.rule.Encode(d2)
+		if err != nil {
+			return false
+		}
+		frames, errs := rd.rule.Deframe(e1.Append(e2))
+		if len(frames) != 2 || errs[0] != nil || errs[1] != nil {
+			return false
+		}
+		return frames[0].Equal(rd.data) && frames[1].Equal(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Validate is consistent — a rule it accepts never produces
+// a round-trip failure; a rule it rejects cannot be "repaired" by this
+// implementation (Stuff/RoundTrip either errs or exposes a flag for
+// some of the quick-checked data).
+func TestQuickValidateSoundOnAccepted(t *testing.T) {
+	f := func(rd ruleAndData) bool {
+		if rd.rule.Validate() != nil {
+			return false // domain is valid rules only
+		}
+		return rd.rule.RoundTrip(rd.data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package sublayer
+
+// Descriptor captures the paper's three principles for telling a layer
+// from a sublayer. Layers maintain public interfaces the rest of the
+// system depends on, provide complete services to upper layers, and own
+// names or identifiers (IP addresses, MAC addresses, port numbers);
+// sublayers typically do none of these, operating internally within a
+// single layer and borrowing the layer's namespace.
+type Descriptor struct {
+	Name string
+	// Service is the function provided (T1).
+	Service string
+	// PublicInterface: the rest of the system depends on this module's
+	// interface directly.
+	PublicInterface bool
+	// CompleteService: the module provides a complete service to the
+	// layer above rather than a fine-grained internal one.
+	CompleteService bool
+	// OwnNamespace: the module owns identifiers (addresses, ports)
+	// rather than relying on the enclosing layer's namespace.
+	OwnNamespace bool
+}
+
+// Classification is the verdict of the paper's principles.
+type Classification int
+
+const (
+	// ClassSublayer: fine-grained module internal to a layer.
+	ClassSublayer Classification = iota
+	// ClassLayer: full layer with public interface and namespace.
+	ClassLayer
+	// ClassFunctional: not a (sub)layer at all — no peer communication,
+	// so plain functional modularity applies (the paper's buffer
+	// management example).
+	ClassFunctional
+)
+
+func (c Classification) String() string {
+	switch c {
+	case ClassSublayer:
+		return "sublayer"
+	case ClassLayer:
+		return "layer"
+	default:
+		return "functional-module"
+	}
+}
+
+// Classify applies the paper's principles: a module with no peer
+// service is functional modularity; otherwise a majority of the three
+// layer principles makes it a layer, else a sublayer.
+func (d Descriptor) Classify() Classification {
+	if d.Service == "" {
+		return ClassFunctional
+	}
+	votes := 0
+	if d.PublicInterface {
+		votes++
+	}
+	if d.CompleteService {
+		votes++
+	}
+	if d.OwnNamespace {
+		votes++
+	}
+	if votes >= 2 {
+		return ClassLayer
+	}
+	return ClassSublayer
+}

@@ -1,0 +1,136 @@
+package tcpwire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate implements quick.Generator: arbitrary-but-wellformed TCP
+// headers (WScale in range, SACK blocks bounded).
+func (TCPHeader) Generate(r *rand.Rand, size int) reflect.Value {
+	h := TCPHeader{
+		SrcPort: uint16(r.Intn(65536)),
+		DstPort: uint16(r.Intn(65536)),
+		Seq:     r.Uint32(),
+		Ack:     r.Uint32(),
+		Flags:   uint8(r.Intn(256)),
+		Window:  uint16(r.Intn(65536)),
+		WScale:  -1,
+	}
+	if r.Intn(2) == 0 {
+		h.MSS = uint16(1 + r.Intn(65535))
+	}
+	if r.Intn(3) == 0 {
+		h.WScale = int8(r.Intn(15))
+	}
+	if r.Intn(2) == 0 {
+		h.SACKPermitted = true
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		a := r.Uint32()
+		h.SACKBlocks = append(h.SACKBlocks, [2]uint32{a, a + uint32(r.Intn(10000))})
+	}
+	return reflect.ValueOf(h)
+}
+
+// Property: Marshal/Unmarshal is the identity on headers and payloads,
+// for arbitrary generated headers.
+func TestQuickTCPHeaderRoundTrip(t *testing.T) {
+	f := func(h TCPHeader, payload []byte, src, dst uint16) bool {
+		wire := h.Marshal(payload, src, dst)
+		got, gotPayload, err := UnmarshalTCP(wire, src, dst)
+		if err != nil {
+			return false
+		}
+		return headersEqual(&h, got) && bytes.Equal(payload, gotPayload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the checksum catches any single flipped bit anywhere in
+// the segment.
+func TestQuickChecksumSingleBit(t *testing.T) {
+	f := func(h TCPHeader, payload []byte, bitSeed uint16) bool {
+		wire := h.Marshal(payload, 1, 2)
+		bit := int(bitSeed) % (len(wire) * 8)
+		wire[bit/8] ^= 1 << uint(7-bit%8)
+		_, _, err := UnmarshalTCP(wire, 1, 2)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Generate implements quick.Generator for sublayered headers.
+func (SubHeader) Generate(r *rand.Rand, size int) reflect.Value {
+	h := SubHeader{
+		DM: DMSection{SrcPort: uint16(r.Intn(65536)), DstPort: uint16(r.Intn(65536))},
+		CM: CMSection{SYN: r.Intn(2) == 0, FIN: r.Intn(4) == 0, RST: r.Intn(8) == 0, ISN: r.Uint32()},
+		RD: RDSection{Seq: r.Uint32(), Ack: r.Uint32(), AckValid: r.Intn(2) == 0},
+		OSR: OSRSection{
+			Window: uint16(r.Intn(65536)), ECE: r.Intn(4) == 0, CWR: r.Intn(4) == 0,
+		},
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		a := r.Uint32()
+		h.RD.SACK = append(h.RD.SACK, [2]uint32{a, a + 1})
+	}
+	return reflect.ValueOf(h)
+}
+
+// Property: the Fig. 6 codec round-trips arbitrary headers.
+func TestQuickSubHeaderRoundTrip(t *testing.T) {
+	f := func(h SubHeader, payload []byte) bool {
+		if len(payload) > 65000 {
+			payload = payload[:65000]
+		}
+		wire := h.Marshal(payload)
+		got, gotPayload, err := UnmarshalSub(wire)
+		if err != nil {
+			return false
+		}
+		h.OSR.DataLen = uint16(len(payload)) // set by Marshal
+		return subEqual(&h, got) && bytes.Equal(payload, gotPayload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the shim isomorphism holds for arbitrary established-state
+// headers (no SYN/RST; ISN seeded first; SACK cleared, which needs
+// negotiation).
+func TestQuickShimIsomorphism(t *testing.T) {
+	f := func(h SubHeader, payload []byte) bool {
+		key := FlowKey{SrcAddr: 3, DstAddr: 4, SrcPort: h.DM.SrcPort, DstPort: h.DM.DstPort}
+		a, b := NewShim(1400), NewShim(1400)
+		syn := &SubHeader{
+			DM: h.DM,
+			CM: CMSection{SYN: true, ISN: h.CM.ISN},
+			RD: RDSection{Seq: h.CM.ISN},
+		}
+		seeded, _, err := b.Inbound(a.Outbound(syn, nil, key), key)
+		if err != nil || seeded.CM.ISN != h.CM.ISN {
+			return false
+		}
+		h.CM.SYN, h.CM.RST = false, false
+		h.RD.SACK = nil
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		got, gotPayload, err := b.Inbound(a.Outbound(&h, payload, key), key)
+		if err != nil {
+			return false
+		}
+		return subEqual(&h, got) && bytes.Equal(payload, gotPayload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

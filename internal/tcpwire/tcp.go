@@ -1,0 +1,235 @@
+// Package tcpwire implements the two transport wire formats the paper
+// compares and the shim between them:
+//
+//   - the standard RFC 793 TCP header (with MSS, window-scale,
+//     SACK-permitted and SACK options), used by the monolithic TCP and
+//     by sublayered endpoints operating behind the shim;
+//   - the paper's Fig. 6 sublayered header, in which each sublayer (DM,
+//     CM, RD, OSR) owns a disjoint section of bits;
+//   - the header isomorphism of §3.1: every field of one format maps to
+//     a field of the other, so a shim sublayer can translate packets in
+//     both directions, enabling a sublayered TCP to interoperate with a
+//     standard one (challenge 2). The ISN field is redundant after the
+//     handshake, so the RFC793→Fig6 direction is stateful: the shim
+//     remembers each connection's ISNs, learned from the SYN exchange.
+package tcpwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// TCP header flags, RFC 793 plus ECN bits (RFC 3168).
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+	FlagURG = 1 << 5
+	FlagECE = 1 << 6
+	FlagCWR = 1 << 7
+)
+
+// TCPHeader is a decoded RFC 793 header with the options this
+// implementation understands.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Urgent           uint16
+
+	// Options; zero values mean "absent".
+	MSS           uint16
+	WScale        int8 // -1 = absent
+	SACKPermitted bool
+	SACKBlocks    [][2]uint32
+}
+
+// baseHeaderLen is the option-free TCP header size.
+const baseHeaderLen = 20
+
+// Option kinds.
+const (
+	optEnd           = 0
+	optNOP           = 1
+	optMSS           = 2
+	optWScale        = 3
+	optSACKPermitted = 4
+	optSACK          = 5
+)
+
+// ErrBadChecksum reports a checksum mismatch on decode.
+var ErrBadChecksum = errors.New("tcpwire: bad checksum")
+
+// ErrTruncated reports a short or internally inconsistent packet.
+var ErrTruncated = errors.New("tcpwire: truncated segment")
+
+// Marshal encodes the header and payload, computing the checksum over
+// the pseudo-header (source and destination network addresses).
+func (h *TCPHeader) Marshal(payload []byte, srcAddr, dstAddr uint16) []byte {
+	opts := h.marshalOptions()
+	hlen := baseHeaderLen + len(opts)
+	out := make([]byte, hlen+len(payload))
+	binary.BigEndian.PutUint16(out[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(out[4:8], h.Seq)
+	binary.BigEndian.PutUint32(out[8:12], h.Ack)
+	out[12] = byte(hlen/4) << 4
+	out[13] = h.Flags
+	binary.BigEndian.PutUint16(out[14:16], h.Window)
+	// checksum at [16:18] filled below
+	binary.BigEndian.PutUint16(out[18:20], h.Urgent)
+	copy(out[baseHeaderLen:], opts)
+	copy(out[hlen:], payload)
+	ck := Checksum(out, srcAddr, dstAddr)
+	if ck == 0 {
+		ck = 0xFFFF // transmit-side zero avoidance; equivalent in ones' complement
+	}
+	binary.BigEndian.PutUint16(out[16:18], ck)
+	return out
+}
+
+func (h *TCPHeader) marshalOptions() []byte {
+	var opts []byte
+	if h.MSS != 0 {
+		opts = append(opts, optMSS, 4, byte(h.MSS>>8), byte(h.MSS))
+	}
+	if h.WScale >= 0 {
+		opts = append(opts, optWScale, 3, byte(h.WScale))
+	}
+	if h.SACKPermitted {
+		opts = append(opts, optSACKPermitted, 2)
+	}
+	if len(h.SACKBlocks) > 0 {
+		opts = append(opts, optSACK, byte(2+8*len(h.SACKBlocks)))
+		for _, b := range h.SACKBlocks {
+			var rec [8]byte
+			binary.BigEndian.PutUint32(rec[0:4], b[0])
+			binary.BigEndian.PutUint32(rec[4:8], b[1])
+			opts = append(opts, rec[:]...)
+		}
+	}
+	for len(opts)%4 != 0 {
+		opts = append(opts, optNOP)
+	}
+	return opts
+}
+
+// UnmarshalTCP decodes a segment and verifies its checksum against the
+// pseudo-header.
+func UnmarshalTCP(data []byte, srcAddr, dstAddr uint16) (*TCPHeader, []byte, error) {
+	if len(data) < baseHeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	hlen := int(data[12]>>4) * 4
+	if hlen < baseHeaderLen || hlen > len(data) {
+		return nil, nil, ErrTruncated
+	}
+	if Checksum(data, srcAddr, dstAddr) != 0 {
+		return nil, nil, ErrBadChecksum
+	}
+	h := &TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(data[0:2]),
+		DstPort: binary.BigEndian.Uint16(data[2:4]),
+		Seq:     binary.BigEndian.Uint32(data[4:8]),
+		Ack:     binary.BigEndian.Uint32(data[8:12]),
+		Flags:   data[13],
+		Window:  binary.BigEndian.Uint16(data[14:16]),
+		Urgent:  binary.BigEndian.Uint16(data[18:20]),
+		WScale:  -1,
+	}
+	if err := h.parseOptions(data[baseHeaderLen:hlen]); err != nil {
+		return nil, nil, err
+	}
+	return h, data[hlen:], nil
+}
+
+func (h *TCPHeader) parseOptions(opts []byte) error {
+	for i := 0; i < len(opts); {
+		switch opts[i] {
+		case optEnd:
+			return nil
+		case optNOP:
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return fmt.Errorf("%w: option kind %d without length", ErrTruncated, opts[i])
+			}
+			l := int(opts[i+1])
+			if l < 2 || i+l > len(opts) {
+				return fmt.Errorf("%w: option kind %d length %d", ErrTruncated, opts[i], l)
+			}
+			body := opts[i+2 : i+l]
+			switch opts[i] {
+			case optMSS:
+				if len(body) == 2 {
+					h.MSS = binary.BigEndian.Uint16(body)
+				}
+			case optWScale:
+				if len(body) == 1 {
+					h.WScale = int8(body[0])
+				}
+			case optSACKPermitted:
+				h.SACKPermitted = true
+			case optSACK:
+				for at := 0; at+8 <= len(body); at += 8 {
+					h.SACKBlocks = append(h.SACKBlocks, [2]uint32{
+						binary.BigEndian.Uint32(body[at : at+4]),
+						binary.BigEndian.Uint32(body[at+4 : at+8]),
+					})
+				}
+			}
+			i += l
+		}
+	}
+	return nil
+}
+
+// Checksum computes the RFC 793 ones'-complement checksum over the
+// segment plus a pseudo-header built from the 16-bit simulator
+// addresses. Computing it over a segment whose checksum field is
+// filled yields zero for an intact segment.
+func Checksum(segment []byte, srcAddr, dstAddr uint16) uint16 {
+	var sum uint32
+	sum += uint32(srcAddr)
+	sum += uint32(dstAddr)
+	sum += uint32(len(segment))
+	sum += 6 // protocol number, for tradition
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// FlagString renders flags for traces ("SYN|ACK").
+func FlagString(f uint8) string {
+	names := []struct {
+		bit  uint8
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRST, "RST"},
+		{FlagPSH, "PSH"}, {FlagURG, "URG"}, {FlagECE, "ECE"}, {FlagCWR, "CWR"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}

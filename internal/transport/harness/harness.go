@@ -1,0 +1,347 @@
+// Package harness adapts the two TCP implementations — sublayered
+// (internal/transport/sublayered, optionally behind the §3.1 shim) and
+// monolithic (internal/transport/monolithic) — behind one endpoint
+// interface, so the interop matrix (E4), the performance comparison
+// (E7) and the examples can drive either implementation with the same
+// code.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/transport/monolithic"
+	"repro/internal/transport/sublayered"
+	"repro/internal/verify"
+)
+
+// Endpoint is the byte-stream surface both TCPs expose.
+type Endpoint interface {
+	// Write queues bytes, returning how many were accepted.
+	Write(p []byte) int
+	// ReadAll drains everything received in order.
+	ReadAll() []byte
+	// EOF reports the peer finished and everything was read.
+	EOF() bool
+	// Close ends the outgoing stream.
+	Close()
+	// State names the connection state.
+	State() string
+	// Callbacks registers the application's event hooks.
+	Callbacks(onConnected, onReadable, onWritable func(), onClosed func(error))
+}
+
+// Transport creates endpoints on one host.
+type Transport interface {
+	// Name identifies the implementation ("sublayered", "monolithic",
+	// "sublayered+shim").
+	Name() string
+	// Listen binds a port; onAccept fires per inbound connection.
+	Listen(port uint16, onAccept func(Endpoint)) error
+	// Dial opens a connection.
+	Dial(dst network.Addr, port uint16) (Endpoint, error)
+}
+
+// --- sublayered adapter ---
+
+type subEndpoint struct{ c *sublayered.Conn }
+
+func (e subEndpoint) Write(p []byte) int { return e.c.Write(p) }
+func (e subEndpoint) ReadAll() []byte    { return e.c.ReadAll() }
+func (e subEndpoint) EOF() bool          { return e.c.EOF() }
+func (e subEndpoint) Close()             { e.c.Close() }
+func (e subEndpoint) State() string      { return e.c.State() }
+func (e subEndpoint) Callbacks(onC, onR, onW func(), onX func(error)) {
+	e.c.OnConnected, e.c.OnReadable, e.c.OnWritable, e.c.OnClosed = onC, onR, onW, onX
+}
+
+// CrossingStats exposes the sublayer boundary counters (E9).
+func (e subEndpoint) CrossingStats() sublayered.Crossings { return e.c.CrossingStats() }
+
+// Conn unwraps the concrete sublayered connection.
+func (e subEndpoint) Conn() *sublayered.Conn { return e.c }
+
+// SubConnAccess is implemented by sublayered endpoints; callers that
+// need sublayer-level stats type-assert to it.
+type SubConnAccess interface{ Conn() *sublayered.Conn }
+
+// MonoConnAccess is implemented by monolithic endpoints.
+type MonoConnAccess interface{ PCB() *monolithic.PCB }
+
+// Sublayered wraps a sublayered stack as a Transport.
+type Sublayered struct {
+	Stack *sublayered.Stack
+	label string
+}
+
+// NewSublayered attaches a sublayered transport to a router.
+func NewSublayered(sim *netsim.Simulator, r *network.Router, cfg sublayered.Config) *Sublayered {
+	label := "sublayered"
+	if cfg.UseShim {
+		label = "sublayered+shim"
+	}
+	return &Sublayered{Stack: sublayered.NewStack(sim, r, cfg), label: label}
+}
+
+// Name implements Transport.
+func (t *Sublayered) Name() string { return t.label }
+
+// Listen implements Transport.
+func (t *Sublayered) Listen(port uint16, onAccept func(Endpoint)) error {
+	l, err := t.Stack.Listen(port)
+	if err != nil {
+		return err
+	}
+	l.OnAccept = func(c *sublayered.Conn) { onAccept(subEndpoint{c}) }
+	return nil
+}
+
+// Dial implements Transport.
+func (t *Sublayered) Dial(dst network.Addr, port uint16) (Endpoint, error) {
+	c, err := t.Stack.Dial(dst, port)
+	if err != nil {
+		return nil, err
+	}
+	return subEndpoint{c}, nil
+}
+
+// --- monolithic adapter ---
+
+type monoEndpoint struct{ p *monolithic.PCB }
+
+func (e monoEndpoint) Write(p []byte) int { return e.p.Write(p) }
+func (e monoEndpoint) ReadAll() []byte    { return e.p.ReadAll() }
+func (e monoEndpoint) EOF() bool          { return e.p.EOF() }
+func (e monoEndpoint) Close()             { e.p.Close() }
+func (e monoEndpoint) State() string      { return e.p.State() }
+func (e monoEndpoint) Callbacks(onC, onR, onW func(), onX func(error)) {
+	e.p.OnConnected, e.p.OnReadable, e.p.OnWritable, e.p.OnClosed = onC, onR, onW, onX
+}
+
+// PCB unwraps the concrete monolithic connection.
+func (e monoEndpoint) PCB() *monolithic.PCB { return e.p }
+
+// Monolithic wraps a monolithic stack as a Transport.
+type Monolithic struct {
+	Stack *monolithic.Stack
+}
+
+// NewMonolithic attaches a monolithic transport to a router.
+func NewMonolithic(sim *netsim.Simulator, r *network.Router, cfg monolithic.Config) *Monolithic {
+	return &Monolithic{Stack: monolithic.NewStack(sim, r, cfg)}
+}
+
+// Name implements Transport.
+func (t *Monolithic) Name() string { return "monolithic" }
+
+// Listen implements Transport.
+func (t *Monolithic) Listen(port uint16, onAccept func(Endpoint)) error {
+	l, err := t.Stack.Listen(port)
+	if err != nil {
+		return err
+	}
+	l.OnAccept = func(p *monolithic.PCB) { onAccept(monoEndpoint{p}) }
+	return nil
+}
+
+// Dial implements Transport.
+func (t *Monolithic) Dial(dst network.Addr, port uint16) (Endpoint, error) {
+	p, err := t.Stack.Dial(dst, port)
+	if err != nil {
+		return nil, err
+	}
+	return monoEndpoint{p}, nil
+}
+
+// --- world construction ---
+
+// Kind selects a transport implementation for BuildWorld.
+type Kind int
+
+// Transport kinds.
+const (
+	// KindSublayeredNative uses the Fig. 6 wire format.
+	KindSublayeredNative Kind = iota
+	// KindSublayeredShim uses RFC 793 wire format through the shim.
+	KindSublayeredShim
+	// KindMonolithic is the lwIP-style baseline.
+	KindMonolithic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSublayeredNative:
+		return "sublayered"
+	case KindSublayeredShim:
+		return "sublayered+shim"
+	default:
+		return "monolithic"
+	}
+}
+
+// World is a simulated network with one transport per end host.
+type World struct {
+	Sim    *netsim.Simulator
+	Topo   *network.Topology
+	Client Transport
+	Server Transport
+}
+
+// WorldConfig tunes BuildWorld.
+type WorldConfig struct {
+	Seed    int64
+	Link    netsim.LinkConfig
+	Hops    int // routers on the path, ≥ 2 (the two hosts); default 4
+	Client  Kind
+	Server  Kind
+	Tracker *verify.Tracker // attached to both transports (E6)
+	SubCfg  sublayered.Config
+	MonoCfg monolithic.Config
+}
+
+// BuildWorld constructs a line topology 1–…–N with transports on the
+// end hosts and runs the control plane to convergence.
+func BuildWorld(cfg WorldConfig) *World {
+	if cfg.Hops < 2 {
+		cfg.Hops = 4
+	}
+	sim := netsim.NewSimulator(cfg.Seed)
+	var edges []network.Edge
+	for i := 1; i < cfg.Hops; i++ {
+		edges = append(edges, network.Edge{A: network.Addr(i), B: network.Addr(i + 1), Cost: 1})
+	}
+	topo := network.BuildTopology(sim, edges, cfg.Link,
+		network.NeighborConfig{HelloInterval: 200 * time.Millisecond},
+		func() network.RouteComputer {
+			return network.NewDistanceVector(network.DVConfig{AdvertiseInterval: 500 * time.Millisecond})
+		})
+	w := &World{Sim: sim, Topo: topo}
+	w.Client = buildTransport(cfg.Client, sim, topo.Routers[1], cfg)
+	w.Server = buildTransport(cfg.Server, sim, topo.Routers[network.Addr(cfg.Hops)], cfg)
+	sim.RunFor(5 * time.Second)
+	return w
+}
+
+func buildTransport(k Kind, sim *netsim.Simulator, r *network.Router, cfg WorldConfig) Transport {
+	switch k {
+	case KindMonolithic:
+		mc := cfg.MonoCfg
+		mc.Tracker = cfg.Tracker
+		return NewMonolithic(sim, r, mc)
+	case KindSublayeredShim:
+		sc := cfg.SubCfg
+		sc.UseShim = true
+		sc.Tracker = cfg.Tracker
+		return NewSublayered(sim, r, sc)
+	default:
+		sc := cfg.SubCfg
+		sc.Tracker = cfg.Tracker
+		return NewSublayered(sim, r, sc)
+	}
+}
+
+// ServerAddr returns the far end host's address.
+func (w *World) ServerAddr() network.Addr {
+	var maxAddr network.Addr
+	for a := range w.Topo.Routers {
+		if a > maxAddr {
+			maxAddr = a
+		}
+	}
+	return maxAddr
+}
+
+// TransferResult is what RunTransfer observed.
+type TransferResult struct {
+	ServerGot, ClientGot []byte
+	ServerEOF, ClientEOF bool
+	ClientErr, ServerErr error
+	ClientConn           Endpoint
+	ServerConn           Endpoint
+	Elapsed              time.Duration // virtual time from dial to both EOFs
+}
+
+// RunTransfer sends c2s from client to server and s2c back, closing
+// each direction after its data, and runs the simulation for at most
+// budget of virtual time.
+func RunTransfer(w *World, c2s, s2c []byte, budget time.Duration) (*TransferResult, error) {
+	res := &TransferResult{}
+	start := w.Sim.Now()
+	var done [2]bool
+	var finish [2]netsim.Time
+	markDone := func(i int) {
+		if !done[i] {
+			done[i] = true
+			finish[i] = w.Sim.Now()
+		}
+	}
+	if err := w.Server.Listen(80, func(sc Endpoint) {
+		res.ServerConn = sc
+		toSend := s2c
+		push := func() {
+			for len(toSend) > 0 {
+				n := sc.Write(toSend)
+				if n == 0 {
+					break
+				}
+				toSend = toSend[n:]
+			}
+			if len(toSend) == 0 {
+				sc.Close()
+			}
+		}
+		sc.Callbacks(push, func() {
+			res.ServerGot = append(res.ServerGot, sc.ReadAll()...)
+			if sc.EOF() {
+				res.ServerEOF = true
+				markDone(0)
+			}
+		}, push, func(err error) { res.ServerErr = err })
+	}); err != nil {
+		return nil, err
+	}
+	cc, err := w.Client.Dial(w.ServerAddr(), 80)
+	if err != nil {
+		return nil, err
+	}
+	res.ClientConn = cc
+	toSend := c2s
+	push := func() {
+		for len(toSend) > 0 {
+			n := cc.Write(toSend)
+			if n == 0 {
+				break
+			}
+			toSend = toSend[n:]
+		}
+		if len(toSend) == 0 {
+			cc.Close()
+		}
+	}
+	cc.Callbacks(push, func() {
+		res.ClientGot = append(res.ClientGot, cc.ReadAll()...)
+		if cc.EOF() {
+			res.ClientEOF = true
+			markDone(1)
+		}
+	}, push, func(err error) { res.ClientErr = err })
+
+	w.Sim.RunFor(budget)
+	end := finish[0]
+	if finish[1] > end {
+		end = finish[1]
+	}
+	if end > start {
+		res.Elapsed = time.Duration(end - start)
+	} else {
+		res.Elapsed = time.Duration(w.Sim.Now() - start)
+	}
+	return res, nil
+}
+
+// Describe renders a world for reports.
+func (w *World) Describe() string {
+	return fmt.Sprintf("client=%s server=%s hops=%d", w.Client.Name(), w.Server.Name(), len(w.Topo.Routers))
+}

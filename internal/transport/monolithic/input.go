@@ -1,0 +1,311 @@
+package monolithic
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+)
+
+// tcpInput is the entry point from the network layer: checksum, demux,
+// passive-open, stray handling — the outer shell of lwIP's tcp_input().
+func (s *Stack) tcpInput(dg *network.Datagram) {
+	s.track("tcp_input")
+	s.stats.SegmentsIn++
+	h, payload, err := tcpwire.UnmarshalTCP(dg.Payload, uint16(dg.Src), uint16(dg.Dst))
+	if err != nil {
+		s.stats.ChecksumErrors++
+		return
+	}
+	id := connID{remoteAddr: dg.Src, remotePort: h.SrcPort, localPort: h.DstPort}
+	if p, ok := s.pcbs[id]; ok {
+		s.tcpProcess(p, h, payload)
+		return
+	}
+	// Passive open?
+	if h.Flags&tcpwire.FlagSYN != 0 && h.Flags&tcpwire.FlagACK == 0 {
+		if l, ok := s.listeners[h.DstPort]; ok {
+			p := s.newPCB(id)
+			s.pcbs[id] = p
+			p.state = stSynRcvd
+			p.irs = seg.Seq(h.Seq)
+			p.rcvNxt = p.irs.Add(1)
+			p.iss = seg.Seq(uint32(int64(s.sim.Now())/4000) ^ uint32(id.remotePort))
+			p.sndUna = p.iss
+			p.sndNxt = p.iss.Add(1)
+			p.sndWnd = int(h.Window)
+			s.tw("pcb.state", "pcb.irs", "pcb.rcv_nxt", "pcb.iss", "pcb.snd_una", "pcb.snd_nxt", "pcb.snd_wnd")
+			l.accepted = append(l.accepted, p)
+			if l.OnAccept != nil {
+				l.OnAccept(p)
+			}
+			p.sendFlags(tcpwire.FlagSYN|tcpwire.FlagACK, p.iss, p.rcvNxt)
+			p.armRexmit()
+			return
+		}
+	}
+	// Stray segment: answer with RST (unless it is itself a RST).
+	if h.Flags&tcpwire.FlagRST == 0 {
+		s.stats.RSTsSent++
+		rst := &tcpwire.TCPHeader{
+			SrcPort: h.DstPort, DstPort: h.SrcPort,
+			Seq: h.Ack, Ack: h.Seq + uint32(len(payload)),
+			Flags: tcpwire.FlagRST | tcpwire.FlagACK, WScale: -1,
+		}
+		wire := rst.Marshal(nil, uint16(s.router.Addr()), uint16(dg.Src))
+		s.stats.SegmentsOut++
+		_ = s.router.Send(dg.Src, network.ProtoTCP, wire)
+	}
+}
+
+// tcpProcess runs the connection state machine — the middle of lwIP's
+// input path. Handshake states are handled here; established-family
+// states fall through to tcpReceive.
+func (s *Stack) tcpProcess(p *PCB, h *tcpwire.TCPHeader, payload []byte) {
+	s.track("tcp_process")
+	if h.Flags&tcpwire.FlagRST != 0 {
+		// A reset in a terminal state means the peer already tore its
+		// end down after a completed exchange; treat it as a close.
+		if p.state == stLastAck || p.state == stClosing || p.state == stTimeWait {
+			p.kill(nil)
+		} else {
+			p.kill(ErrReset)
+		}
+		return
+	}
+	switch p.state {
+	case stSynSent:
+		s.tr("pcb.state")
+		if h.Flags&tcpwire.FlagSYN != 0 && h.Flags&tcpwire.FlagACK != 0 &&
+			seg.Seq(h.Ack) == p.iss.Add(1) {
+			p.irs = seg.Seq(h.Seq)
+			p.rcvNxt = p.irs.Add(1)
+			p.sndUna = seg.Seq(h.Ack)
+			p.sndWnd = int(h.Window)
+			p.state = stEstablished
+			s.tw("pcb.irs", "pcb.rcv_nxt", "pcb.snd_una", "pcb.snd_wnd", "pcb.state")
+			p.stopRexmit()
+			p.sendAck()
+			if p.OnConnected != nil {
+				p.OnConnected()
+			}
+			p.tcpOutput()
+		}
+		return
+	case stSynRcvd:
+		if h.Flags&tcpwire.FlagSYN != 0 && h.Flags&tcpwire.FlagACK == 0 {
+			// Duplicate SYN: our SYN-ACK was lost.
+			p.sendFlags(tcpwire.FlagSYN|tcpwire.FlagACK, p.iss, p.rcvNxt)
+			return
+		}
+		if h.Flags&tcpwire.FlagACK != 0 && seg.Seq(h.Ack) == p.iss.Add(1) {
+			p.state = stEstablished
+			s.tw("pcb.state")
+			p.stopRexmit()
+			if p.OnConnected != nil {
+				p.OnConnected()
+			}
+			// Fall through: the completing segment may carry data.
+			s.tcpReceive(p, h, payload)
+			p.tcpOutput()
+		}
+		return
+	case stClosed, stListen:
+		return
+	}
+	// ESTABLISHED and the closing family.
+	if h.Flags&tcpwire.FlagSYN != 0 {
+		// Peer retransmitted SYN-ACK: our completing ACK was lost.
+		p.sendAck()
+		return
+	}
+	s.tcpReceive(p, h, payload)
+	if !p.dead {
+		p.tcpOutput()
+	}
+	p.checkInvariants(s.cfg.Contracts)
+}
+
+// tcpReceive handles acknowledgements, window updates, data and FIN for
+// synchronized states — lwIP's tcp_receive(), the function the paper's
+// Dafny exercise had to break apart. Note how many PCB fields one pass
+// touches.
+func (s *Stack) tcpReceive(p *PCB, h *tcpwire.TCPHeader, payload []byte) {
+	s.track("tcp_receive")
+	// --- acknowledgement processing ---
+	if h.Flags&tcpwire.FlagACK != 0 {
+		ack := seg.Seq(h.Ack)
+		s.tr("pcb.snd_una", "pcb.snd_nxt")
+		switch {
+		case p.sndUna.Less(ack) && ack.Leq(p.sndNxt):
+			newly := ack.Diff(p.sndUna)
+			p.sndUna = ack
+			p.dupAcks = 0
+			p.nrexmit = 0
+			s.tw("pcb.snd_una", "pcb.dup_acks")
+			// Our FIN consumes one sequence number, not a stream byte.
+			if p.finSent && p.finSeq.Less(ack) {
+				newly--
+				if !p.finAcked {
+					p.finAcked = true
+					s.tw("pcb.fin_acked")
+					p.finAckedTransition()
+					if p.dead {
+						return
+					}
+				}
+			}
+			if newly > 0 {
+				// Release the send buffer and grow cwnd — reliability
+				// and congestion control mutating shared state in the
+				// same block.
+				acked := p.ackedOffset()
+				p.sndBuf.Release(acked)
+				if p.nextSend < acked {
+					p.nextSend = acked
+				}
+				if p.cwnd < p.ssthresh {
+					p.cwnd += newly // slow start
+				} else {
+					p.cwnd += maxi(s.cfg.MSS*newly/p.cwnd, 1) // cong. avoidance
+				}
+				s.tw("pcb.snd_buf", "pcb.next_send", "pcb.cwnd")
+				if p.OnWritable != nil {
+					p.OnWritable()
+				}
+			}
+			if p.timing && p.timedEnd.Leq(ack) {
+				p.rtt.Sample(timeSince(s, p.timedAt))
+				p.timing = false
+				s.tw("pcb.rto")
+			}
+			p.armRexmit()
+		case ack == p.sndUna && p.inflight() > 0 && len(payload) == 0:
+			p.dupAcks++
+			s.tw("pcb.dup_acks")
+			if p.dupAcks == 3 {
+				// Fast retransmit: halve cwnd, roll back, resend one.
+				s.stats.FastRetransmits++
+				p.ssthresh = maxi(p.inflight()/2, 2*s.cfg.MSS)
+				p.cwnd = p.ssthresh
+				s.tw("pcb.ssthresh", "pcb.cwnd")
+				p.rollbackAndRetransmit()
+			}
+		}
+		p.sndWnd = int(h.Window)
+		s.tw("pcb.snd_wnd")
+	}
+
+	// --- data processing ---
+	if len(payload) > 0 {
+		off, ok := p.rcvOffset(seg.Seq(h.Seq))
+		if ok {
+			out := p.reasm.Insert(off, payload)
+			s.tw("pcb.reasm", "pcb.rcv_nxt")
+			if len(out) > 0 {
+				p.readBuf = append(p.readBuf, out...)
+				if p.OnReadable != nil {
+					p.OnReadable()
+				}
+			}
+		}
+		p.syncRcvNxt()
+		p.sendAck()
+	}
+
+	// --- FIN processing ---
+	if h.Flags&tcpwire.FlagFIN != 0 {
+		if !p.rcvdFin {
+			p.rcvdFin = true
+			fo, _ := p.rcvOffset(seg.Seq(h.Seq))
+			p.finOffset = fo + uint64(len(payload))
+			s.tw("pcb.rcvd_fin", "pcb.fin_offset")
+		}
+		p.syncRcvNxt()
+		p.sendAck()
+	}
+	p.checkEOF()
+}
+
+// finAckedTransition moves the FSM when our FIN is acknowledged.
+func (p *PCB) finAckedTransition() {
+	switch p.state {
+	case stFinWait1:
+		p.state = stFinWait2
+	case stClosing:
+		p.enterTimeWait()
+	case stLastAck:
+		p.state = stClosed
+		p.kill(nil)
+	}
+}
+
+// syncRcvNxt recomputes rcv_nxt from the reassembly point, covering the
+// peer's FIN when the stream is complete — reliable delivery and
+// connection teardown reading each other's state.
+func (p *PCB) syncRcvNxt() {
+	n := p.irs.Add(1).Add(int(uint32(p.reasm.Next())))
+	if p.rcvdFin && p.reasm.Next() >= p.finOffset {
+		n = n.Add(1)
+	}
+	p.rcvNxt = n
+}
+
+// checkEOF delivers end-of-stream to the application and runs the FIN
+// state transition. Both happen only once the peer's stream is
+// complete: a FIN arriving ahead of data holes is recorded but, as in
+// RFC 793, processed in sequence — closing early would let this end
+// vanish while the peer still needs acknowledgements.
+func (p *PCB) checkEOF() {
+	if p.rcvdFin && !p.eof && p.reasm.Next() >= p.finOffset {
+		p.eof = true
+		switch p.state {
+		case stEstablished:
+			p.state = stCloseWait
+		case stFinWait1:
+			p.state = stClosing
+		case stFinWait2:
+			p.enterTimeWait()
+		}
+		p.stack.tw("pcb.state")
+		if p.OnReadable != nil {
+			p.OnReadable()
+		}
+	}
+}
+
+// rcvOffset maps a sequence number to a receive-stream offset.
+func (p *PCB) rcvOffset(sq seg.Seq) (uint64, bool) {
+	base := p.reasm.Next()
+	baseSeq := p.irs.Add(1).Add(int(uint32(base)))
+	d := int64(sq.Diff(baseSeq))
+	o := int64(base) + d
+	if o < 0 {
+		return 0, false
+	}
+	return uint64(o), true
+}
+
+// ackedOffset is snd_una as a stream offset.
+func (p *PCB) ackedOffset() uint64 {
+	d := p.sndUna.Diff(p.iss.Add(1))
+	if d < 0 {
+		return 0
+	}
+	off := uint64(d)
+	if p.finSent && p.finSeq.Less(p.sndUna) {
+		off--
+	}
+	return off
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func timeSince(s *Stack, at netsim.Time) time.Duration { return time.Duration(s.sim.Now() - at) }

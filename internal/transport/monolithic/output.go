@@ -1,0 +1,310 @@
+package monolithic
+
+import (
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+)
+
+// Write queues application bytes; returns how many were accepted.
+func (p *PCB) Write(b []byte) int {
+	p.stack.track("app_write")
+	if p.dead || p.closed {
+		return 0
+	}
+	n := p.sndBuf.Write(b)
+	p.stack.tw("pcb.snd_buf")
+	p.tcpOutput()
+	p.checkInvariants(p.stack.cfg.Contracts)
+	return n
+}
+
+// Read drains up to len(b) in-order bytes; open=false once the peer's
+// stream has ended and everything was read.
+func (p *PCB) Read(b []byte) (n int, open bool) {
+	n = copy(b, p.readBuf)
+	p.readBuf = p.readBuf[n:]
+	if len(p.readBuf) == 0 && p.eof {
+		return n, false
+	}
+	return n, true
+}
+
+// ReadAll drains everything pending.
+func (p *PCB) ReadAll() []byte {
+	out := p.readBuf
+	p.readBuf = nil
+	return out
+}
+
+// EOF reports end of the peer's stream, fully drained.
+func (p *PCB) EOF() bool { return p.eof && len(p.readBuf) == 0 }
+
+// Close ends the outgoing stream; the FIN goes out after queued data.
+func (p *PCB) Close() {
+	p.stack.track("app_close")
+	if p.dead || p.closed {
+		return
+	}
+	p.closed = true
+	p.stack.tw("pcb.closed")
+	p.tcpOutput()
+}
+
+// Abort sends a RST and kills the PCB.
+func (p *PCB) Abort() {
+	if p.dead {
+		return
+	}
+	p.sendFlags(tcpwire.FlagRST|tcpwire.FlagACK, p.sndNxt, p.rcvNxt)
+	p.kill(ErrReset)
+}
+
+// tcpOutput transmits whatever the windows allow: data segments, then
+// the FIN once everything is out — lwIP's tcp_output(). Congestion,
+// flow control and teardown state all gate one loop.
+func (p *PCB) tcpOutput() {
+	s := p.stack
+	s.track("tcp_output")
+	if p.dead || p.state != stEstablished && p.state != stCloseWait &&
+		p.state != stFinWait1 && p.state != stClosing && p.state != stLastAck {
+		return
+	}
+	s.tr("pcb.cwnd", "pcb.snd_wnd", "pcb.next_send", "pcb.snd_buf")
+	for {
+		acked := p.ackedOffset()
+		inflight := int(p.nextSend - acked)
+		wnd := p.cwnd
+		if p.sndWnd < wnd {
+			wnd = p.sndWnd
+		}
+		room := wnd - inflight
+		avail := p.sndBuf.End() - p.nextSend
+		if avail == 0 {
+			break
+		}
+		if room <= 0 {
+			p.armPersist()
+			break
+		}
+		n := s.cfg.MSS
+		if uint64(n) > avail {
+			n = int(avail)
+		}
+		if n > room {
+			n = room
+		}
+		data := p.sndBuf.Slice(p.nextSend, n)
+		sq := p.iss.Add(1).Add(int(uint32(p.nextSend)))
+		p.nextSend += uint64(n)
+		s.tw("pcb.next_send")
+		if sq.Add(n).Leq(p.sndNxt) {
+			s.stats.Retransmits++
+		} else {
+			p.sndNxt = sq.Add(n)
+			s.tw("pcb.snd_nxt")
+			if !p.timing {
+				p.timing = true
+				p.timedEnd = sq.Add(n)
+				p.timedAt = s.sim.Now()
+			}
+		}
+		p.sendSegment(tcpwire.FlagACK, sq, p.rcvNxt, data)
+		p.armRexmit()
+	}
+	// FIN once all data is out.
+	if p.closed && !p.finSent && p.nextSend == p.sndBuf.End() {
+		p.finSent = true
+		p.finSeq = p.iss.Add(1).Add(int(uint32(p.nextSend)))
+		p.sndNxt = p.finSeq.Add(1)
+		s.tw("pcb.fin_sent", "pcb.fin_seq", "pcb.snd_nxt", "pcb.state")
+		switch p.state {
+		case stEstablished:
+			p.state = stFinWait1
+		case stCloseWait:
+			p.state = stLastAck
+		}
+		p.sendFlags(tcpwire.FlagFIN|tcpwire.FlagACK, p.finSeq, p.rcvNxt)
+		p.armRexmit()
+	}
+}
+
+// rollbackAndRetransmit implements go-back-N recovery: rewind the send
+// pointer to the first unacknowledged byte and let tcpOutput resend.
+func (p *PCB) rollbackAndRetransmit() {
+	p.stack.track("tcp_rexmit")
+	p.nextSend = p.ackedOffset()
+	p.stack.tw("pcb.next_send")
+	// A FIN awaiting ack must be retransmitted too.
+	if p.finSent && !p.finAcked && p.nextSend == p.sndBuf.End() {
+		p.sendFlags(tcpwire.FlagFIN|tcpwire.FlagACK, p.finSeq, p.rcvNxt)
+		p.armRexmit()
+		return
+	}
+	p.tcpOutput()
+}
+
+// onRexmitTimer is the retransmission timeout — lwIP's slow timer path.
+func (p *PCB) onRexmitTimer() {
+	s := p.stack
+	s.track("tcp_rexmit")
+	if p.dead {
+		return
+	}
+	switch p.state {
+	case stSynSent:
+		p.retryOrDie(func() { p.sendFlags(tcpwire.FlagSYN, p.iss, 0) })
+		return
+	case stSynRcvd:
+		p.retryOrDie(func() { p.sendFlags(tcpwire.FlagSYN|tcpwire.FlagACK, p.iss, p.rcvNxt) })
+		return
+	}
+	if p.inflight() == 0 && !(p.finSent && !p.finAcked) {
+		return
+	}
+	s.stats.Timeouts++
+	p.nrexmit++
+	if p.nrexmit > s.cfg.MaxRexmit {
+		p.kill(ErrTimeout)
+		return
+	}
+	p.rtt.Backoff()
+	p.timing = false // Karn
+	p.ssthresh = maxi(p.inflight()/2, 2*s.cfg.MSS)
+	p.cwnd = s.cfg.MSS
+	s.tw("pcb.ssthresh", "pcb.cwnd", "pcb.rto")
+	p.rollbackAndRetransmit()
+}
+
+func (p *PCB) retryOrDie(resend func()) {
+	p.nrexmit++
+	if p.nrexmit > p.stack.cfg.MaxRexmit {
+		p.kill(ErrTimeout)
+		return
+	}
+	p.rtt.Backoff()
+	resend()
+	p.armRexmit()
+}
+
+// inflight returns unacknowledged payload bytes.
+func (p *PCB) inflight() int {
+	return int(p.nextSend - p.ackedOffset())
+}
+
+// armRexmit (re)arms the retransmission timer when something is
+// outstanding.
+func (p *PCB) armRexmit() {
+	if p.rexmit != nil {
+		p.rexmit.Stop()
+		p.rexmit = nil
+	}
+	if p.state == stSynSent || p.state == stSynRcvd ||
+		p.inflight() > 0 || p.finSent && !p.finAcked {
+		p.rexmit = p.stack.sim.Schedule(p.rtt.RTO(), p.onRexmitTimer)
+	}
+}
+
+func (p *PCB) stopRexmit() {
+	if p.rexmit != nil {
+		p.rexmit.Stop()
+		p.rexmit = nil
+	}
+	p.nrexmit = 0
+}
+
+// armPersist probes a zero window so a lost window update cannot
+// deadlock the connection.
+func (p *PCB) armPersist() {
+	if p.sndWnd > 0 || p.inflight() > 0 {
+		return
+	}
+	p.stack.sim.Schedule(500*time.Millisecond, func() {
+		if p.dead || p.sndWnd > 0 {
+			p.tcpOutput()
+			return
+		}
+		if p.sndBuf.End() > p.nextSend {
+			data := p.sndBuf.Slice(p.nextSend, 1)
+			sq := p.iss.Add(1).Add(int(uint32(p.nextSend)))
+			p.nextSend++
+			if p.sndNxt.Less(sq.Add(1)) {
+				p.sndNxt = sq.Add(1)
+			}
+			p.sendSegment(tcpwire.FlagACK, sq, p.rcvNxt, data)
+			p.armRexmit()
+		}
+		p.armPersist()
+	})
+}
+
+// enterTimeWait starts the 2MSL timer.
+func (p *PCB) enterTimeWait() {
+	p.state = stTimeWait
+	p.stack.sim.Schedule(p.stack.cfg.TimeWait, func() {
+		if p.state == stTimeWait {
+			p.state = stClosed
+			p.kill(nil)
+		}
+	})
+}
+
+// sendAck emits a bare acknowledgement.
+func (p *PCB) sendAck() {
+	p.sendFlags(tcpwire.FlagACK, p.sndNxt, p.rcvNxt)
+}
+
+// sendFlags emits a payload-free segment.
+func (p *PCB) sendFlags(flags uint8, sq, ack seg.Seq) {
+	p.sendSegment(flags, sq, ack, nil)
+}
+
+// sendSegment marshals and transmits one RFC 793 segment.
+func (p *PCB) sendSegment(flags uint8, sq, ack seg.Seq, payload []byte) {
+	s := p.stack
+	h := &tcpwire.TCPHeader{
+		SrcPort: p.id.localPort,
+		DstPort: p.id.remotePort,
+		Seq:     uint32(sq),
+		Flags:   flags,
+		Window:  p.advertisedWindow(),
+		WScale:  -1,
+	}
+	if flags&tcpwire.FlagACK != 0 {
+		h.Ack = uint32(ack)
+	}
+	if flags&tcpwire.FlagSYN != 0 {
+		h.MSS = uint16(s.cfg.MSS)
+	}
+	wire := h.Marshal(payload, uint16(s.router.Addr()), uint16(p.id.remoteAddr))
+	s.stats.SegmentsOut++
+	_ = s.router.Send(p.id.remoteAddr, network.ProtoTCP, wire)
+}
+
+// advertisedWindow is free receive buffer minus unread bytes.
+func (p *PCB) advertisedWindow() uint16 {
+	free := p.reasm.Free() - len(p.readBuf)
+	if free < 0 {
+		free = 0
+	}
+	if free > 65535 {
+		free = 65535
+	}
+	return uint16(free)
+}
+
+// kill tears the PCB down.
+func (p *PCB) kill(err error) {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	p.err = err
+	p.stopRexmit()
+	delete(p.stack.pcbs, p.id)
+	if p.OnClosed != nil {
+		p.OnClosed(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package monolithic is the baseline TCP the paper's §4.2 studies: a
+// single protocol control block whose fields are shared and mutated by
+// every handler, structured after lwIP (which in turn follows the BSD
+// code of TCP/IP Illustrated vol. 2): tcpInput demultiplexes and
+// checks, tcpProcess runs the connection FSM, tcpReceive handles acks
+// and data, tcpOutput transmits, and the retransmission timer cuts
+// across all of it.
+//
+// The implementation is deliberately NOT sublayered — sequence numbers,
+// windows and congestion state live side by side in the PCB and every
+// function reads and writes several of them. That entanglement is the
+// point: experiment E6 instruments both this package and
+// internal/transport/sublayered with the same tracker and measures the
+// difference the paper conjectures (shared variables, O(N²) handler
+// interaction pairs). On the wire it speaks standard RFC 793 segments,
+// so it interoperates with the sublayered TCP behind its shim (E4).
+package monolithic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+	"repro/internal/verify"
+)
+
+// tcpState is the RFC 793 state machine.
+type tcpState int
+
+// Connection states.
+const (
+	stClosed tcpState = iota
+	stListen
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stFinWait1
+	stFinWait2
+	stCloseWait
+	stClosing
+	stLastAck
+	stTimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK", "TIME_WAIT",
+}
+
+func (s tcpState) String() string { return stateNames[s] }
+
+// ErrReset reports a connection killed by a peer RST.
+var ErrReset = errors.New("monolithic: connection reset by peer")
+
+// ErrTimeout reports retransmission exhaustion.
+var ErrTimeout = errors.New("monolithic: connection timed out")
+
+// Config tunes the stack.
+type Config struct {
+	// MSS is the maximum segment payload (default 1000).
+	MSS int
+	// SendBuf / RecvBuf are per-connection buffer sizes (default 64 KiB).
+	SendBuf, RecvBuf int
+	// MaxRexmit bounds consecutive retransmissions (default 12).
+	MaxRexmit int
+	// TimeWait is the 2MSL quiet period (default 10s).
+	TimeWait time.Duration
+	// Tracker, if set, records per-handler state access (E6).
+	Tracker *verify.Tracker
+	// Contracts, if set, evaluates the PCB's (entangled, whole-block)
+	// invariants after each processed segment.
+	Contracts *verify.Checker
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = 1000
+	}
+	if c.SendBuf <= 0 {
+		c.SendBuf = 64 * 1024
+	}
+	if c.RecvBuf <= 0 {
+		c.RecvBuf = 64 * 1024
+	}
+	if c.MaxRexmit <= 0 {
+		c.MaxRexmit = 12
+	}
+	if c.TimeWait <= 0 {
+		c.TimeWait = 10 * time.Second
+	}
+	return c
+}
+
+type connID struct {
+	remoteAddr network.Addr
+	remotePort uint16
+	localPort  uint16
+}
+
+// Stats counts stack-wide events.
+type Stats struct {
+	SegmentsIn      uint64
+	SegmentsOut     uint64
+	ChecksumErrors  uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	RSTsSent        uint64
+}
+
+// Stack is one host's monolithic TCP.
+type Stack struct {
+	sim       *netsim.Simulator
+	router    *network.Router
+	cfg       Config
+	pcbs      map[connID]*PCB
+	listeners map[uint16]*Listener
+	nextPort  uint16
+	stats     Stats
+}
+
+// Listener accepts passive opens.
+type Listener struct {
+	port     uint16
+	OnAccept func(*PCB)
+	accepted []*PCB
+}
+
+// Accepted returns connections created so far.
+func (l *Listener) Accepted() []*PCB { return l.accepted }
+
+// NewStack attaches a monolithic TCP to a router (claims ProtoTCP).
+func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack {
+	s := &Stack{
+		sim:       sim,
+		router:    router,
+		cfg:       cfg.withDefaults(),
+		pcbs:      make(map[connID]*PCB),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  49152,
+	}
+	router.Handle(network.ProtoTCP, s.tcpInput)
+	return s
+}
+
+// Stats returns a snapshot of stack counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// Addr returns the host's network address.
+func (s *Stack) Addr() network.Addr { return s.router.Addr() }
+
+// PCB is the protocol control block: every field of the connection in
+// one shared structure, exactly the layout §2.3 describes as
+// "encapsulated into a memory-efficient layout" whose unrestricted
+// sharing makes reasoning hard.
+type PCB struct {
+	stack *Stack
+	id    connID
+	state tcpState
+
+	// Sequence space.
+	iss, irs       seg.Seq
+	sndUna, sndNxt seg.Seq
+	rcvNxt         seg.Seq
+
+	// Windows — reliability, flow control and congestion control all
+	// read and write these (the paper's "entangled state" example).
+	sndWnd   int // peer's advertised window
+	cwnd     int
+	ssthresh int
+	dupAcks  int
+
+	// Buffers.
+	sndBuf   *seg.SendBuffer
+	nextSend uint64 // stream offset of the next byte to (re)transmit
+	reasm    *seg.Reassembly
+	readBuf  []byte
+
+	// Retransmission.
+	rtt      *seg.RTTEstimator
+	rexmit   *netsim.Timer
+	nrexmit  int
+	timing   bool
+	timedEnd seg.Seq
+	timedAt  netsim.Time
+
+	// Teardown.
+	closed    bool // application closed the write side
+	finSent   bool
+	finSeq    seg.Seq
+	finAcked  bool
+	rcvdFin   bool
+	finOffset uint64 // peer FIN's position as a stream offset
+	eof       bool
+	dead      bool
+	err       error
+
+	// Application callbacks.
+	OnConnected func()
+	OnReadable  func()
+	OnWritable  func()
+	OnClosed    func(error)
+}
+
+// State reports the FSM state name.
+func (p *PCB) State() string { return p.state.String() }
+
+// Err returns the terminal error, if the PCB died.
+func (p *PCB) Err() error { return p.err }
+
+// LocalPort returns the local port.
+func (p *PCB) LocalPort() uint16 { return p.id.localPort }
+
+// RemotePort returns the remote port.
+func (p *PCB) RemotePort() uint16 { return p.id.remotePort }
+
+func (s *Stack) track(h string) {
+	if s.cfg.Tracker != nil {
+		s.cfg.Tracker.Enter(h)
+	}
+}
+
+func (s *Stack) tw(vars ...string) {
+	if s.cfg.Tracker != nil {
+		for _, v := range vars {
+			s.cfg.Tracker.Write(v)
+		}
+	}
+}
+
+func (s *Stack) tr(vars ...string) {
+	if s.cfg.Tracker != nil {
+		for _, v := range vars {
+			s.cfg.Tracker.Read(v)
+		}
+	}
+}
+
+// Listen binds a port.
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	if _, busy := s.listeners[port]; busy {
+		return nil, fmt.Errorf("monolithic: port %d already bound", port)
+	}
+	l := &Listener{port: port}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Dial opens a connection.
+func (s *Stack) Dial(dst network.Addr, dstPort uint16) (*PCB, error) {
+	local := s.allocPort()
+	if local == 0 {
+		return nil, fmt.Errorf("monolithic: no free ports")
+	}
+	p := s.newPCB(connID{remoteAddr: dst, remotePort: dstPort, localPort: local})
+	s.pcbs[p.id] = p
+	p.state = stSynSent
+	p.iss = seg.Seq(uint32(int64(s.sim.Now())/4000) ^ uint32(local)<<16)
+	p.sndUna = p.iss
+	p.sndNxt = p.iss.Add(1)
+	p.sendFlags(tcpwire.FlagSYN, p.iss, 0)
+	p.armRexmit()
+	return p, nil
+}
+
+func (s *Stack) allocPort() uint16 {
+	for i := 0; i < 1<<14; i++ {
+		port := s.nextPort
+		s.nextPort++
+		if s.nextPort == 0 {
+			s.nextPort = 49152
+		}
+		busy := false
+		for id := range s.pcbs {
+			if id.localPort == port {
+				busy = true
+				break
+			}
+		}
+		if _, lb := s.listeners[port]; !busy && !lb {
+			return port
+		}
+	}
+	return 0
+}
+
+func (s *Stack) newPCB(id connID) *PCB {
+	return &PCB{
+		stack:    s,
+		id:       id,
+		state:    stClosed,
+		cwnd:     2 * s.cfg.MSS,
+		ssthresh: 64 * 1024,
+		sndWnd:   s.cfg.MSS,
+		sndBuf:   seg.NewSendBuffer(s.cfg.SendBuf),
+		reasm:    seg.NewReassembly(s.cfg.RecvBuf),
+		rtt:      seg.NewRTTEstimator(time.Second, 200*time.Millisecond, 60*time.Second),
+	}
+}

@@ -1,0 +1,196 @@
+package seg
+
+import (
+	"sort"
+)
+
+// SendBuffer holds the outgoing byte stream between the application
+// and the transport. Bytes are addressed by absolute stream offset
+// (byte 0 is the first byte ever written); acknowledged bytes are
+// released from the front.
+type SendBuffer struct {
+	data  []byte
+	base  uint64 // stream offset of data[0]
+	limit int    // capacity in bytes
+}
+
+// NewSendBuffer returns a buffer holding at most limit unacknowledged
+// bytes.
+func NewSendBuffer(limit int) *SendBuffer {
+	if limit <= 0 {
+		limit = 64 * 1024
+	}
+	return &SendBuffer{limit: limit}
+}
+
+// Write appends as much of p as fits and returns the count accepted.
+func (b *SendBuffer) Write(p []byte) int {
+	room := b.limit - len(b.data)
+	if room <= 0 {
+		return 0
+	}
+	if room > len(p) {
+		room = len(p)
+	}
+	b.data = append(b.data, p[:room]...)
+	return room
+}
+
+// Len returns the bytes currently buffered (unreleased).
+func (b *SendBuffer) Len() int { return len(b.data) }
+
+// End returns the stream offset one past the last buffered byte.
+func (b *SendBuffer) End() uint64 { return b.base + uint64(len(b.data)) }
+
+// Base returns the stream offset of the first unreleased byte.
+func (b *SendBuffer) Base() uint64 { return b.base }
+
+// Slice copies out stream bytes [off, off+n), clipped to what exists.
+func (b *SendBuffer) Slice(off uint64, n int) []byte {
+	if off < b.base {
+		panic("seg: SendBuffer.Slice before base (already released)")
+	}
+	start := int(off - b.base)
+	if start >= len(b.data) {
+		return nil
+	}
+	end := start + n
+	if end > len(b.data) {
+		end = len(b.data)
+	}
+	out := make([]byte, end-start)
+	copy(out, b.data[start:end])
+	return out
+}
+
+// Release discards bytes below stream offset upTo (they are
+// acknowledged end to end).
+func (b *SendBuffer) Release(upTo uint64) {
+	if upTo <= b.base {
+		return
+	}
+	n := upTo - b.base
+	if n > uint64(len(b.data)) {
+		n = uint64(len(b.data))
+	}
+	b.data = append(b.data[:0:0], b.data[n:]...)
+	b.base += n
+}
+
+// Free returns how many more bytes Write would accept.
+func (b *SendBuffer) Free() int { return b.limit - len(b.data) }
+
+// Reassembly buffers out-of-order stream bytes on the receive side and
+// yields the contiguous prefix. Segments are addressed by absolute
+// stream offset.
+type Reassembly struct {
+	next     uint64 // next offset the application expects
+	segments map[uint64][]byte
+	buffered int
+	limit    int
+}
+
+// NewReassembly returns a reassembly buffer with the given capacity in
+// buffered out-of-order bytes.
+func NewReassembly(limit int) *Reassembly {
+	if limit <= 0 {
+		limit = 64 * 1024
+	}
+	return &Reassembly{segments: make(map[uint64][]byte), limit: limit}
+}
+
+// Next returns the next in-order stream offset expected.
+func (r *Reassembly) Next() uint64 { return r.next }
+
+// Buffered returns the count of out-of-order bytes held.
+func (r *Reassembly) Buffered() int { return r.buffered }
+
+// Free returns remaining buffer capacity — the basis of the advertised
+// receive window.
+func (r *Reassembly) Free() int {
+	f := r.limit - r.buffered
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Insert adds a segment at the given offset. Overlaps with already
+// consumed or duplicate data are trimmed. It returns any newly
+// contiguous bytes, ready for the application, which are consumed from
+// the buffer.
+func (r *Reassembly) Insert(off uint64, data []byte) []byte {
+	// Trim the part below next (already delivered).
+	if off < r.next {
+		skip := r.next - off
+		if skip >= uint64(len(data)) {
+			return r.pop()
+		}
+		data = data[skip:]
+		off = r.next
+	}
+	if len(data) == 0 {
+		return r.pop()
+	}
+	// Store unless an existing segment at this offset is at least as
+	// long (common duplicate case). Overlapping staggered segments are
+	// handled by trimming at pop time.
+	if old, ok := r.segments[off]; !ok || len(old) < len(data) {
+		if ok {
+			r.buffered -= len(old)
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		r.segments[off] = cp
+		r.buffered += len(cp)
+	}
+	return r.pop()
+}
+
+// pop drains the contiguous prefix starting at next.
+func (r *Reassembly) pop() []byte {
+	var out []byte
+	for {
+		// Find the segment covering r.next. Offsets are sparse; scan
+		// keys (segment counts stay small in practice because pop
+		// drains aggressively).
+		var bestOff uint64
+		found := false
+		for off := range r.segments {
+			if off <= r.next && r.next < off+uint64(len(r.segments[off])) {
+				bestOff = off
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		seg := r.segments[bestOff]
+		delete(r.segments, bestOff)
+		r.buffered -= len(seg)
+		skip := r.next - bestOff
+		out = append(out, seg[skip:]...)
+		r.next += uint64(len(seg)) - skip
+	}
+	// Opportunistically drop segments fully below next (stale overlaps).
+	for off, seg := range r.segments {
+		if off+uint64(len(seg)) <= r.next {
+			delete(r.segments, off)
+			r.buffered -= len(seg)
+		}
+	}
+	return out
+}
+
+// Holes reports the offsets of buffered out-of-order segments, sorted
+// — the receiver-side knowledge that RD summarizes for OSR ("RD passes
+// hints to OSR", §3.1).
+func (r *Reassembly) Holes() []uint64 {
+	var out []uint64
+	for off := range r.segments {
+		out = append(out, off)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,145 @@
+package seg
+
+import "sort"
+
+// RangeSet tracks which absolute stream offsets have been received —
+// the receiver-side RD state used for duplicate suppression, the
+// cumulative acknowledgement point, and SACK block generation. Ranges
+// are half-open [from, to) and kept coalesced.
+type RangeSet struct {
+	ranges [][2]uint64 // sorted, disjoint, non-adjacent
+}
+
+// Add marks [from, to) received. It reports whether any byte in the
+// range was new.
+func (s *RangeSet) Add(from, to uint64) bool {
+	if from >= to {
+		return false
+	}
+	newBytes := false
+	out := s.ranges[:0:0]
+	inserted := false
+	cur := [2]uint64{from, to}
+	for _, r := range s.ranges {
+		switch {
+		case r[1] < cur[0]:
+			out = append(out, r)
+		case cur[1] < r[0]:
+			if !inserted {
+				out = append(out, cur)
+				inserted = true
+			}
+			out = append(out, r)
+		default:
+			// Overlap or adjacency: merge into cur.
+			if cur[0] < r[0] || cur[1] > r[1] {
+				newBytes = true
+			}
+			if r[0] < cur[0] {
+				cur[0] = r[0]
+			}
+			if r[1] > cur[1] {
+				cur[1] = r[1]
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, cur)
+	}
+	// Detect whether cur introduced anything when no ranges overlapped.
+	if len(s.ranges) == 0 {
+		newBytes = true
+	} else if !newBytes {
+		// cur may be entirely fresh (fit between ranges).
+		covered := false
+		for _, r := range s.ranges {
+			if r[0] <= from && to <= r[1] {
+				covered = true
+				break
+			}
+		}
+		newBytes = !covered
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	s.ranges = coalesce(out)
+	return newBytes
+}
+
+func coalesce(rs [][2]uint64) [][2]uint64 {
+	if len(rs) == 0 {
+		return rs
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r[0] <= last[1] {
+			if r[1] > last[1] {
+				last[1] = r[1]
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Contains reports whether every byte of [from, to) is present.
+func (s *RangeSet) Contains(from, to uint64) bool {
+	for _, r := range s.ranges {
+		if r[0] <= from && to <= r[1] {
+			return true
+		}
+	}
+	return from >= to
+}
+
+// ContiguousFrom returns the end of the range containing base, or base
+// itself if absent — the cumulative acknowledgement point.
+func (s *RangeSet) ContiguousFrom(base uint64) uint64 {
+	for _, r := range s.ranges {
+		if r[0] <= base && base < r[1] {
+			return r[1]
+		}
+	}
+	return base
+}
+
+// BlocksAbove returns up to max ranges strictly above cum, most
+// recently useful first (here: ascending; callers reorder if needed) —
+// SACK block material.
+func (s *RangeSet) BlocksAbove(cum uint64, max int) [][2]uint64 {
+	if max <= 0 {
+		return nil
+	}
+	var out [][2]uint64
+	for _, r := range s.ranges {
+		if r[1] <= cum {
+			continue
+		}
+		from := r[0]
+		if from < cum {
+			continue // the cumulative range itself
+		}
+		out = append(out, [2]uint64{from, r[1]})
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// Ranges returns a copy of the coalesced ranges.
+func (s *RangeSet) Ranges() [][2]uint64 {
+	out := make([][2]uint64, len(s.ranges))
+	copy(out, s.ranges)
+	return out
+}
+
+// Len returns the total number of bytes covered.
+func (s *RangeSet) Len() uint64 {
+	var n uint64
+	for _, r := range s.ranges {
+		n += r[1] - r[0]
+	}
+	return n
+}

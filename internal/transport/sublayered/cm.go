@@ -1,0 +1,429 @@
+package sublayered
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+)
+
+// CMState is the connection-management finite state machine (RFC 793
+// state names).
+type CMState int
+
+// Connection states.
+const (
+	StateClosed CMState = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var cmStateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK", "TIME_WAIT",
+}
+
+func (s CMState) String() string {
+	if int(s) < len(cmStateNames) {
+		return cmStateNames[s]
+	}
+	return fmt.Sprintf("CMState(%d)", int(s))
+}
+
+// cmView is the slice of an arriving segment that connection
+// management is entitled to see: its own section's flags and ISN, plus
+// the segment coordinates needed to place SYN/FIN in sequence space
+// (the narrow T2 interface; CM never sees payload bytes).
+type cmView struct {
+	syn, fin, rst bool
+	isn           seg.Seq
+	seqNum        seg.Seq
+	payloadLen    int
+	ackValid      bool
+	ack           seg.Seq
+}
+
+// ConnManager is the connection-management sublayer contract. Its
+// service (T1) is establishing "a pair of Initial Sequence Numbers"
+// and tearing the connection down; SYN and FIN get CM's own bootstrap
+// reliability (retransmission and timeout, no windows — §3.1).
+// Implementations are swappable (E8): the three-way handshake with
+// pluggable ISN generators, or the Watson-style timer scheme.
+type ConnManager interface {
+	// Name identifies the scheme.
+	Name() string
+	// attach wires the manager to its connection. Called once.
+	attach(c *Conn)
+	// open starts the connection; active opens send, passive opens
+	// await the peer (firstSegment carries the packet that created a
+	// passive connection, nil for active).
+	open(active bool, firstSegment *cmView)
+	// onSegment processes CM's view of an arriving segment and reports
+	// whether the segment should also be processed by RD.
+	onSegment(v cmView) (deliverToRD bool)
+	// closeWrite is the application's close; CM emits the FIN once OSR
+	// reports the stream drained.
+	closeWrite()
+	// streamFinished is OSR's note that all bytes up to end have been
+	// handed to RD; CM may now place its FIN at end.
+	streamFinished(end uint64)
+	// peerStreamComplete is OSR's note that the peer's stream has been
+	// fully reassembled up to its FIN; CM runs the close transition
+	// (the FIN is processed in sequence, as in RFC 793).
+	peerStreamComplete()
+	// localFinSeq returns the sequence number of our FIN, or 0 if no
+	// FIN has been sent (RD uses it to exclude the FIN from byte
+	// counts).
+	localFinSeq() seg.Seq
+	// state reports the FSM state.
+	state() CMState
+	// section fills CM's bits of an ordinary outgoing segment.
+	section() tcpwire.CMSection
+	// stop cancels timers when the connection dies.
+	stop()
+}
+
+// ErrReset reports a connection killed by a peer RST.
+var ErrReset = errors.New("sublayered: connection reset by peer")
+
+// ErrTimeout reports a handshake or FIN that exhausted retries.
+var ErrTimeout = errors.New("sublayered: connection timed out")
+
+// HandshakeCM is classical three-way-handshake connection management
+// with a pluggable ISN generator.
+type HandshakeCM struct {
+	gen ISNGenerator
+	cfg CMConfig
+
+	conn     *Conn
+	st       CMState
+	isn      seg.Seq
+	peerISN  seg.Seq
+	havePeer bool
+
+	// Bootstrap reliability for SYN / SYN-ACK / FIN.
+	rexmit   *netsim.Timer
+	attempts int
+
+	finSeq    seg.Seq
+	finQueued bool
+	finSent   bool
+	finAcked  bool
+	// end of our stream in bytes, valid once OSR reports drained.
+	streamEnd uint64
+
+	remoteFinSeen bool
+
+	stats CMStats
+}
+
+// CMConfig tunes connection management.
+type CMConfig struct {
+	// RexmitInterval is the initial SYN/FIN retransmit timer (default
+	// 500ms, doubling).
+	RexmitInterval time.Duration
+	// MaxAttempts bounds handshake/FIN retries (default 8).
+	MaxAttempts int
+	// TimeWait is the 2MSL quiet period (default 10s of virtual time).
+	TimeWait time.Duration
+}
+
+// CMStats counts connection-management events.
+type CMStats struct {
+	SynSent, SynRetransmits uint64
+	FinSent, FinRetransmits uint64
+	Resets                  uint64
+}
+
+func (c CMConfig) withDefaults() CMConfig {
+	if c.RexmitInterval <= 0 {
+		c.RexmitInterval = 500 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.TimeWait <= 0 {
+		c.TimeWait = 10 * time.Second
+	}
+	return c
+}
+
+// NewHandshakeCM returns three-way-handshake connection management
+// using gen for initial sequence numbers.
+func NewHandshakeCM(gen ISNGenerator, cfg CMConfig) *HandshakeCM {
+	return &HandshakeCM{gen: gen, cfg: cfg.withDefaults(), st: StateClosed}
+}
+
+// Name implements ConnManager.
+func (m *HandshakeCM) Name() string { return "handshake(" + m.gen.Name() + ")" }
+
+// Stats returns a snapshot of the CM counters.
+func (m *HandshakeCM) Stats() CMStats { return m.stats }
+
+func (m *HandshakeCM) attach(c *Conn) { m.conn = c }
+
+func (m *HandshakeCM) state() CMState { return m.st }
+
+func (m *HandshakeCM) localFinSeq() seg.Seq {
+	if !m.finSent {
+		return 0
+	}
+	return m.finSeq
+}
+
+func (m *HandshakeCM) setState(s CMState) {
+	m.conn.stack.trackWrite("cm.state")
+	m.st = s
+}
+
+// open implements ConnManager.
+func (m *HandshakeCM) open(active bool, first *cmView) {
+	m.conn.stack.track("cm.open")
+	m.isn = seg.Seq(m.gen.ISN(m.conn.key, m.conn.now()))
+	m.conn.stack.trackWrite("cm.isn")
+	if active {
+		m.setState(StateSynSent)
+		m.sendSYN()
+		return
+	}
+	// Passive: created by DM on an arriving segment; the handshake
+	// scheme only accepts SYNs.
+	if first == nil || !first.syn {
+		m.cancelRexmit()
+		m.setState(StateClosed)
+		m.conn.destroy(fmt.Errorf("sublayered: passive open without SYN"))
+		return
+	}
+	m.peerISN = first.isn
+	m.havePeer = true
+	m.conn.stack.trackWrite("cm.peerISN")
+	m.setState(StateSynRcvd)
+	m.sendSYNACK()
+}
+
+// sendSYN emits the active-open SYN with bootstrap retransmission.
+func (m *HandshakeCM) sendSYN() {
+	m.stats.SynSent++
+	m.conn.xmitCM(tcpwire.CMSection{SYN: true, ISN: uint32(m.isn)},
+		m.isn, 0, false)
+	m.armRexmit(func() {
+		m.stats.SynRetransmits++
+		m.sendSYN()
+	})
+}
+
+func (m *HandshakeCM) sendSYNACK() {
+	m.stats.SynSent++
+	m.conn.xmitCM(tcpwire.CMSection{SYN: true, ISN: uint32(m.isn)},
+		m.isn, m.peerISN.Add(1), true)
+	m.armRexmit(func() {
+		m.stats.SynRetransmits++
+		m.sendSYNACK()
+	})
+}
+
+func (m *HandshakeCM) sendFIN() {
+	m.stats.FinSent++
+	m.conn.xmitCM(tcpwire.CMSection{FIN: true, ISN: uint32(m.isn)},
+		m.finSeq, 0, false) // ack fields filled by RD via xmitCM
+	m.armRexmit(func() {
+		m.stats.FinRetransmits++
+		m.sendFIN()
+	})
+}
+
+// armRexmit (re)arms the bootstrap retransmission timer with
+// exponential backoff; exceeding MaxAttempts kills the connection.
+func (m *HandshakeCM) armRexmit(resend func()) {
+	if m.rexmit != nil {
+		m.rexmit.Stop()
+	}
+	m.attempts++
+	if m.attempts > m.cfg.MaxAttempts {
+		m.fail(ErrTimeout)
+		return
+	}
+	backoff := m.cfg.RexmitInterval * time.Duration(1<<uint(minInt(m.attempts-1, 6)))
+	m.rexmit = m.conn.schedule(backoff, resend)
+}
+
+func (m *HandshakeCM) cancelRexmit() {
+	if m.rexmit != nil {
+		m.rexmit.Stop()
+		m.rexmit = nil
+	}
+	m.attempts = 0
+}
+
+// onSegment implements ConnManager — the CM half of segment arrival.
+func (m *HandshakeCM) onSegment(v cmView) bool {
+	m.conn.stack.track("cm.onSegment")
+	if v.rst {
+		m.stats.Resets++
+		// A reset in a terminal state follows a completed exchange;
+		// treat it as a close.
+		if m.st == StateLastAck || m.st == StateClosing || m.st == StateTimeWait {
+			m.cancelRexmit()
+			m.setState(StateClosed)
+			m.conn.destroy(nil)
+		} else {
+			m.fail(ErrReset)
+		}
+		return false
+	}
+	switch m.st {
+	case StateSynSent:
+		if v.syn && v.ackValid && v.ack == m.isn.Add(1) {
+			m.peerISN = v.isn
+			m.havePeer = true
+			m.conn.stack.trackWrite("cm.peerISN")
+			m.cancelRexmit()
+			m.establish()
+			// The handshake-completing ACK.
+			m.conn.rd.AckNow()
+		}
+		return false
+	case StateSynRcvd:
+		if v.syn && !v.ackValid {
+			// Duplicate SYN: our SYN-ACK was lost.
+			m.sendSYNACK()
+			return false
+		}
+		if v.ackValid && v.ack == m.isn.Add(1) {
+			m.cancelRexmit()
+			m.establish()
+			return true // the segment may carry data
+		}
+		return false
+	case StateClosed, StateListen:
+		return false
+	}
+
+	// Established and closing states.
+	deliver := true
+	if v.syn {
+		// Peer retransmitted its SYN-ACK: our ACK was lost.
+		m.conn.rd.AckNow()
+		deliver = false
+	}
+	if v.fin && !m.remoteFinSeen {
+		m.remoteFinSeen = true
+		finSeq := v.seqNum.Add(v.payloadLen)
+		m.conn.rd.SetRemoteFin(finSeq)
+		m.conn.osr.setStreamEnd(m.conn.rd.rcvOffset(finSeq))
+		// The state transition happens when the peer's stream is
+		// complete (peerStreamComplete), not on FIN arrival: the FIN
+		// may precede retransmissions that fill holes.
+		m.conn.rd.AckNow()
+	} else if v.fin {
+		// Retransmitted FIN: our ack was lost.
+		m.conn.rd.AckNow()
+	}
+	if m.finSent && !m.finAcked && v.ackValid && m.finSeq.Less(v.ack) {
+		m.finAcked = true
+		m.cancelRexmit()
+		switch m.st {
+		case StateFinWait1:
+			m.setState(StateFinWait2)
+		case StateClosing:
+			m.enterTimeWait()
+		case StateLastAck:
+			m.setState(StateClosed)
+			m.conn.destroy(nil)
+		}
+	}
+	return deliver
+}
+
+// peerStreamComplete implements ConnManager.
+func (m *HandshakeCM) peerStreamComplete() {
+	m.conn.stack.track("cm.peerStreamComplete")
+	switch m.st {
+	case StateEstablished:
+		m.setState(StateCloseWait)
+	case StateFinWait1:
+		m.setState(StateClosing)
+	case StateFinWait2:
+		m.enterTimeWait()
+	}
+}
+
+func (m *HandshakeCM) establish() {
+	m.setState(StateEstablished)
+	m.conn.rd.Established(m.isn, m.peerISN)
+	m.conn.onEstablished()
+}
+
+// closeWrite implements ConnManager.
+func (m *HandshakeCM) closeWrite() {
+	m.conn.stack.track("cm.closeWrite")
+	m.conn.osr.closeWrite()
+}
+
+// streamFinished implements ConnManager: all data up to end has been
+// handed to RD; place the FIN after it.
+func (m *HandshakeCM) streamFinished(end uint64) {
+	m.conn.stack.track("cm.streamFinished")
+	if m.finQueued {
+		return
+	}
+	m.finQueued = true
+	m.streamEnd = end
+	m.finSeq = m.isn.Add(1).Add(int(uint32(end)))
+	m.finSent = true
+	m.conn.stack.trackWrite("cm.finSeq")
+	switch m.st {
+	case StateEstablished:
+		m.setState(StateFinWait1)
+	case StateCloseWait:
+		m.setState(StateLastAck)
+	}
+	m.attempts = 0
+	m.sendFIN()
+}
+
+func (m *HandshakeCM) enterTimeWait() {
+	m.setState(StateTimeWait)
+	m.conn.schedule(m.cfg.TimeWait, func() {
+		if m.st == StateTimeWait {
+			m.setState(StateClosed)
+			m.conn.destroy(nil)
+		}
+	})
+}
+
+// section implements ConnManager: CM's bits on ordinary segments are
+// just the (static) ISN.
+func (m *HandshakeCM) section() tcpwire.CMSection {
+	return tcpwire.CMSection{ISN: uint32(m.isn)}
+}
+
+func (m *HandshakeCM) fail(err error) {
+	m.cancelRexmit()
+	m.setState(StateClosed)
+	m.conn.destroy(err)
+}
+
+func (m *HandshakeCM) stop() {
+	if m.rexmit != nil {
+		m.rexmit.Stop()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

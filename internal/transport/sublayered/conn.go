@@ -1,0 +1,271 @@
+package sublayered
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+)
+
+// Conn is one sublayered TCP connection: the composition of the four
+// §3 sublayers, each owning disjoint state, wired together by exactly
+// the narrow interfaces the paper draws in Fig. 5. Conn itself holds
+// no protocol state — it is the wiring harness plus the application
+// byte-stream API.
+type Conn struct {
+	stack *Stack
+	key   tcpwire.FlowKey
+	id    connID
+
+	cm  ConnManager
+	rd  *RD
+	osr *OSR
+
+	readBuf []byte
+	eof     bool
+	dead    bool
+	err     error
+
+	// crossings counts traffic over each inter-sublayer boundary —
+	// the raw material of the E9 hardware-offload analysis: a
+	// partition at a boundary turns these into bus transactions.
+	crossings Crossings
+
+	// Application callbacks, all optional, invoked from the event loop.
+	OnConnected func()
+	OnReadable  func()
+	OnWritable  func()
+	OnClosed    func(err error)
+}
+
+// LocalPort returns the connection's local port.
+func (c *Conn) LocalPort() uint16 { return c.key.SrcPort }
+
+// RemotePort returns the connection's remote port.
+func (c *Conn) RemotePort() uint16 { return c.key.DstPort }
+
+// State reports the connection-management state ("ESTABLISHED", ...).
+func (c *Conn) State() string { return c.cm.state().String() }
+
+// Err returns the terminal error, if the connection died.
+func (c *Conn) Err() error { return c.err }
+
+// RD exposes the reliable-delivery sublayer for stats and tests.
+func (c *Conn) RD() *RD { return c.rd }
+
+// OSR exposes the ordering/segmenting/rate sublayer for stats and
+// tests.
+func (c *Conn) OSR() *OSR { return c.osr }
+
+// CM exposes the connection-management sublayer for stats and tests.
+func (c *Conn) CM() ConnManager { return c.cm }
+
+// Crossings counts events and bytes over each inter-sublayer boundary.
+type Crossings struct {
+	AppToOSR   uint64 // Write calls
+	AppBytes   uint64
+	OSRToRD    uint64 // segments handed down as "ready"
+	OSRBytes   uint64
+	RDToOSRAck uint64 // onAcked notifications
+	RDToOSRDat uint64 // deliver notifications
+	RDToOSRLos uint64 // loss summaries
+	CMToRD     uint64 // established / fin notes
+	ToDM       uint64 // composed segments handed to DM
+	FromDM     uint64 // segments demultiplexed up
+}
+
+// CrossingStats returns a snapshot of the boundary counters.
+func (c *Conn) CrossingStats() Crossings { return c.crossings }
+
+// Write queues application bytes for transmission, returning how many
+// were accepted (the rest did not fit the send buffer; retry after
+// acks drain it).
+func (c *Conn) Write(p []byte) int {
+	if c.dead {
+		return 0
+	}
+	c.crossings.AppToOSR++
+	n := c.osr.write(p)
+	c.crossings.AppBytes += uint64(n)
+	return n
+}
+
+// Read drains up to len(p) in-order received bytes. It returns 0 when
+// nothing is pending; use OnReadable to learn when to retry. After the
+// peer's stream ends, Read reports ok=false once drained.
+func (c *Conn) Read(p []byte) (n int, open bool) {
+	n = copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	if len(c.readBuf) == 0 && c.eof {
+		return n, false
+	}
+	return n, true
+}
+
+// ReadAll drains everything pending.
+func (c *Conn) ReadAll() []byte {
+	out := c.readBuf
+	c.readBuf = nil
+	return out
+}
+
+// EOF reports whether the peer finished its stream and all bytes were
+// read.
+func (c *Conn) EOF() bool { return c.eof && len(c.readBuf) == 0 }
+
+// Close ends the outgoing stream (sends FIN after queued data). The
+// connection fully closes once both directions finish.
+func (c *Conn) Close() {
+	if c.dead {
+		return
+	}
+	c.cm.closeWrite()
+}
+
+// Abort kills the connection immediately with a RST.
+func (c *Conn) Abort() {
+	if c.dead {
+		return
+	}
+	h := &tcpwire.SubHeader{
+		CM: tcpwire.CMSection{RST: true},
+		RD: tcpwire.RDSection{Seq: uint32(c.rd.NextSeq())},
+	}
+	c.transmit(h, nil)
+	c.destroy(ErrReset)
+}
+
+// --- wiring used by the sublayers ---
+
+func (c *Conn) now() netsim.Time { return c.stack.sim.Now() }
+
+func (c *Conn) schedule(d time.Duration, fn func()) *netsim.Timer {
+	return c.stack.sim.Schedule(d, func() {
+		if !c.dead {
+			fn()
+		}
+	})
+}
+
+// onEstablished fires the application callback.
+func (c *Conn) onEstablished() {
+	if c.OnConnected != nil {
+		c.OnConnected()
+	}
+	// Data may already be queued (write before connect completes).
+	c.osr.pump()
+}
+
+// pushRead appends in-order bytes for the application.
+func (c *Conn) pushRead(p []byte) {
+	c.readBuf = append(c.readBuf, p...)
+	if c.OnReadable != nil {
+		c.OnReadable()
+	}
+}
+
+// pushEOF marks the peer's stream complete.
+func (c *Conn) pushEOF() {
+	c.eof = true
+	if c.OnReadable != nil {
+		c.OnReadable()
+	}
+}
+
+func (c *Conn) unreadLen() int { return len(c.readBuf) }
+
+// notifyWritable tells the application the send buffer drained.
+func (c *Conn) notifyWritable() {
+	if c.OnWritable != nil {
+		c.OnWritable()
+	}
+}
+
+// onSegment is the per-connection receive path: CM sees its view
+// first (handshake, FIN, RST), then RD processes sequence/ack bits,
+// then OSR the window/ECN bits.
+func (c *Conn) onSegment(h *tcpwire.SubHeader, payload []byte, ecnMarked bool) {
+	if c.dead {
+		return
+	}
+	v := cmView{
+		syn: h.CM.SYN, fin: h.CM.FIN, rst: h.CM.RST,
+		isn:        seg.Seq(h.CM.ISN),
+		seqNum:     seg.Seq(h.RD.Seq),
+		payloadLen: len(payload),
+		ackValid:   h.RD.AckValid,
+		ack:        seg.Seq(h.RD.Ack),
+	}
+	c.crossings.FromDM++
+	deliver := c.cm.onSegment(v)
+	if c.dead || !deliver {
+		return
+	}
+	if ecnMarked {
+		c.osr.noteECNMark()
+	}
+	c.rd.OnSegment(&h.RD, payload)
+	if c.dead {
+		return
+	}
+	c.osr.onPeerHeader(h.OSR)
+	c.checkInvariants()
+}
+
+// xmitData sends a data-bearing segment on RD's behalf.
+func (c *Conn) xmitData(seqNum seg.Seq, payload []byte) {
+	h := &tcpwire.SubHeader{
+		CM:  c.cm.section(),
+		RD:  c.rd.Section(seqNum),
+		OSR: c.osr.Section(),
+	}
+	c.transmit(h, payload)
+}
+
+// xmitAck sends a pure acknowledgement on RD's behalf.
+func (c *Conn) xmitAck() {
+	c.xmitData(c.rd.NextSeq(), nil)
+}
+
+// xmitCM sends a connection-management segment (SYN, SYN-ACK, FIN).
+// CM supplies its own section and the segment's sequence number; the
+// acknowledgement comes from RD once established, or from CM's
+// explicit override during the handshake (§3.1: CM's bootstrap
+// reliability replicates a little of RD, by design).
+func (c *Conn) xmitCM(cm tcpwire.CMSection, seqNum seg.Seq, overrideAck seg.Seq, hasOverride bool) {
+	h := &tcpwire.SubHeader{
+		CM:  cm,
+		RD:  c.rd.Section(seqNum),
+		OSR: c.osr.Section(),
+	}
+	if hasOverride {
+		h.RD.AckValid = true
+		h.RD.Ack = uint32(overrideAck)
+		h.RD.SACK = nil
+	}
+	c.transmit(h, nil)
+}
+
+// transmit hands the composed segment to DM for port stamping and
+// network transmission.
+func (c *Conn) transmit(h *tcpwire.SubHeader, payload []byte) {
+	c.crossings.ToDM++
+	c.stack.dm.send(c, h, payload)
+}
+
+// destroy tears the connection down and informs the application.
+func (c *Conn) destroy(err error) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	c.err = err
+	c.cm.stop()
+	c.rd.stop()
+	c.osr.stop()
+	c.stack.dm.remove(c.id)
+	if c.OnClosed != nil {
+		c.OnClosed(err)
+	}
+}

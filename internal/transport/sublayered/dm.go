@@ -1,0 +1,341 @@
+package sublayered
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+	"repro/internal/verify"
+)
+
+// Config assembles a sublayered transport stack. Every sublayer
+// implementation is independently selectable — the fungibility the
+// paper's T3 promises and experiment E8 measures.
+type Config struct {
+	// MSS is the maximum segment payload (default 1000).
+	MSS int
+	// SendBuf / RecvBuf are per-connection buffer sizes (default 64 KiB).
+	SendBuf, RecvBuf int
+	// NewCC constructs the congestion controller per connection
+	// (default NewReno).
+	NewCC func(mss int) CongestionControl
+	// NewCM constructs the connection manager per connection (default
+	// three-way handshake with RFC 1948 crypto ISNs).
+	NewCM func() ConnManager
+	// UseShim selects RFC 793 wire format through the §3.1 shim
+	// (interoperates with the monolithic TCP); otherwise the native
+	// Fig. 6 header is used.
+	UseShim bool
+	// NativeSACK enables SACK blocks (native mode; the shim negotiates
+	// SACK with standard options).
+	NativeSACK bool
+	// DelayedAcks acknowledges every second in-order segment (or after
+	// 50ms) instead of every segment — the classic ack-thinning tune
+	// (challenge 3). Out-of-order arrivals still ack immediately.
+	DelayedAcks bool
+	// Tracker, if set, records per-handler state access for the E6
+	// entanglement experiment.
+	Tracker *verify.Tracker
+	// Contracts, if set, evaluates every sublayer's invariants after
+	// each processed segment — the paper's localize-bugs-to-sublayers
+	// debugging story. Nil costs nothing.
+	Contracts *verify.Checker
+	// CM tuning shared by default managers.
+	CMConfig CMConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS <= 0 {
+		c.MSS = 1000
+	}
+	if c.SendBuf <= 0 {
+		c.SendBuf = 64 * 1024
+	}
+	if c.RecvBuf <= 0 {
+		c.RecvBuf = 64 * 1024
+	}
+	if c.NewCC == nil {
+		c.NewCC = func(mss int) CongestionControl { return NewNewReno(mss) }
+	}
+	if c.NewCM == nil {
+		cmCfg := c.CMConfig
+		c.NewCM = func() ConnManager { return NewHandshakeCM(&CryptoISN{}, cmCfg) }
+	}
+	return c
+}
+
+// connID identifies a connection in DM's demultiplexing table.
+type connID struct {
+	remoteAddr network.Addr
+	remotePort uint16
+	localPort  uint16
+}
+
+// DMStats counts demultiplexing outcomes.
+type DMStats struct {
+	Delivered  uint64
+	NewPassive uint64
+	NoListener uint64
+	Malformed  uint64
+	RSTsSent   uint64
+}
+
+// DM is the demultiplexing sublayer — "essentially UDP; it allows
+// demultiplexing via standard destination and source port numbers. No
+// sublayer can do its work without DM; so we place DM at the bottom.
+// DM encapsulates details of binding IP addresses to ports and reusing
+// ports." (§3)
+type DM struct {
+	stack     *Stack
+	listeners map[uint16]*Listener
+	conns     map[connID]*Conn
+	nextPort  uint16
+	stats     DMStats
+}
+
+// Listener accepts passive opens on a port.
+type Listener struct {
+	stack *Stack
+	port  uint16
+	// OnAccept is invoked with each newly created (still handshaking)
+	// connection; set callbacks on it there.
+	OnAccept func(*Conn)
+	accepted []*Conn
+}
+
+// Accepted returns connections created so far.
+func (l *Listener) Accepted() []*Conn { return l.accepted }
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Stack is one host's sublayered transport: a DM instance bound to a
+// router, creating four-sublayer Conns.
+type Stack struct {
+	sim    *netsim.Simulator
+	router *network.Router
+	cfg    Config
+	dm     *DM
+	shim   *tcpwire.Shim
+}
+
+// NewStack attaches a sublayered transport to a router. In shim mode
+// it claims the router's ProtoTCP handler; in native mode ProtoSubTCP.
+func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack {
+	s := &Stack{sim: sim, router: router, cfg: cfg.withDefaults()}
+	s.dm = &DM{
+		stack:     s,
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connID]*Conn),
+		nextPort:  49152,
+	}
+	if s.cfg.UseShim {
+		s.shim = tcpwire.NewShim(uint16(s.cfg.MSS))
+		router.Handle(network.ProtoTCP, s.dm.receive)
+	} else {
+		router.Handle(network.ProtoSubTCP, s.dm.receive)
+	}
+	return s
+}
+
+// Addr returns the host's network address.
+func (s *Stack) Addr() network.Addr { return s.router.Addr() }
+
+// DMStats returns a snapshot of the demultiplexer's counters.
+func (s *Stack) DMStats() DMStats { return s.dm.stats }
+
+// Config returns the stack's (defaulted) configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Listen binds a port for passive opens.
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	if _, busy := s.dm.listeners[port]; busy {
+		return nil, fmt.Errorf("sublayered: port %d already bound", port)
+	}
+	l := &Listener{stack: s, port: port}
+	s.dm.listeners[port] = l
+	return l, nil
+}
+
+// Dial opens a connection to dstAddr:dstPort, returning immediately;
+// use Conn.OnConnected for establishment.
+func (s *Stack) Dial(dstAddr network.Addr, dstPort uint16) (*Conn, error) {
+	local := s.dm.allocPort()
+	if local == 0 {
+		return nil, fmt.Errorf("sublayered: no free ephemeral ports")
+	}
+	c := s.newConn(tcpwire.FlowKey{
+		SrcAddr: uint16(s.router.Addr()), DstAddr: uint16(dstAddr),
+		SrcPort: local, DstPort: dstPort,
+	})
+	s.dm.conns[c.id] = c
+	c.cm.open(true, nil)
+	return c, nil
+}
+
+// newConn builds the four-sublayer composition.
+func (s *Stack) newConn(key tcpwire.FlowKey) *Conn {
+	c := &Conn{
+		stack: s,
+		key:   key,
+		id: connID{
+			remoteAddr: network.Addr(key.DstAddr),
+			remotePort: key.DstPort,
+			localPort:  key.SrcPort,
+		},
+	}
+	c.cm = s.cfg.NewCM()
+	c.cm.attach(c)
+	c.rd = newRD(c, s.cfg.NativeSACK || s.cfg.UseShim, s.cfg.DelayedAcks)
+	c.osr = newOSR(c, s.cfg.NewCC(s.cfg.MSS), s.cfg.MSS, s.cfg.SendBuf, s.cfg.RecvBuf)
+	return c
+}
+
+// track/trackWrite feed the optional E6 instrumentation.
+func (s *Stack) track(handler string) {
+	if s.cfg.Tracker != nil {
+		s.cfg.Tracker.Enter(handler)
+	}
+}
+
+func (s *Stack) trackWrite(vars ...string) {
+	if s.cfg.Tracker != nil {
+		for _, v := range vars {
+			s.cfg.Tracker.Write(v)
+		}
+	}
+}
+
+// allocPort hands out an unused ephemeral port.
+func (d *DM) allocPort() uint16 {
+	for i := 0; i < 1<<14; i++ {
+		p := d.nextPort
+		d.nextPort++
+		if d.nextPort == 0 {
+			d.nextPort = 49152
+		}
+		busy := false
+		for id := range d.conns {
+			if id.localPort == p {
+				busy = true
+				break
+			}
+		}
+		if _, lb := d.listeners[p]; !busy && !lb {
+			return p
+		}
+	}
+	return 0
+}
+
+// receive is the bottom of the stack: decode the wire format (native
+// or through the shim), demultiplex on ports, and hand the segment to
+// the connection — or create one for a SYN to a listening port.
+func (d *DM) receive(dg *network.Datagram) {
+	d.stack.track("dm.receive")
+	var h *tcpwire.SubHeader
+	var payload []byte
+	var err error
+	inKey := tcpwire.FlowKey{SrcAddr: uint16(dg.Src), DstAddr: uint16(dg.Dst)}
+	if d.stack.shim != nil {
+		// Ports live inside the TCP header; the shim checksum covers
+		// addresses via the pseudo-header.
+		h, payload, err = d.stack.shim.Inbound(dg.Payload, inKey)
+	} else {
+		h, payload, err = tcpwire.UnmarshalSub(dg.Payload)
+	}
+	if err != nil {
+		d.stats.Malformed++
+		return
+	}
+	id := connID{remoteAddr: dg.Src, remotePort: h.DM.SrcPort, localPort: h.DM.DstPort}
+	if c, ok := d.conns[id]; ok {
+		d.stats.Delivered++
+		c.onSegment(h, payload, dg.ECN)
+		return
+	}
+	// No connection: a first segment to a listener creates one
+	// (passive open). Which first segments are acceptable is the
+	// connection manager's business: the handshake CM requires a SYN,
+	// the timer-based CM accepts any data-bearing segment. SYN-ACKs
+	// are never passive opens.
+	if !h.CM.RST && !(h.CM.SYN && h.RD.AckValid) {
+		if l, ok := d.listeners[h.DM.DstPort]; ok {
+			c := d.stack.newConn(tcpwire.FlowKey{
+				SrcAddr: uint16(dg.Dst), DstAddr: uint16(dg.Src),
+				SrcPort: h.DM.DstPort, DstPort: h.DM.SrcPort,
+			})
+			v := cmView{
+				syn: h.CM.SYN, fin: h.CM.FIN, isn: seg.Seq(h.CM.ISN),
+				seqNum: seg.Seq(h.RD.Seq), ackValid: h.RD.AckValid, ack: seg.Seq(h.RD.Ack),
+			}
+			// The manager vets the first segment; a rejected open never
+			// reaches the listener.
+			c.cm.open(false, &v)
+			if c.dead {
+				return
+			}
+			d.stats.NewPassive++
+			d.conns[id] = c
+			l.accepted = append(l.accepted, c)
+			if l.OnAccept != nil {
+				l.OnAccept(c)
+			}
+			if !h.CM.SYN {
+				// Timer-based opens carry data in the first segment.
+				c.onSegment(h, payload, dg.ECN)
+			}
+			return
+		}
+	}
+	d.stats.NoListener++
+	if !h.CM.RST {
+		d.sendRST(dg.Src, h)
+	}
+}
+
+// sendRST answers a stray segment with a reset.
+func (d *DM) sendRST(to network.Addr, in *tcpwire.SubHeader) {
+	d.stats.RSTsSent++
+	out := &tcpwire.SubHeader{
+		DM: tcpwire.DMSection{SrcPort: in.DM.DstPort, DstPort: in.DM.SrcPort},
+		CM: tcpwire.CMSection{RST: true},
+		RD: tcpwire.RDSection{Seq: in.RD.Ack, Ack: in.RD.Seq, AckValid: true},
+	}
+	key := tcpwire.FlowKey{
+		SrcAddr: uint16(d.stack.router.Addr()), DstAddr: uint16(to),
+		SrcPort: out.DM.SrcPort, DstPort: out.DM.DstPort,
+	}
+	d.transmit(to, key, out, nil)
+}
+
+// send stamps DM's section and transmits a connection's segment.
+func (d *DM) send(c *Conn, h *tcpwire.SubHeader, payload []byte) {
+	d.stack.track("dm.send")
+	h.DM = tcpwire.DMSection{SrcPort: c.key.SrcPort, DstPort: c.key.DstPort}
+	d.transmit(network.Addr(c.key.DstAddr), c.key, h, payload)
+}
+
+func (d *DM) transmit(to network.Addr, key tcpwire.FlowKey, h *tcpwire.SubHeader, payload []byte) {
+	var wire []byte
+	proto := network.ProtoSubTCP
+	if d.stack.shim != nil {
+		wire = d.stack.shim.Outbound(h, payload, key)
+		proto = network.ProtoTCP
+	} else {
+		wire = h.Marshal(payload)
+	}
+	// Errors (no route yet) are dropped; retransmission recovers once
+	// routing converges.
+	_ = d.stack.router.Send(to, proto, wire)
+}
+
+// remove deletes a dead connection from the demux table.
+func (d *DM) remove(id connID) {
+	delete(d.conns, id)
+}
+
+// Conns returns the live connection count (tests).
+func (d *DM) Conns() int { return len(d.conns) }

@@ -1,0 +1,303 @@
+package sublayered
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+)
+
+// OSR is the uppermost sublayer: Ordering, Segmenting and Rate control
+// (§3). "OSR takes the byte stream and breaks it up into segments
+// based on parameters like maximum segment size. At the receive end,
+// segments may be delivered out of order by the RD sublayer. OSR must
+// paste segments back in order. ... Rate control is hidden within OSR
+// which interfaces with the RD sublayer below by deciding when a
+// segment is 'ready' to be transmitted."
+//
+// OSR's window ("a way to control the sending rate") is deliberately
+// distinct from RD's window (outstanding segments) — §3.1: "These two
+// concepts are conflated in TCP; it is reasonable to separate them."
+type OSR struct {
+	conn *Conn
+	cc   CongestionControl
+	mss  int
+
+	// Send half.
+	sb         *seg.SendBuffer
+	nextSeg    uint64 // next stream offset to hand to RD
+	cumAcked   uint64
+	peerWnd    int
+	closed     bool
+	closeAt    uint64
+	finAsked   bool
+	probe      *netsim.Timer
+	cwrPending bool
+	lastECNCut netsim.Time
+
+	// Receive half.
+	ra           *seg.Reassembly
+	endAt        uint64
+	endValid     bool
+	eofDelivered bool
+	eceEcho      bool
+
+	stats OSRStats
+}
+
+// OSRStats counts ordering/segmenting/rate-control events.
+type OSRStats struct {
+	SegmentsReady    uint64
+	BytesSegmented   uint64
+	BytesReassembled uint64
+	WindowStalls     uint64 // pump blocked by min(cwnd, rwnd)
+	ZeroWindowProbes uint64
+	ECNReactions     uint64
+}
+
+func newOSR(c *Conn, cc CongestionControl, mss, sendBuf, recvBuf int) *OSR {
+	return &OSR{
+		conn:    c,
+		cc:      cc,
+		mss:     mss,
+		sb:      seg.NewSendBuffer(sendBuf),
+		ra:      seg.NewReassembly(recvBuf),
+		peerWnd: 65535,
+	}
+}
+
+// Stats returns a snapshot of the OSR counters.
+func (o *OSR) Stats() OSRStats { return o.stats }
+
+// CC exposes the congestion controller (read-only use: stats, E8).
+func (o *OSR) CC() CongestionControl { return o.cc }
+
+// write queues application bytes, returning how many were accepted.
+func (o *OSR) write(p []byte) int {
+	o.conn.stack.track("osr.write")
+	if o.closed {
+		return 0
+	}
+	n := o.sb.Write(p)
+	o.conn.stack.trackWrite("osr.sendbuf")
+	o.pump()
+	return n
+}
+
+// closeWrite ends the outgoing stream; the FIN is requested from CM
+// once everything queued has been segmented.
+func (o *OSR) closeWrite() {
+	o.conn.stack.track("osr.closeWrite")
+	if o.closed {
+		return
+	}
+	o.closed = true
+	o.closeAt = o.sb.End()
+	o.conn.stack.trackWrite("osr.closeAt")
+	o.maybeFinish()
+}
+
+// pump releases segments to RD while the rate-control window — the
+// minimum of the congestion window and the peer's advertised flow
+// window — has room. This is the single point where OSR "decides when
+// a segment is ready."
+func (o *OSR) pump() {
+	o.conn.stack.track("osr.pump")
+	if !o.conn.rd.established {
+		return // segments become "ready" only once CM delivers ISNs
+	}
+	for {
+		avail := o.sb.End() - o.nextSeg
+		if avail == 0 {
+			break
+		}
+		window := o.cc.Window()
+		if o.peerWnd < window {
+			window = o.peerWnd
+		}
+		inflight := int(o.nextSeg - o.cumAcked)
+		room := window - inflight
+		if room <= 0 {
+			o.stats.WindowStalls++
+			o.armProbe(inflight)
+			break
+		}
+		n := o.mss
+		if uint64(n) > avail {
+			n = int(avail)
+		}
+		if n > room {
+			n = room
+		}
+		// Sender-side silly-window avoidance: when the peer's window
+		// (not the congestion window) leaves only a sliver, wait for a
+		// window update instead of emitting a tiny segment — otherwise
+		// every flow-control round trip fragments the stream.
+		// Congestion-window slivers are still sent: they carry the ack
+		// clock during recovery. The final bytes of a stream always go.
+		if n < o.mss && uint64(n) < avail && inflight > 0 &&
+			o.peerWnd-inflight < o.mss && o.cc.Window()-inflight >= o.mss {
+			break
+		}
+		data := o.sb.Slice(o.nextSeg, n)
+		o.stats.SegmentsReady++
+		o.stats.BytesSegmented += uint64(n)
+		off := o.nextSeg
+		o.nextSeg += uint64(n)
+		o.conn.stack.trackWrite("osr.nextSeg")
+		o.conn.rd.Send(off, data)
+	}
+	o.maybeFinish()
+}
+
+// armProbe guards against the zero-window deadlock: if the peer closed
+// its window and nothing is in flight to elicit an update, probe with
+// one byte after a persist interval.
+func (o *OSR) armProbe(inflight int) {
+	if inflight > 0 || o.probe != nil && o.probe.Active() {
+		return
+	}
+	if o.peerWnd > 0 {
+		return // stalled on cwnd; acks will reopen it
+	}
+	o.probe = o.conn.schedule(500*time.Millisecond, func() {
+		if o.peerWnd > 0 || o.sb.End() == o.nextSeg {
+			o.pump()
+			return
+		}
+		// Send one byte beyond the window as a probe.
+		if o.sb.End() > o.nextSeg {
+			o.stats.ZeroWindowProbes++
+			data := o.sb.Slice(o.nextSeg, 1)
+			off := o.nextSeg
+			o.nextSeg++
+			o.conn.rd.Send(off, data)
+		}
+		o.armProbe(0)
+	})
+}
+
+// maybeFinish notifies CM when the outgoing stream is fully segmented.
+// Nothing can finish before the connection establishes (a close during
+// the handshake waits; onEstablished pumps, which re-checks).
+func (o *OSR) maybeFinish() {
+	if o.closed && !o.finAsked && o.nextSeg == o.closeAt && o.conn.rd.established {
+		o.finAsked = true
+		o.conn.cm.streamFinished(o.closeAt)
+	}
+}
+
+// onAcked is RD's upward signal: cumulative stream offset acked, newly
+// acked byte count, and an RTT sample (0 when invalid under Karn's
+// rule). OSR advances its windows — "the sending RD must tell the
+// sending OSR when segments are acked so the sending OSR can advance
+// the congestion and flow control windows."
+func (o *OSR) onAcked(cum uint64, newly int, rtt time.Duration) {
+	o.conn.stack.track("osr.onAcked")
+	freed := false
+	if cum > o.cumAcked {
+		o.cumAcked = cum
+		o.sb.Release(cum)
+		o.conn.stack.trackWrite("osr.cumAcked", "osr.sendbuf")
+		freed = true
+	}
+	o.cc.OnAck(newly, rtt)
+	o.pump()
+	if freed {
+		o.conn.notifyWritable()
+	}
+}
+
+// onLoss is RD's summarized congestion signal.
+func (o *OSR) onLoss(kind LossKind) {
+	o.conn.stack.track("osr.onLoss")
+	o.cc.OnLoss(kind)
+	o.conn.stack.trackWrite("osr.cc")
+	o.pump()
+}
+
+// deliver accepts an exactly-once (but possibly out-of-order) segment
+// from RD and pastes the stream back together.
+func (o *OSR) deliver(off uint64, data []byte) {
+	o.conn.stack.track("osr.deliver")
+	out := o.ra.Insert(off, data)
+	o.conn.stack.trackWrite("osr.reassembly")
+	if len(out) > 0 {
+		o.stats.BytesReassembled += uint64(len(out))
+		o.conn.pushRead(out)
+	}
+	o.checkEOF()
+}
+
+// setStreamEnd is CM's note of where the peer's stream ends.
+func (o *OSR) setStreamEnd(off uint64) {
+	o.conn.stack.track("osr.setStreamEnd")
+	o.endValid = true
+	o.endAt = off
+	o.conn.stack.trackWrite("osr.endAt")
+	o.checkEOF()
+}
+
+func (o *OSR) checkEOF() {
+	if o.endValid && !o.eofDelivered && o.ra.Next() >= o.endAt {
+		o.eofDelivered = true
+		o.conn.cm.peerStreamComplete()
+		o.conn.pushEOF()
+	}
+}
+
+// onPeerHeader processes the peer's OSR bits: flow-control window and
+// ECN echo (T3: congestion signals reach OSR via its own header).
+func (o *OSR) onPeerHeader(h tcpwire.OSRSection) {
+	o.conn.stack.track("osr.onPeerHeader")
+	o.peerWnd = int(h.Window)
+	o.conn.stack.trackWrite("osr.peerWnd")
+	if h.ECE {
+		now := o.conn.now()
+		srtt := o.conn.rd.SRTT()
+		if srtt <= 0 {
+			srtt = 200 * time.Millisecond
+		}
+		if now-o.lastECNCut > netsim.Time(2*srtt) {
+			o.lastECNCut = now
+			o.stats.ECNReactions++
+			o.cc.OnECN()
+			o.cwrPending = true
+		}
+	}
+	o.pump()
+}
+
+// noteECNMark records a congestion-experienced mark on a received
+// packet; the next outgoing segment echoes ECE to the peer.
+func (o *OSR) noteECNMark() { o.eceEcho = true }
+
+// Section fills OSR's bits of an outgoing segment: the advertised
+// receive window and the ECN echo/response bits.
+func (o *OSR) Section() tcpwire.OSRSection {
+	s := tcpwire.OSRSection{Window: o.window(), ECE: o.eceEcho, CWR: o.cwrPending}
+	o.eceEcho = false
+	o.cwrPending = false
+	return s
+}
+
+// window is the advertised flow-control window: free receive buffer
+// minus bytes the application has not read yet.
+func (o *OSR) window() uint16 {
+	free := o.ra.Free() - o.conn.unreadLen()
+	if free < 0 {
+		free = 0
+	}
+	if free > 65535 {
+		free = 65535
+	}
+	return uint16(free)
+}
+
+// stop cancels timers.
+func (o *OSR) stop() {
+	if o.probe != nil {
+		o.probe.Stop()
+	}
+}

@@ -1,0 +1,474 @@
+package sublayered
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/tcpwire"
+	"repro/internal/transport/seg"
+)
+
+// RD is the reliable-delivery sublayer (§3): "RD uses the ISNs supplied
+// by the lower connection management layer to reliably (i.e., exactly
+// once) deliver segments given by the upper layer (OSR). OSR gives RD a
+// segment identified by its byte offset, and RD translates this to
+// segment sequence numbers (by adding the ISN). ... All details of
+// retransmission, including keeping track of a window of outstanding
+// packets are encapsulated in RD."
+//
+// Interfaces (T2):
+//
+//	OSR → RD:  Send(offset, data)          — a segment is "ready"
+//	RD → OSR:  onAcked(cum, newly, rtt)    — advance windows
+//	           onLoss(kind)                — summarized congestion signal
+//	           deliver(offset, data)       — exactly-once, possibly out
+//	                                         of order; OSR reorders
+//	CM → RD:   Established(localISN, peer) — the range of trustworthy
+//	                                         sequence numbers
+//	           SetRemoteFin(seq)           — where the peer's stream ends
+//
+// RD keeps its own copy of unacknowledged payloads; the paper's §3.1
+// "replicated functionality" discussion accepts this modest state
+// duplication as the price of separation.
+type RD struct {
+	conn *Conn
+
+	// Sender half.
+	isn         seg.Seq
+	sndUna      seg.Seq
+	sndNxt      seg.Seq
+	outstanding []*outSeg
+	dupAcks     int
+	inRecovery  bool
+	recover     seg.Seq
+	rtt         *seg.RTTEstimator
+	rtoTimer    *netsim.Timer
+	// BSD-style single-segment RTT timing: one fresh segment is timed
+	// at a time; the sample is discarded if anything is retransmitted
+	// meanwhile (Karn's rule). Sampling arbitrary segments would poison
+	// the estimator with acks that sat behind recovered holes.
+	timing   bool
+	timedEnd seg.Seq
+	timedAt  netsim.Time
+
+	// Receiver half.
+	peerISN      seg.Seq
+	ranges       seg.RangeSet
+	remoteFinOff uint64
+	remoteFin    bool
+	// Delayed-ack state: one ack per two in-order segments, or after
+	// the delay timer; out-of-order arrivals ack immediately so fast
+	// retransmit still sees duplicate acks promptly.
+	delayedAcks bool
+	ackPending  int
+	ackTimer    *netsim.Timer
+	established bool
+	// ackable gates the Ack fields: timer-based CM establishes the
+	// send direction before the peer's ISN is known, during which acks
+	// would be meaningless.
+	ackable     bool
+	sackEnabled bool
+
+	stats RDStats
+}
+
+// RDStats counts reliable-delivery events.
+type RDStats struct {
+	SegmentsSent    uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	AcksSent        uint64
+	DupSegments     uint64
+	DeliveredBytes  uint64
+}
+
+type outSeg struct {
+	seq     seg.Seq
+	payload []byte
+	sentAt  netsim.Time
+	rexmit  bool
+	sacked  bool
+	// pending marks a segment presumed lost after a timeout; cumack
+	// advances chain through pending segments one RTT apart instead of
+	// one (backed-off) RTO apart.
+	pending bool
+}
+
+func newRD(c *Conn, sackEnabled, delayedAcks bool) *RD {
+	return &RD{
+		conn:        c,
+		sackEnabled: sackEnabled,
+		delayedAcks: delayedAcks,
+		rtt:         seg.NewRTTEstimator(time.Second, 200*time.Millisecond, 60*time.Second),
+	}
+}
+
+// Stats returns a snapshot of the RD counters.
+func (r *RD) Stats() RDStats { return r.stats }
+
+// Established is CM's service delivered: a pair of ISNs "not present in
+// the network so that segments and acks can be trusted as not being
+// delayed duplicates."
+func (r *RD) Established(localISN, peerISN seg.Seq) {
+	r.track("rd.established")
+	r.conn.crossings.CMToRD++
+	r.isn = localISN
+	r.peerISN = peerISN
+	r.sndUna = localISN.Add(1)
+	r.sndNxt = r.sndUna
+	r.established = true
+	r.ackable = true
+	r.trackW("rd.isn", "rd.peerISN", "rd.sndUna", "rd.sndNxt")
+}
+
+// SetPeerISN corrects the receive-direction ISN before any data has
+// arrived. Timer-based connection management learns the peer's ISN
+// from the first inbound segment rather than from a handshake.
+func (r *RD) SetPeerISN(p seg.Seq) {
+	if r.ranges.Len() == 0 && !r.remoteFin {
+		r.peerISN = p
+	}
+	r.ackable = true
+}
+
+// SuppressAcksUntilPeerISN holds the Ack fields invalid until
+// SetPeerISN supplies the receive-direction ISN.
+func (r *RD) SuppressAcksUntilPeerISN() { r.ackable = false }
+
+// SetRemoteFin records where the peer's byte stream ends (seq of its
+// FIN), so cumulative acknowledgements can cover the FIN.
+func (r *RD) SetRemoteFin(finSeq seg.Seq) {
+	r.track("rd.setRemoteFin")
+	r.conn.crossings.CMToRD++
+	r.remoteFin = true
+	r.remoteFinOff = r.rcvOffset(finSeq)
+	r.trackW("rd.remoteFinOff")
+}
+
+// Send transmits stream bytes [off, off+len(data)) as one segment. OSR
+// calls it when rate control deems the segment ready.
+func (r *RD) Send(off uint64, data []byte) {
+	r.track("rd.send")
+	r.conn.crossings.OSRToRD++
+	r.conn.crossings.OSRBytes += uint64(len(data))
+	// Offsets above 2^32 wrap; Seq arithmetic keeps working because
+	// windows are far below 2^31.
+	s := r.isn.Add(1).Add(int(uint32(off)))
+	o := &outSeg{seq: s, payload: append([]byte(nil), data...), sentAt: r.conn.now()}
+	r.outstanding = append(r.outstanding, o)
+	if !r.timing {
+		r.timing = true
+		r.timedEnd = s.Add(len(data))
+		r.timedAt = o.sentAt
+	}
+	if r.sndNxt.Less(s.Add(len(data))) {
+		r.sndNxt = s.Add(len(data))
+	}
+	r.stats.SegmentsSent++
+	r.conn.xmitData(s, o.payload)
+	r.armRTO()
+	r.trackW("rd.outstanding", "rd.sndNxt")
+}
+
+// NextSeq returns the sequence number a pure control segment should
+// carry (TCP convention: snd.nxt).
+func (r *RD) NextSeq() seg.Seq {
+	if !r.established {
+		return r.isn
+	}
+	return r.sndNxt
+}
+
+// OnSegment processes the RD section of an arriving segment.
+func (r *RD) OnSegment(h *tcpwire.RDSection, payload []byte) {
+	if len(payload) > 0 {
+		r.onData(seg.Seq(h.Seq), payload)
+	}
+	if h.AckValid {
+		r.onAck(seg.Seq(h.Ack), h.SACK, len(payload) > 0)
+	}
+}
+
+// onData handles received stream bytes: dedup against the range set,
+// deliver new bytes upward (possibly out of order — OSR reorders), and
+// acknowledge.
+func (r *RD) onData(s seg.Seq, payload []byte) {
+	r.track("rd.onData")
+	off, ok := r.rcvOffsetChecked(s)
+	if !ok {
+		// Sequence below the stream start: a stray from outside the
+		// ISN-trusted range. Re-acknowledge and drop.
+		r.stats.DupSegments++
+		r.AckNow()
+		return
+	}
+	wasContig := r.ranges.ContiguousFrom(0)
+	inOrder := off == wasContig
+	if r.ranges.Add(off, off+uint64(len(payload))) {
+		r.stats.DeliveredBytes += uint64(len(payload))
+		r.conn.crossings.RDToOSRDat++
+		r.conn.osr.deliver(off, payload)
+	} else {
+		r.stats.DupSegments++
+		inOrder = false // duplicates must elicit an immediate (dup) ack
+	}
+	r.trackW("rd.ranges")
+	if !r.delayedAcks || !inOrder {
+		r.AckNow()
+		return
+	}
+	// In-order data under the delayed-ack policy: ack every second
+	// segment, or when the delay expires.
+	r.ackPending++
+	if r.ackPending >= 2 {
+		r.AckNow()
+		return
+	}
+	if r.ackTimer == nil || !r.ackTimer.Active() {
+		r.ackTimer = r.conn.schedule(50*time.Millisecond, func() {
+			if r.ackPending > 0 {
+				r.AckNow()
+			}
+		})
+	}
+}
+
+// onAck advances the send window; dupAcks/SACK drive fast retransmit.
+func (r *RD) onAck(ack seg.Seq, sack [][2]uint32, hadPayload bool) {
+	r.track("rd.onAck")
+	// Bound the acknowledgement: nothing beyond what we sent (plus our
+	// FIN, which lives one past the last byte) is acceptable.
+	limit := r.sndNxt
+	if fin := r.conn.cm.localFinSeq(); fin != 0 {
+		limit = fin.Add(1)
+	}
+	if limit.Less(ack) {
+		return // acknowledges data never sent: stray or corrupt
+	}
+	// Mark SACKed segments.
+	for _, b := range sack {
+		from, to := seg.Seq(b[0]), seg.Seq(b[1])
+		for _, o := range r.outstanding {
+			if from.Leq(o.seq) && o.seq.Add(len(o.payload)).Leq(to) {
+				o.sacked = true
+			}
+		}
+	}
+	switch {
+	case r.sndUna.Less(ack):
+		// New data acknowledged.
+		newly := 0
+		var rttSample time.Duration
+		keep := r.outstanding[:0]
+		for _, o := range r.outstanding {
+			end := o.seq.Add(len(o.payload))
+			if end.Leq(ack) {
+				newly += len(o.payload)
+			} else {
+				keep = append(keep, o)
+			}
+		}
+		r.outstanding = keep
+		if r.timing && r.timedEnd.Leq(ack) {
+			rttSample = time.Duration(r.conn.now() - r.timedAt)
+			r.timing = false
+		}
+		r.sndUna = ack
+		if r.sndNxt.Less(r.sndUna) {
+			r.sndNxt = r.sndUna
+		}
+		r.dupAcks = 0
+		if rttSample > 0 {
+			r.rtt.Sample(rttSample)
+		}
+		switch {
+		case r.inRecovery && ack.Less(r.recover):
+			// NewReno partial ack: the next hole is lost too.
+			r.retransmitFirst()
+		case r.inRecovery:
+			r.inRecovery = false
+		default:
+			// Post-timeout chaining: if the advance exposes a segment
+			// marked lost, retransmit it immediately rather than
+			// waiting out another (backed-off) RTO.
+			for _, o := range r.outstanding {
+				if o.sacked {
+					continue
+				}
+				if o.pending {
+					r.retransmitFirst()
+				}
+				break
+			}
+		}
+		r.armRTO()
+		cum := uint64(0)
+		if r.established {
+			d := ack.Diff(r.isn.Add(1))
+			if d > 0 {
+				cum = uint64(d)
+				if fin := r.conn.cm.localFinSeq(); fin != 0 && seg.Seq(fin).Less(ack) {
+					cum-- // the ack covers our FIN, which is not a stream byte
+				}
+			}
+		}
+		r.trackW("rd.sndUna", "rd.outstanding")
+		r.conn.crossings.RDToOSRAck++
+		r.conn.osr.onAcked(cum, newly, rttSample)
+	case ack == r.sndUna && len(r.outstanding) > 0 && !hadPayload:
+		r.dupAcks++
+		r.trackW("rd.dupAcks")
+		if r.dupAcks == 3 && !r.inRecovery {
+			r.stats.FastRetransmits++
+			r.inRecovery = true
+			r.recover = r.sndNxt
+			r.retransmitFirst()
+			r.conn.crossings.RDToOSRLos++
+			r.conn.osr.onLoss(LossFast)
+		}
+	}
+}
+
+// retransmitFirst resends the oldest unacknowledged, un-SACKed segment.
+func (r *RD) retransmitFirst() {
+	for _, o := range r.outstanding {
+		if o.sacked {
+			continue
+		}
+		if r.timing && o.seq.Less(r.timedEnd) {
+			r.timing = false // Karn: the timed segment's ack is now ambiguous
+		}
+		o.rexmit = true
+		o.pending = false
+		o.sentAt = r.conn.now()
+		r.stats.Retransmits++
+		r.conn.xmitData(o.seq, o.payload)
+		return
+	}
+}
+
+func (r *RD) armRTO() {
+	if r.rtoTimer != nil {
+		r.rtoTimer.Stop()
+		r.rtoTimer = nil
+	}
+	if len(r.outstanding) == 0 {
+		return
+	}
+	r.rtoTimer = r.conn.schedule(r.rtt.RTO(), r.onRTO)
+}
+
+func (r *RD) onRTO() {
+	r.track("rd.onRTO")
+	if len(r.outstanding) == 0 {
+		return
+	}
+	r.stats.Timeouts++
+	r.rtt.Backoff()
+	r.dupAcks = 0
+	r.inRecovery = false
+	// Everything outstanding is presumed lost; retransmit the first
+	// now and chain the rest as acknowledgements return.
+	for _, o := range r.outstanding {
+		o.pending = true
+	}
+	r.retransmitFirst()
+	r.armRTO()
+	r.conn.crossings.RDToOSRLos++
+	r.conn.osr.onLoss(LossTimeout)
+}
+
+// AckNow emits a pure acknowledgement reflecting everything received.
+func (r *RD) AckNow() {
+	r.ackPending = 0
+	if r.ackTimer != nil {
+		r.ackTimer.Stop()
+		r.ackTimer = nil
+	}
+	r.stats.AcksSent++
+	r.conn.xmitAck()
+}
+
+// Section fills RD's bits of an outgoing segment.
+func (r *RD) Section(seqNum seg.Seq) tcpwire.RDSection {
+	s := tcpwire.RDSection{Seq: uint32(seqNum)}
+	if r.established && r.ackable {
+		s.AckValid = true
+		s.Ack = uint32(r.currentAck())
+		if r.sackEnabled {
+			cum := r.ranges.ContiguousFrom(0)
+			for _, b := range r.ranges.BlocksAbove(cum, 3) {
+				s.SACK = append(s.SACK, [2]uint32{
+					uint32(r.peerISN.Add(1 + int(uint32(b[0])))),
+					uint32(r.peerISN.Add(1 + int(uint32(b[1])))),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// currentAck is the cumulative acknowledgement: contiguous stream
+// bytes, plus one for the peer's FIN once the stream is complete.
+func (r *RD) currentAck() seg.Seq {
+	cum := r.ranges.ContiguousFrom(0)
+	ack := r.peerISN.Add(1 + int(uint32(cum)))
+	if r.remoteFin && cum >= r.remoteFinOff {
+		ack = ack.Add(1)
+	}
+	return ack
+}
+
+// AllAcked reports whether every data byte handed to RD is
+// acknowledged.
+func (r *RD) AllAcked() bool { return len(r.outstanding) == 0 }
+
+// InFlight returns unacknowledged bytes (the RD window of §3.1: "for
+// RD a window is the range of outstanding segments").
+func (r *RD) InFlight() int {
+	n := 0
+	for _, o := range r.outstanding {
+		n += len(o.payload)
+	}
+	return n
+}
+
+// SRTT exposes the smoothed RTT for rate-based congestion control and
+// stats.
+func (r *RD) SRTT() time.Duration { return r.rtt.SRTT() }
+
+// rcvOffset maps a receive-side sequence number to a stream offset
+// (bytes since peerISN+1), unwrapping mod 2^32 around the current
+// contiguous point.
+func (r *RD) rcvOffset(s seg.Seq) uint64 {
+	off, _ := r.rcvOffsetChecked(s)
+	return off
+}
+
+func (r *RD) rcvOffsetChecked(s seg.Seq) (uint64, bool) {
+	base := r.ranges.ContiguousFrom(0)
+	baseSeq := r.peerISN.Add(1 + int(uint32(base)))
+	o := int64(base) + int64(s.Diff(baseSeq))
+	if o < 0 {
+		return 0, false
+	}
+	return uint64(o), true
+}
+
+// stop cancels timers when the connection dies.
+func (r *RD) stop() {
+	if r.rtoTimer != nil {
+		r.rtoTimer.Stop()
+	}
+	if r.ackTimer != nil {
+		r.ackTimer.Stop()
+	}
+}
+
+func (r *RD) track(h string) { r.conn.stack.track(h) }
+func (r *RD) trackW(vars ...string) {
+	for _, v := range vars {
+		r.conn.stack.trackWrite(v)
+	}
+}

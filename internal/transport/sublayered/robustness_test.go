@@ -1,0 +1,309 @@
+package sublayered
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/tcpwire"
+)
+
+// TestECNBottleneckReaction: a rate-limited bottleneck link with ECN
+// marking makes the receiver echo ECE and the sender's congestion
+// control react — fewer queue drops than pure tail-drop would force.
+func TestECNBottleneckReaction(t *testing.T) {
+	sim := netsim.NewSimulator(23)
+	// Host 1 — bottleneck — host 3. The middle link is slow, shallow
+	// and ECN-marking.
+	edges := []network.Edge{{A: 1, B: 2, Cost: 1}, {A: 2, B: 3, Cost: 1}}
+	topo := network.BuildTopology(sim, edges,
+		netsim.LinkConfig{Delay: time.Millisecond},
+		network.NeighborConfig{HelloInterval: 200 * time.Millisecond},
+		func() network.RouteComputer {
+			return network.NewDistanceVector(network.DVConfig{AdvertiseInterval: 500 * time.Millisecond})
+		})
+	// Replace the 2–3 link with a marking bottleneck: cut the original
+	// and connect a new one with a shallow ECN-marking queue.
+	topo.CutLink(2, 3)
+	network.ConnectRouters(sim, topo.Routers[2], topo.Routers[3], netsim.LinkConfig{
+		Delay: time.Millisecond, RateBps: 4_000_000, QueueLimit: 40, ECNThreshold: 8,
+	}, 1)
+	sim.RunFor(5 * time.Second)
+
+	client := NewStack(sim, topo.Routers[1], Config{})
+	server := NewStack(sim, topo.Routers[3], Config{})
+	lis, _ := server.Listen(80)
+	var got []byte
+	lis.OnAccept = func(c *Conn) {
+		c.OnReadable = func() { got = append(got, c.ReadAll()...) }
+	}
+	data := randBytes(300_000, 23)
+	cc, _ := client.Dial(3, 80)
+	toSend := data
+	push := func() {
+		for len(toSend) > 0 {
+			n := cc.Write(toSend)
+			if n == 0 {
+				break
+			}
+			toSend = toSend[n:]
+		}
+		if len(toSend) == 0 {
+			cc.Close()
+		}
+	}
+	cc.OnConnected = push
+	cc.OnWritable = push
+	sim.RunFor(5 * time.Minute)
+
+	if !bytes.Equal(got, data) {
+		t.Fatalf("transfer through bottleneck failed (%d of %d)", len(got), len(data))
+	}
+	if cc.OSR().Stats().ECNReactions == 0 {
+		t.Error("congestion control never reacted to ECN despite a marking bottleneck")
+	}
+}
+
+// TestGarbageSegmentsDoNotPanic: feed the demultiplexer random bytes,
+// truncated headers, and bit-flipped real segments. Nothing may panic,
+// and live connections must survive.
+func TestGarbageSegmentsDoNotPanic(t *testing.T) {
+	w := newWorld(t, 24, cleanLink(), Config{}, Config{})
+	lis, _ := w.server.Listen(80)
+	var got []byte
+	lis.OnAccept = func(c *Conn) {
+		c.OnReadable = func() { got = append(got, c.ReadAll()...) }
+	}
+	cc, _ := w.client.Dial(4, 80)
+	msg := randBytes(20_000, 3)
+	toSend := msg
+	push := func() {
+		for len(toSend) > 0 {
+			n := cc.Write(toSend)
+			if n == 0 {
+				break
+			}
+			toSend = toSend[n:]
+		}
+		if len(toSend) == 0 {
+			cc.Close()
+		}
+	}
+	cc.OnConnected = push
+	cc.OnWritable = push
+
+	// Interleave garbage injections with the transfer.
+	rng := rand.New(rand.NewSource(99))
+	w.sim.Every(20*time.Millisecond, func() {
+		kind := rng.Intn(3)
+		var junk []byte
+		switch kind {
+		case 0: // pure noise
+			junk = make([]byte, rng.Intn(60))
+			rng.Read(junk)
+		case 1: // truncated real-looking header
+			h := &tcpwire.SubHeader{
+				DM: tcpwire.DMSection{SrcPort: uint16(rng.Intn(65536)), DstPort: 80},
+				RD: tcpwire.RDSection{Seq: rng.Uint32(), Ack: rng.Uint32(), AckValid: true},
+			}
+			full := h.Marshal(nil)
+			junk = full[:rng.Intn(len(full))]
+		case 2: // valid header to the listening port with wild fields
+			h := &tcpwire.SubHeader{
+				DM: tcpwire.DMSection{SrcPort: uint16(rng.Intn(65536)), DstPort: 80},
+				CM: tcpwire.CMSection{FIN: rng.Intn(2) == 0, ISN: rng.Uint32()},
+				RD: tcpwire.RDSection{Seq: rng.Uint32(), Ack: rng.Uint32(), AckValid: true},
+			}
+			junk = h.Marshal(nil)
+		}
+		_ = w.topo.Routers[1].Send(4, network.ProtoSubTCP, junk)
+	})
+	w.sim.RunFor(time.Minute)
+
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("legitimate transfer corrupted by garbage traffic (%d of %d)", len(got), len(msg))
+	}
+	if w.server.DMStats().Malformed == 0 {
+		t.Error("no malformed segments counted despite noise injection")
+	}
+}
+
+// TestStrayAcksCannotAdvanceWindow: forged acks beyond what was sent
+// are ignored (the RD ack bound).
+func TestStrayAcksCannotAdvanceWindow(t *testing.T) {
+	w := newWorld(t, 25, cleanLink(), Config{}, Config{})
+	lis, _ := w.server.Listen(80)
+	lis.OnAccept = func(c *Conn) {}
+	cc, _ := w.client.Dial(4, 80)
+	w.sim.RunFor(time.Second)
+	if cc.State() != "ESTABLISHED" {
+		t.Fatal("not established")
+	}
+	// Forge an ack far beyond anything sent.
+	before := cc.RD().sndUna
+	h := &tcpwire.SubHeader{
+		DM: tcpwire.DMSection{SrcPort: 80, DstPort: cc.LocalPort()},
+		CM: tcpwire.CMSection{ISN: 1},
+		RD: tcpwire.RDSection{Seq: 1, Ack: uint32(before.Add(1 << 20)), AckValid: true},
+	}
+	_ = w.topo.Routers[4].Send(1, network.ProtoSubTCP, h.Marshal(nil))
+	w.sim.RunFor(time.Second)
+	if cc.RD().sndUna != before {
+		t.Errorf("forged ack advanced sndUna: %d → %d", before, cc.RD().sndUna)
+	}
+}
+
+// TestDelayedAcksHalveAckTraffic: the challenge-3 tune — delayed acks
+// roughly halve acknowledgement traffic on a clean transfer with no
+// loss of correctness.
+func TestDelayedAcksHalveAckTraffic(t *testing.T) {
+	run := func(delayed bool) (uint64, bool) {
+		cfg := Config{DelayedAcks: delayed}
+		w := newWorld(t, 26, cleanLink(), cfg, cfg)
+		data := randBytes(100_000, 6)
+		res := runTransfer(t, w, data, nil, time.Minute)
+		var acks uint64
+		if res.serverConn != nil {
+			acks = res.serverConn.RD().Stats().AcksSent
+		}
+		return acks, bytes.Equal(res.serverGot, data)
+	}
+	ackEvery, ok1 := run(false)
+	ackDelayed, ok2 := run(true)
+	if !ok1 || !ok2 {
+		t.Fatal("transfer failed")
+	}
+	if ackDelayed*3 > ackEvery*2 {
+		t.Errorf("delayed acks did not thin traffic: %d vs %d", ackDelayed, ackEvery)
+	}
+}
+
+// TestDelayedAcksStillRecoverFromLoss: out-of-order arrivals bypass
+// the delay, so fast retransmit still works.
+func TestDelayedAcksStillRecoverFromLoss(t *testing.T) {
+	cfg := Config{DelayedAcks: true}
+	w := newWorld(t, 27, nastyLink(), cfg, cfg)
+	data := randBytes(100_000, 7)
+	res := runTransfer(t, w, data, nil, 5*time.Minute)
+	if !bytes.Equal(res.serverGot, data) {
+		t.Fatalf("lossy transfer with delayed acks failed (%d of %d)", len(res.serverGot), len(data))
+	}
+}
+
+// TestTimeWaitReAcksRetransmittedFIN: a peer whose FIN-ack was lost
+// keeps retransmitting its FIN; the TIME_WAIT side must keep
+// re-acknowledging rather than going silent.
+func TestTimeWaitReAcksRetransmittedFIN(t *testing.T) {
+	w := newWorld(t, 28, cleanLink(), Config{}, Config{})
+	lis, _ := w.server.Listen(80)
+	var srv *Conn
+	lis.OnAccept = func(c *Conn) { srv = c }
+	cc, _ := w.client.Dial(4, 80)
+	cc.OnConnected = func() { cc.Close() }
+	w.sim.RunFor(2 * time.Second)
+	if srv == nil {
+		t.Fatal("no server conn")
+	}
+	srv.Close()
+	w.sim.RunFor(2 * time.Second)
+	// Client should be in TIME_WAIT (it closed first) or already
+	// finished; if TIME_WAIT, a re-sent FIN must elicit an ack.
+	if cc.State() == "TIME_WAIT" {
+		acksBefore := cc.RD().Stats().AcksSent
+		fin := &tcpwire.SubHeader{
+			DM: tcpwire.DMSection{SrcPort: 80, DstPort: cc.LocalPort()},
+			CM: tcpwire.CMSection{FIN: true, ISN: uint32(srv.cm.(*HandshakeCM).isn)},
+			RD: tcpwire.RDSection{Seq: uint32(srv.cm.localFinSeq()), AckValid: true},
+		}
+		_ = w.topo.Routers[4].Send(1, network.ProtoSubTCP, fin.Marshal(nil))
+		w.sim.RunFor(time.Second)
+		if cc.RD().Stats().AcksSent <= acksBefore {
+			t.Error("TIME_WAIT did not re-ack a retransmitted FIN")
+		}
+	}
+}
+
+// TestSimultaneousClose: both sides close at once; both reach CLOSED
+// without errors (FIN_WAIT_1 → CLOSING → TIME_WAIT path).
+func TestSimultaneousClose(t *testing.T) {
+	w := newWorld(t, 29, cleanLink(), Config{}, Config{})
+	lis, _ := w.server.Listen(80)
+	var srv *Conn
+	var srvErr, cliErr error
+	srvDone, cliDone := false, false
+	lis.OnAccept = func(c *Conn) {
+		srv = c
+		c.OnClosed = func(err error) { srvErr = err; srvDone = true }
+	}
+	cc, _ := w.client.Dial(4, 80)
+	cc.OnClosed = func(err error) { cliErr = err; cliDone = true }
+	cc.OnConnected = func() {
+		// Close both ends in the same instant.
+		cc.Close()
+		if srv != nil {
+			srv.Close()
+		}
+	}
+	w.sim.RunFor(time.Minute)
+	if !srvDone || !cliDone {
+		t.Fatalf("teardown incomplete: srv=%v cli=%v (states %s/%s)",
+			srvDone, cliDone, srv.State(), cc.State())
+	}
+	if srvErr != nil || cliErr != nil {
+		t.Errorf("close errors: %v / %v", srvErr, cliErr)
+	}
+}
+
+// TestHalfCloseServesData: after the client closes its write side, the
+// server can still stream data back (half-open connection).
+func TestHalfCloseServesData(t *testing.T) {
+	w := newWorld(t, 30, cleanLink(), Config{}, Config{})
+	lis, _ := w.server.Listen(80)
+	reply := randBytes(30_000, 10)
+	lis.OnAccept = func(c *Conn) {
+		c.OnReadable = func() {
+			c.ReadAll() // drain the request
+			if c.EOF() {
+				// Client finished its request; stream the response.
+				toSend := reply
+				push := func() {
+					for len(toSend) > 0 {
+						n := c.Write(toSend)
+						if n == 0 {
+							break
+						}
+						toSend = toSend[n:]
+					}
+					if len(toSend) == 0 {
+						c.Close()
+					}
+				}
+				c.OnWritable = push
+				push()
+			}
+		}
+	}
+	var got []byte
+	gotEOF := false
+	cc, _ := w.client.Dial(4, 80)
+	cc.OnConnected = func() {
+		cc.Write([]byte("GET /"))
+		cc.Close() // half-close: done writing, still reading
+	}
+	cc.OnReadable = func() {
+		got = append(got, cc.ReadAll()...)
+		if cc.EOF() {
+			gotEOF = true
+		}
+	}
+	w.sim.RunFor(time.Minute)
+	if !bytes.Equal(got, reply) {
+		t.Fatalf("half-close response: %d of %d bytes", len(got), len(reply))
+	}
+	if !gotEOF {
+		t.Error("no EOF after server close")
+	}
+}

@@ -1,0 +1,188 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tracker instruments state access for the entanglement experiment
+// (E6). Protocol code calls Read/Write with the current handler's name
+// and the touched variable's name; the tracker accumulates the
+// handler×variable access matrix from which the paper's §4.2 lessons
+// are quantified:
+//
+//   - SharedVars: variables touched by more than one handler (the
+//     "entangled state" of the monolithic PCB);
+//   - InteractionPairs: pairs of handlers that share at least one
+//     variable — the O(N²) cross-reasoning obligations the paper
+//     conjectures sublayering removes;
+//   - WriteConflicts: variables written by more than one handler, the
+//     ownership problem Dafny surfaces as frame annotations.
+//
+// A nil *Tracker is a no-op, so production paths pay one nil check.
+type Tracker struct {
+	handler string
+	reads   map[string]map[string]bool // handler → vars read
+	writes  map[string]map[string]bool // handler → vars written
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		reads:  make(map[string]map[string]bool),
+		writes: make(map[string]map[string]bool),
+	}
+}
+
+// Enter sets the current handler scope; handlers do not nest in the
+// protocol code under measurement, so Enter overwrites.
+func (t *Tracker) Enter(handler string) {
+	if t == nil {
+		return
+	}
+	t.handler = handler
+	if t.reads[handler] == nil {
+		t.reads[handler] = make(map[string]bool)
+		t.writes[handler] = make(map[string]bool)
+	}
+}
+
+// Read records that the current handler read variable v.
+func (t *Tracker) Read(v string) {
+	if t == nil || t.handler == "" {
+		return
+	}
+	t.reads[t.handler][v] = true
+}
+
+// Write records that the current handler wrote variable v (writes
+// imply reads for interaction purposes).
+func (t *Tracker) Write(v string) {
+	if t == nil || t.handler == "" {
+		return
+	}
+	t.writes[t.handler][v] = true
+	t.reads[t.handler][v] = true
+}
+
+// Handlers returns the handlers observed, sorted.
+func (t *Tracker) Handlers() []string {
+	var out []string
+	for h := range t.reads {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vars returns all variables observed, sorted.
+func (t *Tracker) Vars() []string {
+	set := make(map[string]bool)
+	for _, vs := range t.reads {
+		for v := range vs {
+			set[v] = true
+		}
+	}
+	var out []string
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entanglement is the E6 report for one implementation.
+type Entanglement struct {
+	Handlers         int
+	Vars             int
+	SharedVars       int     // touched by ≥2 handlers
+	WriteShared      int     // written by ≥2 handlers
+	InteractionPairs int     // handler pairs sharing ≥1 variable
+	MaxPairs         int     // n*(n-1)/2, the O(N²) ceiling
+	VarsPerHandler   float64 // mean variables touched per handler
+}
+
+// Analyze computes the entanglement metrics.
+func (t *Tracker) Analyze() Entanglement {
+	hs := t.Handlers()
+	e := Entanglement{Handlers: len(hs)}
+	touchCount := make(map[string]int)
+	writeCount := make(map[string]int)
+	total := 0
+	for _, h := range hs {
+		for v := range t.reads[h] {
+			touchCount[v]++
+			total++
+		}
+		for v := range t.writes[h] {
+			writeCount[v]++
+		}
+	}
+	e.Vars = len(touchCount)
+	for _, c := range touchCount {
+		if c >= 2 {
+			e.SharedVars++
+		}
+	}
+	for _, c := range writeCount {
+		if c >= 2 {
+			e.WriteShared++
+		}
+	}
+	for i := 0; i < len(hs); i++ {
+		for j := i + 1; j < len(hs); j++ {
+			shared := false
+			for v := range t.reads[hs[i]] {
+				if t.reads[hs[j]][v] {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				e.InteractionPairs++
+			}
+		}
+	}
+	e.MaxPairs = len(hs) * (len(hs) - 1) / 2
+	if len(hs) > 0 {
+		e.VarsPerHandler = float64(total) / float64(len(hs))
+	}
+	return e
+}
+
+// Matrix renders the handler×variable access matrix for reports:
+// 'W' written, 'r' read-only, '.' untouched.
+func (t *Tracker) Matrix() string {
+	hs, vs := t.Handlers(), t.Vars()
+	var b strings.Builder
+	w := 0
+	for _, h := range hs {
+		if len(h) > w {
+			w = len(h)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w+1, "")
+	for i := range vs {
+		fmt.Fprintf(&b, "%2d", i)
+	}
+	b.WriteByte('\n')
+	for _, h := range hs {
+		fmt.Fprintf(&b, "%-*s", w+1, h)
+		for _, v := range vs {
+			switch {
+			case t.writes[h][v]:
+				b.WriteString(" W")
+			case t.reads[h][v]:
+				b.WriteString(" r")
+			default:
+				b.WriteString(" .")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for i, v := range vs {
+		fmt.Fprintf(&b, "  %2d = %s\n", i, v)
+	}
+	return b.String()
+}
