@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet verify report clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the PR gate: static checks plus the full suite under the
+# race detector.
+verify: vet race
+
+# report regenerates BENCH_metrics.json, the machine-readable run
+# report over E1-E9 (deterministic: same seed, same bytes).
+report:
+	$(GO) run ./cmd/runreport
+
+clean:
+	rm -f BENCH_metrics.json

@@ -96,17 +96,19 @@ func main() {
 	if sc, isSub := res.ClientConn.(harness.SubConnAccess); isSub {
 		st := sc.Conn().RD().Stats()
 		fmt.Printf("reliable delivery: %d segments, %d retransmits (%d fast, %d timeouts), %d acks\n",
-			st.SegmentsSent, st.Retransmits, st.FastRetransmits, st.Timeouts, st.AcksSent)
+			st["segments_sent"], st["retransmits"], st["fast_retransmits"], st["timeouts"], st["acks_sent"])
 		cr := sc.Conn().CrossingStats()
 		fmt.Printf("sublayer crossings: app→OSR %d, OSR→RD %d, RD→OSR %d, DM up/down %d/%d\n",
-			cr.AppToOSR, cr.OSRToRD, cr.RDToOSRAck+cr.RDToOSRDat+cr.RDToOSRLos, cr.FromDM, cr.ToDM)
+			cr.AppToOSR.Value(), cr.OSRToRD.Value(),
+			cr.RDToOSRAck.Value()+cr.RDToOSRDat.Value()+cr.RDToOSRLos.Value(),
+			cr.FromDM.Value(), cr.ToDM.Value())
 	}
 	fmt.Println("\nper-router forwarding:")
 	for i := 1; i <= *routers; i++ {
 		r := w.Topo.Routers[network.Addr(i)]
 		st := r.Forwarder().Stats()
 		fmt.Printf("  n%-2d forwarded=%-6d local=%-6d noroute=%-4d ttl-expired=%d\n",
-			i, st.Forwarded, st.LocalDelivered, st.NoRoute, st.TTLExpired)
+			i, st["forwarded"], st["local_delivered"], st["no_route"], st["ttl_expired"])
 	}
 	if rec != nil {
 		fmt.Printf("\nlast %d packets at n%d:\n%s", len(rec.Events()), *routers, rec.Dump())

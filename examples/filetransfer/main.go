@@ -49,11 +49,12 @@ func main() {
 	osr := conn.OSR().Stats()
 	fmt.Printf("\nper-sublayer accounting at the sender:\n")
 	fmt.Printf("  OSR segmented %d bytes into %d ready segments (stalled on windows %d times)\n",
-		osr.BytesSegmented, osr.SegmentsReady, osr.WindowStalls)
+		osr["bytes_segmented"], osr["segments_ready"], osr["window_stalls"])
 	fmt.Printf("  RD sent %d segments, retransmitted %d (%d fast retransmits, %d timeouts)\n",
-		rd.SegmentsSent, rd.Retransmits, rd.FastRetransmits, rd.Timeouts)
+		rd["segments_sent"], rd["retransmits"], rd["fast_retransmits"], rd["timeouts"])
 	fmt.Printf("  CM state: %s (stream closed cleanly)\n", conn.State())
 	cr := conn.CrossingStats()
 	fmt.Printf("  boundary crossings: OSR→RD %d, RD→OSR %d, DM %d down / %d up\n",
-		cr.OSRToRD, cr.RDToOSRAck+cr.RDToOSRDat+cr.RDToOSRLos, cr.ToDM, cr.FromDM)
+		cr.OSRToRD.Value(), cr.RDToOSRAck.Value()+cr.RDToOSRDat.Value()+cr.RDToOSRLos.Value(),
+		cr.ToDM.Value(), cr.FromDM.Value())
 }

@@ -63,5 +63,5 @@ func main() {
 	}
 	arq := alice.Layers()[0].(*datalink.GoBackN).Stats()
 	fmt.Printf("\nrecovery work on a 20%%-loss link: %d retransmits, %d acks from bob\n",
-		arq.Retransmits, bob.Layers()[0].(*datalink.GoBackN).Stats().AcksSent)
+		arq.Get("retransmits"), bob.Layers()[0].(*datalink.GoBackN).Stats().Get("acks_sent"))
 }

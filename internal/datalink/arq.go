@@ -3,6 +3,8 @@ package datalink
 import (
 	"encoding/binary"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Error recovery (ARQ) is the top Fig. 2 sublayer: it "adds a header
@@ -49,15 +51,39 @@ func arqDecap(data []byte) (kind arqKind, seq, ack uint16, payload []byte, ok bo
 // seq16Less reports a < b in mod-2^16 arithmetic (window < 2^15).
 func seq16Less(a, b uint16) bool { return int16(a-b) < 0 }
 
-// ARQStats counts recovery events.
-type ARQStats struct {
-	Sent        uint64 // data frames first transmitted
-	Retransmits uint64
-	Delivered   uint64 // frames delivered upward, exactly once each
-	DupDropped  uint64 // duplicate data frames discarded
-	ErrDropped  uint64 // frames discarded because error detection flagged them
-	AcksSent    uint64
-	GaveUp      uint64
+// arqMetrics is the recovery-event instrument set shared by the three
+// ARQ schemes. Each scheme embeds it; Stats() projects it as a View
+// and BindMetrics adopts it into the registry.
+type arqMetrics struct {
+	sent        metrics.Counter // data frames first transmitted
+	retransmits metrics.Counter
+	delivered   metrics.Counter // frames delivered upward, exactly once each
+	dupDropped  metrics.Counter // duplicate data frames discarded
+	errDropped  metrics.Counter // frames discarded because error detection flagged them
+	acksSent    metrics.Counter
+	gaveUp      metrics.Counter
+}
+
+func (m *arqMetrics) bind(sc *metrics.Scope) {
+	sc.Register("sent", &m.sent)
+	sc.Register("retransmits", &m.retransmits)
+	sc.Register("delivered", &m.delivered)
+	sc.Register("dup_dropped", &m.dupDropped)
+	sc.Register("err_dropped", &m.errDropped)
+	sc.Register("acks_sent", &m.acksSent)
+	sc.Register("gave_up", &m.gaveUp)
+}
+
+func (m *arqMetrics) view() metrics.View {
+	return metrics.View{
+		"sent":        m.sent.Value(),
+		"retransmits": m.retransmits.Value(),
+		"delivered":   m.delivered.Value(),
+		"dup_dropped": m.dupDropped.Value(),
+		"err_dropped": m.errDropped.Value(),
+		"acks_sent":   m.acksSent.Value(),
+		"gave_up":     m.gaveUp.Value(),
+	}
 }
 
 // ARQConfig tunes an ARQ sublayer.

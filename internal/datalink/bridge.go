@@ -3,6 +3,7 @@ package datalink
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sublayer"
 )
@@ -20,15 +21,15 @@ type Bridge struct {
 	ports []*MAC
 	// table maps a source address to the port index it was learned on.
 	table map[byte]int
-	stats BridgeStats
+	m     bridgeMetrics
 }
 
-// BridgeStats counts bridge decisions.
-type BridgeStats struct {
-	Learned   uint64
-	Forwarded uint64
-	Flooded   uint64
-	Filtered  uint64 // destination on the arrival segment: no forward
+// bridgeMetrics counts bridge decisions.
+type bridgeMetrics struct {
+	learned   metrics.Counter
+	forwarded metrics.Counter
+	flooded   metrics.Counter
+	filtered  metrics.Counter // destination on the arrival segment: no forward
 }
 
 // NewBridge creates a bridge across the given buses. The bridge's
@@ -52,8 +53,24 @@ func bridgePortName(i int) string {
 	return "bridge-port-" + string(rune('a'+i))
 }
 
-// Stats returns a snapshot of bridge counters.
-func (b *Bridge) Stats() BridgeStats { return b.stats }
+// Stats returns a view of the bridge counters (keys: learned,
+// forwarded, flooded, filtered).
+func (b *Bridge) Stats() metrics.View {
+	return metrics.View{
+		"learned":   b.m.learned.Value(),
+		"forwarded": b.m.forwarded.Value(),
+		"flooded":   b.m.flooded.Value(),
+		"filtered":  b.m.filtered.Value(),
+	}
+}
+
+// BindMetrics implements metrics.Instrumented.
+func (b *Bridge) BindMetrics(sc *metrics.Scope) {
+	sc.Register("learned", &b.m.learned)
+	sc.Register("forwarded", &b.m.forwarded)
+	sc.Register("flooded", &b.m.flooded)
+	sc.Register("filtered", &b.m.filtered)
+}
 
 // Table returns a copy of the learned address table.
 func (b *Bridge) Table() map[byte]int {
@@ -67,23 +84,23 @@ func (b *Bridge) Table() map[byte]int {
 // onFrame applies the classic learn-then-forward algorithm.
 func (b *Bridge) onFrame(port int, dst, src byte, payload []byte) {
 	if _, known := b.table[src]; !known {
-		b.stats.Learned++
+		b.m.learned.Inc()
 	}
 	b.table[src] = port
 
 	if dst != Broadcast {
 		if outPort, known := b.table[dst]; known {
 			if outPort == port {
-				b.stats.Filtered++ // already on the right segment
+				b.m.filtered.Inc() // already on the right segment
 				return
 			}
-			b.stats.Forwarded++
+			b.m.forwarded.Inc()
 			b.ports[outPort].forwardFrame(dst, src, payload)
 			return
 		}
 	}
 	// Broadcast or unknown destination: flood to every other segment.
-	b.stats.Flooded++
+	b.m.flooded.Inc()
 	for i, m := range b.ports {
 		if i == port {
 			continue

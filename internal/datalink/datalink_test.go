@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bitio"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stuffing"
 	"repro/internal/sublayer"
@@ -232,9 +233,9 @@ func TestErrDetectFlagsDamage(t *testing.T) {
 	if up == nil || !up.Meta.ErrDetected {
 		t.Fatal("short frame not flagged")
 	}
-	p, f := ed.Stats()
-	if p != 1 || f != 2 {
-		t.Errorf("stats = %d passed, %d failed", p, f)
+	v := ed.Stats()
+	if v["passed"] != 1 || v["failed"] != 2 {
+		t.Errorf("stats = %d passed, %d failed", v["passed"], v["failed"])
 	}
 }
 
@@ -399,12 +400,12 @@ func TestARQStatsReflectWork(t *testing.T) {
 	checkDelivery(t, "gbn", sent, p.rxB)
 	aArq := p.a.Layers()[0].(*GoBackN)
 	st := aArq.Stats()
-	if st.Retransmits == 0 {
+	if st["retransmits"] == 0 {
 		t.Error("no retransmissions on a 15%-loss link")
 	}
 	bArq := p.b.Layers()[0].(*GoBackN)
-	if bArq.Stats().Delivered != 30 {
-		t.Errorf("receiver delivered %d", bArq.Stats().Delivered)
+	if bArq.Stats()["delivered"] != 30 {
+		t.Errorf("receiver delivered %d", bArq.Stats()["delivered"])
 	}
 }
 
@@ -420,8 +421,8 @@ func TestCleanLinkNoRetransmits(t *testing.T) {
 	p.sim.RunFor(10 * time.Second)
 	checkDelivery(t, "clean", sent, p.rxB)
 	st := p.a.Layers()[0].(*GoBackN).Stats()
-	if st.Retransmits != 0 {
-		t.Errorf("spurious retransmits: %d", st.Retransmits)
+	if st["retransmits"] != 0 {
+		t.Errorf("spurious retransmits: %d", st["retransmits"])
 	}
 }
 
@@ -439,9 +440,9 @@ func TestMaxRetriesHaltsLink(t *testing.T) {
 			netsim.LinkConfig{LossProb: 1})
 		p.a.Send(sublayer.NewPDU([]byte("doomed")))
 		p.sim.RunFor(5 * time.Second)
-		type gaveUpper interface{ Stats() ARQStats }
+		type gaveUpper interface{ Stats() metrics.View }
 		st := p.a.Layers()[0].(gaveUpper).Stats()
-		if st.GaveUp == 0 {
+		if st["gave_up"] == 0 {
 			t.Errorf("%s: never gave up on dead link", p.a.Layers()[0].Name())
 		}
 		// The simulator must drain: no infinite retry loop.
@@ -464,7 +465,7 @@ func TestStopAndWaitAlternatingBit(t *testing.T) {
 	p.sim.RunFor(time.Minute)
 	checkDelivery(t, "saw", sent, p.rxB)
 	st := p.b.Layers()[0].(*StopAndWait).Stats()
-	if st.DupDropped == 0 {
+	if st["dup_dropped"] == 0 {
 		t.Error("no duplicates filtered despite dup=0.8")
 	}
 }
@@ -505,7 +506,7 @@ func TestMACSharedMedium(t *testing.T) {
 	if got := len(sts[2].rx); got != 40 {
 		t.Fatalf("station 2 received %d of 40", got)
 	}
-	if bus.Stats().Collisions == 0 {
+	if bus.Stats()["collisions"] == 0 {
 		t.Error("no collisions despite simultaneous senders")
 	}
 	// Both senders got through (eventual fairness).
@@ -522,7 +523,7 @@ func TestMACSharedMedium(t *testing.T) {
 	}
 	// Unicast filtering: stations 0/1 heard each other's frames
 	// addressed to 2 and filtered them.
-	if sts[0].mac.Stats().Filtered == 0 && sts[1].mac.Stats().Filtered == 0 {
+	if sts[0].mac.Stats()["filtered"] == 0 && sts[1].mac.Stats()["filtered"] == 0 {
 		t.Error("no frames filtered by address")
 	}
 }
@@ -709,18 +710,18 @@ func TestBridgeLearnsAndForwards(t *testing.T) {
 		t.Fatalf("reply not delivered: %v", h1.rx)
 	}
 	st := bridge.Stats()
-	if st.Learned < 2 {
-		t.Errorf("bridge learned %d addresses", st.Learned)
+	if st["learned"] < 2 {
+		t.Errorf("bridge learned %d addresses", st["learned"])
 	}
-	if st.Forwarded == 0 {
+	if st["forwarded"] == 0 {
 		t.Error("bridge never forwarded a learned unicast")
 	}
 	// Let the bridge learn h2's segment (h2 transmits once), then
 	// same-segment unicast h1 → h2 must be filtered, not forwarded.
 	h2.mac.SendTo(1, []byte("teach"))
 	sim.RunFor(time.Second)
-	fwdBefore := bridge.Stats().Forwarded
-	floodBefore := bridge.Stats().Flooded
+	fwdBefore := bridge.Stats()["forwarded"]
+	floodBefore := bridge.Stats()["flooded"]
 	h1.mac.SendTo(2, []byte("local"))
 	sim.RunFor(time.Second)
 	if len(h2.rx) != 1 || string(h2.rx[0]) != "local" {
@@ -728,11 +729,11 @@ func TestBridgeLearnsAndForwards(t *testing.T) {
 	}
 	_ = h1.rx // h1 also heard "teach"; counts checked below
 	st = bridge.Stats()
-	if st.Forwarded != fwdBefore || st.Flooded != floodBefore {
+	if st["forwarded"] != fwdBefore || st["flooded"] != floodBefore {
 		t.Errorf("bridge forwarded same-segment traffic (fwd %d→%d flood %d→%d)",
-			fwdBefore, st.Forwarded, floodBefore, st.Flooded)
+			fwdBefore, st["forwarded"], floodBefore, st["flooded"])
 	}
-	if st.Filtered == 0 {
+	if st["filtered"] == 0 {
 		t.Error("filter decision not counted")
 	}
 	// Broadcast reaches everyone on both segments.
@@ -787,7 +788,7 @@ func TestBroadcastLANWithChecksums(t *testing.T) {
 		nodes[1].stack.Send(sublayer.NewPDU(append([]byte(nil), payload...)))
 	}
 	sim.RunFor(10 * time.Second)
-	if bus.Stats().Collisions == 0 {
+	if bus.Stats()["collisions"] == 0 {
 		t.Error("no collisions on simultaneous broadcast load")
 	}
 	// Receiver 2 hears both senders: 30 frames, none corrupt.

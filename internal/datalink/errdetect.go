@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"hash/crc64"
 
+	"repro/internal/metrics"
 	"repro/internal/sublayer"
 )
 
@@ -150,8 +151,9 @@ func (Parity) Sum(data []byte) []byte {
 type ErrDetect struct {
 	sum Checksum
 	rt  sublayer.Runtime
-	// stats
-	passed, failed uint64
+
+	passed metrics.Counter
+	failed metrics.Counter
 }
 
 // NewErrDetect wraps a Checksum as a sublayer.
@@ -179,7 +181,7 @@ func (e *ErrDetect) HandleUp(p *sublayer.PDU) {
 	n := e.sum.Size()
 	if len(p.Data) < n {
 		p.Meta.ErrDetected = true
-		e.failed++
+		e.failed.Inc()
 		e.rt.DeliverUp(p)
 		return
 	}
@@ -195,12 +197,21 @@ func (e *ErrDetect) HandleUp(p *sublayer.PDU) {
 	p.Data = body
 	if !ok {
 		p.Meta.ErrDetected = true
-		e.failed++
+		e.failed.Inc()
 	} else {
-		e.passed++
+		e.passed.Inc()
 	}
 	e.rt.DeliverUp(p)
 }
 
-// Stats returns (frames passed, frames flagged).
-func (e *ErrDetect) Stats() (passed, failed uint64) { return e.passed, e.failed }
+// Stats returns a view of the verification counters (keys: passed,
+// failed).
+func (e *ErrDetect) Stats() metrics.View {
+	return metrics.View{"passed": e.passed.Value(), "failed": e.failed.Value()}
+}
+
+// BindMetrics implements metrics.Instrumented.
+func (e *ErrDetect) BindMetrics(sc *metrics.Scope) {
+	sc.Register("passed", &e.passed)
+	sc.Register("failed", &e.failed)
+}

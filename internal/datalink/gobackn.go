@@ -1,6 +1,7 @@
 package datalink
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sublayer"
 )
@@ -11,7 +12,7 @@ import (
 type GoBackN struct {
 	cfg   ARQConfig
 	rt    sublayer.Runtime
-	stats ARQStats
+	m arqMetrics
 
 	// Sender half.
 	queue   [][]byte          // not yet assigned a sequence number
@@ -48,8 +49,11 @@ func (g *GoBackN) Service() string {
 // Attach implements sublayer.Sublayer.
 func (g *GoBackN) Attach(rt sublayer.Runtime) { g.rt = rt }
 
-// Stats returns a snapshot of recovery counters.
-func (g *GoBackN) Stats() ARQStats { return g.stats }
+// Stats returns a view of the recovery counters.
+func (g *GoBackN) Stats() metrics.View { return g.m.view() }
+
+// BindMetrics implements metrics.Instrumented.
+func (g *GoBackN) BindMetrics(sc *metrics.Scope) { g.m.bind(sc) }
 
 // HandleDown queues a packet and fills the window.
 func (g *GoBackN) HandleDown(p *sublayer.PDU) {
@@ -66,7 +70,7 @@ func (g *GoBackN) fill() {
 		payload := g.queue[0]
 		g.queue = g.queue[1:]
 		g.unacked[g.next] = payload
-		g.stats.Sent++
+		g.m.sent.Inc()
 		g.rt.SendDown(sublayer.NewPDU(arqEncap(arqData, g.next, 0, payload)))
 		g.next++
 	}
@@ -98,7 +102,7 @@ func (g *GoBackN) onTimeout() {
 		// dead and stop.
 		for s := g.base; s != g.next; s++ {
 			delete(g.unacked, s)
-			g.stats.GaveUp++
+			g.m.gaveUp.Inc()
 		}
 		g.halted = true
 		g.queue = nil
@@ -107,7 +111,7 @@ func (g *GoBackN) onTimeout() {
 	}
 	// Go back N: resend every outstanding frame.
 	for s := g.base; s != g.next; s++ {
-		g.stats.Retransmits++
+		g.m.retransmits.Inc()
 		g.rt.SendDown(sublayer.NewPDU(arqEncap(arqData, s, 0, g.unacked[s])))
 	}
 	g.syncTimer()
@@ -116,7 +120,7 @@ func (g *GoBackN) onTimeout() {
 // HandleUp processes data and cumulative-ack frames.
 func (g *GoBackN) HandleUp(p *sublayer.PDU) {
 	if p.Meta.ErrDetected {
-		g.stats.ErrDropped++
+		g.m.errDropped.Inc()
 		g.rt.Drop(p, "checksum failure")
 		return
 	}
@@ -149,13 +153,13 @@ func (g *GoBackN) HandleUp(p *sublayer.PDU) {
 	case arqData:
 		if seq == g.expect {
 			g.expect++
-			g.stats.Delivered++
+			g.m.delivered.Inc()
 			g.rt.DeliverUp(&sublayer.PDU{Data: payload, Meta: p.Meta})
 		} else {
-			g.stats.DupDropped++
+			g.m.dupDropped.Inc()
 		}
 		// Cumulative (re-)ack of everything below expect.
-		g.stats.AcksSent++
+		g.m.acksSent.Inc()
 		g.rt.SendDown(sublayer.NewPDU(arqEncap(arqAck, 0, g.expect, nil)))
 	}
 }

@@ -3,6 +3,7 @@ package datalink
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sublayer"
 )
@@ -30,16 +31,24 @@ type MAC struct {
 	sending  bool
 	collided bool
 	attempt  int
-	stats    MACStats
+	m        macMetrics
 }
 
-// MACStats counts medium-acquisition events.
-type MACStats struct {
-	Sent       uint64
-	Collisions uint64
-	Backoffs   uint64
-	Received   uint64
-	Filtered   uint64 // frames addressed elsewhere
+// macMetrics counts medium-acquisition events.
+type macMetrics struct {
+	sent       metrics.Counter
+	collisions metrics.Counter
+	backoffs   metrics.Counter
+	received   metrics.Counter
+	filtered   metrics.Counter // frames addressed elsewhere
+}
+
+func (m *macMetrics) bind(sc *metrics.Scope) {
+	sc.Register("sent", &m.sent)
+	sc.Register("collisions", &m.collisions)
+	sc.Register("backoffs", &m.backoffs)
+	sc.Register("received", &m.received)
+	sc.Register("filtered", &m.filtered)
 }
 
 // Broadcast is the all-stations MAC address.
@@ -90,8 +99,20 @@ func (m *MAC) Service() string {
 // Attach implements sublayer.Sublayer.
 func (m *MAC) Attach(rt sublayer.Runtime) { m.rt = rt }
 
-// Stats returns a snapshot of the MAC counters.
-func (m *MAC) Stats() MACStats { return m.stats }
+// Stats returns a view of the MAC counters (keys: sent, collisions,
+// backoffs, received, filtered).
+func (m *MAC) Stats() metrics.View {
+	return metrics.View{
+		"sent":       m.m.sent.Value(),
+		"collisions": m.m.collisions.Value(),
+		"backoffs":   m.m.backoffs.Value(),
+		"received":   m.m.received.Value(),
+		"filtered":   m.m.filtered.Value(),
+	}
+}
+
+// BindMetrics implements metrics.Instrumented.
+func (m *MAC) BindMetrics(sc *metrics.Scope) { m.m.bind(sc) }
 
 // SendTo queues a payload for a specific station. The generic
 // HandleDown path broadcasts.
@@ -136,7 +157,7 @@ func (m *MAC) settle() {
 	m.sending = false
 	if m.collided {
 		m.attempt++
-		m.stats.Backoffs++
+		m.m.backoffs.Inc()
 		exp := m.attempt
 		if exp > maxBackoffExp {
 			exp = maxBackoffExp
@@ -146,14 +167,14 @@ func (m *MAC) settle() {
 		return
 	}
 	// Success: frame is on the wire.
-	m.stats.Sent++
+	m.m.sent.Inc()
 	m.attempt = 0
 	m.queue = m.queue[1:]
 	m.try()
 }
 
 func (m *MAC) onCollision() {
-	m.stats.Collisions++
+	m.m.collisions.Inc()
 	m.collided = true
 }
 
@@ -163,14 +184,14 @@ func (m *MAC) onReceive(pkt *netsim.Packet, deliver func(p *sublayer.PDU)) {
 	}
 	dst, src := pkt.Data[0], pkt.Data[1]
 	if m.promisc != nil {
-		m.stats.Received++
+		m.m.received.Inc()
 		m.promisc(dst, src, pkt.Data[macHeaderLen:])
 		return
 	}
 	if dst != Broadcast && dst != m.addr {
-		m.stats.Filtered++
+		m.m.filtered.Inc()
 		return
 	}
-	m.stats.Received++
+	m.m.received.Inc()
 	deliver(&sublayer.PDU{Data: pkt.Data[macHeaderLen:]})
 }

@@ -1,6 +1,7 @@
 package datalink
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sublayer"
 )
@@ -12,7 +13,7 @@ import (
 type SelectiveRepeat struct {
 	cfg   ARQConfig
 	rt    sublayer.Runtime
-	stats ARQStats
+	m arqMetrics
 
 	// Sender half.
 	queue [][]byte
@@ -59,8 +60,11 @@ func (s *SelectiveRepeat) Service() string {
 // Attach implements sublayer.Sublayer.
 func (s *SelectiveRepeat) Attach(rt sublayer.Runtime) { s.rt = rt }
 
-// Stats returns a snapshot of recovery counters.
-func (s *SelectiveRepeat) Stats() ARQStats { return s.stats }
+// Stats returns a view of the recovery counters.
+func (s *SelectiveRepeat) Stats() metrics.View { return s.m.view() }
+
+// BindMetrics implements metrics.Instrumented.
+func (s *SelectiveRepeat) BindMetrics(sc *metrics.Scope) { s.m.bind(sc) }
 
 // HandleDown queues a packet and fills the window.
 func (s *SelectiveRepeat) HandleDown(p *sublayer.PDU) {
@@ -80,7 +84,7 @@ func (s *SelectiveRepeat) fill() {
 		s.sent[s.next] = f
 		seq := s.next
 		s.next++
-		s.stats.Sent++
+		s.m.sent.Inc()
 		s.transmit(seq, f)
 	}
 }
@@ -101,7 +105,7 @@ func (s *SelectiveRepeat) onTimeout(seq uint16) {
 	f.retries++
 	if s.cfg.MaxRetries > 0 && f.retries > s.cfg.MaxRetries {
 		// A reliable window cannot skip a frame: declare the link dead.
-		s.stats.GaveUp++
+		s.m.gaveUp.Inc()
 		s.halted = true
 		s.queue = nil
 		for _, fr := range s.sent {
@@ -111,7 +115,7 @@ func (s *SelectiveRepeat) onTimeout(seq uint16) {
 		}
 		return
 	}
-	s.stats.Retransmits++
+	s.m.retransmits.Inc()
 	s.transmit(seq, f)
 }
 
@@ -134,7 +138,7 @@ func (s *SelectiveRepeat) slide() {
 // HandleUp processes data and per-frame ack frames.
 func (s *SelectiveRepeat) HandleUp(p *sublayer.PDU) {
 	if p.Meta.ErrDetected {
-		s.stats.ErrDropped++
+		s.m.errDropped.Inc()
 		s.rt.Drop(p, "checksum failure")
 		return
 	}
@@ -155,11 +159,11 @@ func (s *SelectiveRepeat) HandleUp(p *sublayer.PDU) {
 	case arqData:
 		// Ack every data frame individually, even duplicates (the
 		// original ack may have been lost).
-		s.stats.AcksSent++
+		s.m.acksSent.Inc()
 		s.rt.SendDown(sublayer.NewPDU(arqEncap(arqAck, 0, seq, nil)))
 		switch {
 		case seq == s.expect:
-			s.stats.Delivered++
+			s.m.delivered.Inc()
 			s.rt.DeliverUp(&sublayer.PDU{Data: payload, Meta: p.Meta})
 			s.expect++
 			// Flush any buffered successors.
@@ -169,18 +173,18 @@ func (s *SelectiveRepeat) HandleUp(p *sublayer.PDU) {
 					break
 				}
 				delete(s.buffer, s.expect)
-				s.stats.Delivered++
+				s.m.delivered.Inc()
 				s.rt.DeliverUp(&sublayer.PDU{Data: buf})
 				s.expect++
 			}
 		case seq16Less(s.expect, seq) && int(seq-s.expect) < s.cfg.Window:
 			if _, dup := s.buffer[seq]; dup {
-				s.stats.DupDropped++
+				s.m.dupDropped.Inc()
 			} else {
 				s.buffer[seq] = payload
 			}
 		default:
-			s.stats.DupDropped++ // before window: already delivered
+			s.m.dupDropped.Inc() // before window: already delivered
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package datalink
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stuffing"
 	"repro/internal/sublayer"
@@ -39,9 +40,26 @@ func (c StackConfig) withDefaults() StackConfig {
 	return c
 }
 
+// Option configures NewStack beyond the sublayer selection.
+type Option func(*stackOptions)
+
+type stackOptions struct {
+	reg *metrics.Registry
+}
+
+// WithMetrics registers the stack's boundary counters and every
+// instrumented sublayer into reg under "<name>/datalink/...".
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *stackOptions) { o.reg = reg }
+}
+
 // NewStack composes a data-link endpoint per Fig. 2, top to bottom:
 // error recovery, error detection, framing, encoding.
-func NewStack(sim *netsim.Simulator, name string, cfg StackConfig) (*sublayer.Stack, error) {
+func NewStack(sim *netsim.Simulator, name string, cfg StackConfig, opts ...Option) (*sublayer.Stack, error) {
+	var o stackOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	cfg = cfg.withDefaults()
 	layers := []sublayer.Sublayer{}
 	if !cfg.NoARQ {
@@ -52,7 +70,14 @@ func NewStack(sim *netsim.Simulator, name string, cfg StackConfig) (*sublayer.St
 		NewFraming(cfg.Framer),
 		NewEncoding(cfg.Code),
 	)
-	return sublayer.New(sim, name, layers...)
+	st, err := sublayer.New(sim, name, layers...)
+	if err != nil {
+		return nil, err
+	}
+	if o.reg != nil {
+		st.BindMetrics(o.reg.Scope(name).Sub("datalink"))
+	}
+	return st, nil
 }
 
 // Connect wires two data-link stacks over a duplex impaired link: each

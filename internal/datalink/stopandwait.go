@@ -1,6 +1,7 @@
 package datalink
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sublayer"
 )
@@ -10,7 +11,7 @@ import (
 type StopAndWait struct {
 	cfg   ARQConfig
 	rt    sublayer.Runtime
-	stats ARQStats
+	m arqMetrics
 
 	// Sender half.
 	queue    [][]byte // payloads waiting their turn
@@ -44,8 +45,11 @@ func (s *StopAndWait) Service() string {
 // Attach implements sublayer.Sublayer.
 func (s *StopAndWait) Attach(rt sublayer.Runtime) { s.rt = rt }
 
-// Stats returns a snapshot of recovery counters.
-func (s *StopAndWait) Stats() ARQStats { return s.stats }
+// Stats returns a view of the recovery counters.
+func (s *StopAndWait) Stats() metrics.View { return s.m.view() }
+
+// BindMetrics implements metrics.Instrumented.
+func (s *StopAndWait) BindMetrics(sc *metrics.Scope) { s.m.bind(sc) }
 
 // HandleDown queues a packet and transmits if the channel is idle.
 func (s *StopAndWait) HandleDown(p *sublayer.PDU) {
@@ -64,7 +68,7 @@ func (s *StopAndWait) kick() {
 	s.inflight = s.queue[0]
 	s.queue = s.queue[1:]
 	s.retries = 0
-	s.stats.Sent++
+	s.m.sent.Inc()
 	s.transmit()
 }
 
@@ -86,19 +90,19 @@ func (s *StopAndWait) onTimeout() {
 	}
 	s.retries++
 	if s.cfg.MaxRetries > 0 && s.retries > s.cfg.MaxRetries {
-		s.stats.GaveUp++
+		s.m.gaveUp.Inc()
 		s.halted = true
 		s.inflight, s.queue = nil, nil
 		return
 	}
-	s.stats.Retransmits++
+	s.m.retransmits.Inc()
 	s.transmit()
 }
 
 // HandleUp processes data and ack frames from below.
 func (s *StopAndWait) HandleUp(p *sublayer.PDU) {
 	if p.Meta.ErrDetected {
-		s.stats.ErrDropped++
+		s.m.errDropped.Inc()
 		s.rt.Drop(p, "checksum failure")
 		return
 	}
@@ -119,14 +123,14 @@ func (s *StopAndWait) HandleUp(p *sublayer.PDU) {
 		}
 	case arqData:
 		// Always (re-)acknowledge; deliver only the expected bit.
-		s.stats.AcksSent++
+		s.m.acksSent.Inc()
 		s.rt.SendDown(sublayer.NewPDU(arqEncap(arqAck, 0, seq, nil)))
 		if seq == s.expect {
 			s.expect ^= 1
-			s.stats.Delivered++
+			s.m.delivered.Inc()
 			s.rt.DeliverUp(&sublayer.PDU{Data: payload, Meta: p.Meta})
 		} else {
-			s.stats.DupDropped++
+			s.m.dupDropped.Inc()
 		}
 	}
 }

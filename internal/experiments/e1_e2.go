@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/datalink"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/stuffing"
@@ -49,10 +50,11 @@ func E1DataLink(seed int64) *Result {
 		{"code=nrzi", func() datalink.StackConfig { return datalink.StackConfig{Code: datalink.NRZI{}} }},
 	}
 	const packets = 40
-	for _, v := range variants {
-		sim := netsim.NewSimulator(seed)
-		a, _ := datalink.NewStack(sim, "A", v.cfg())
-		b, _ := datalink.NewStack(sim, "B", v.cfg())
+	for vi, v := range variants {
+		reg := metrics.New()
+		sim := netsim.NewSimulator(seed, netsim.WithMetrics(reg))
+		a, _ := datalink.NewStack(sim, "A", v.cfg(), datalink.WithMetrics(reg))
+		b, _ := datalink.NewStack(sim, "B", v.cfg(), datalink.WithMetrics(reg))
 		delivered := 0
 		var wireBytes, wirePkts uint64
 		b.SetApp(func(p *sublayer.PDU) { delivered++ })
@@ -73,14 +75,17 @@ func E1DataLink(seed int64) *Result {
 		wireBytes, wirePkts = wire.DownBytes, wire.Down
 		var rexmit, crcFail uint64
 		for _, l := range a.Layers() {
-			if s, ok := l.(interface{ Stats() datalink.ARQStats }); ok {
-				rexmit = s.Stats().Retransmits
+			if _, isED := l.(*datalink.ErrDetect); isED {
+				continue
+			}
+			if s, ok := l.(interface{ Stats() metrics.View }); ok {
+				rexmit = s.Stats().Get("retransmits")
+				break
 			}
 		}
 		for _, l := range b.Layers() {
 			if ed, ok := l.(*datalink.ErrDetect); ok {
-				_, f := ed.Stats()
-				crcFail = f
+				crcFail = ed.Stats().Get("failed")
 			}
 		}
 		perPkt := "-"
@@ -94,6 +99,7 @@ func E1DataLink(seed int64) *Result {
 			fmt.Sprintf("%d", crcFail),
 			perPkt,
 		})
+		res.Metrics = metrics.Merge(res.Metrics, reg.Snapshot().WithPrefix(fmt.Sprintf("v%02d", vi)))
 	}
 	res.Notes = append(res.Notes,
 		"every variant delivers all packets in order over 10% loss + 5% corruption: sublayers replace freely (T3)",
@@ -116,11 +122,13 @@ func E2Routing(seed int64) *Result {
 		edges := network.RandomConnectedGraph(rng, n, 4, 3)
 		ref := network.ReferenceDistances(edges)
 
-		check := func(mk func() network.RouteComputer) (bool, uint64) {
-			sim := netsim.NewSimulator(seed + int64(trial))
+		check := func(alg string, mk func() network.RouteComputer) (bool, uint64) {
+			reg := metrics.New()
+			sim := netsim.NewSimulator(seed+int64(trial), netsim.WithMetrics(reg))
 			topo := network.BuildTopology(sim, edges,
 				netsim.LinkConfig{Delay: time.Millisecond},
 				network.NeighborConfig{HelloInterval: 200 * time.Millisecond}, mk)
+			topo.BindMetrics(reg)
 			sim.RunFor(15 * time.Second)
 			ok := true
 			var control uint64
@@ -133,17 +141,20 @@ func E2Routing(seed int64) *Result {
 				}
 				switch c := r.Computer().(type) {
 				case *network.DistanceVector:
-					control += c.Stats().AdvertsSent + c.Stats().TriggeredSent
+					v := c.Stats()
+					control += v.Get("adverts_sent") + v.Get("triggered_sent")
 				case *network.LinkState:
-					control += c.Stats().LSPsFlooded
+					control += c.Stats().Get("lsps_flooded")
 				}
 			}
+			res.Metrics = metrics.Merge(res.Metrics,
+				reg.Snapshot().WithPrefix(fmt.Sprintf("trial%d/%s", trial, alg)))
 			return ok, control
 		}
-		dvOK, dvMsgs := check(func() network.RouteComputer {
+		dvOK, dvMsgs := check("dv", func() network.RouteComputer {
 			return network.NewDistanceVector(network.DVConfig{AdvertiseInterval: 500 * time.Millisecond})
 		})
-		lsOK, lsMsgs := check(func() network.RouteComputer {
+		lsOK, lsMsgs := check("ls", func() network.RouteComputer {
 			return network.NewLinkState(network.LSConfig{RefreshInterval: 2 * time.Second})
 		})
 		res.Rows = append(res.Rows, []string{

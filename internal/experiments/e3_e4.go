@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/harness"
@@ -38,9 +39,11 @@ func E3SublayeredTCP(seed int64) *Result {
 		Header: []string{"loss", "bytes", "intact", "virtual-time", "retransmits", "fast-rexmit"},
 	}
 	for _, loss := range []float64{0, 0.01, 0.05, 0.10} {
+		reg := metrics.New()
 		w := harness.BuildWorld(harness.WorldConfig{
 			Seed: seed, Link: lossyLink(loss),
 			Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
+			Metrics: reg,
 		})
 		data := randPayload(200_000, seed)
 		r, err := harness.RunTransfer(w, data, nil, 20*time.Minute)
@@ -48,7 +51,7 @@ func E3SublayeredTCP(seed int64) *Result {
 		var rex, fast uint64
 		if sc, ok := r.ClientConn.(harness.SubConnAccess); ok {
 			st := sc.Conn().RD().Stats()
-			rex, fast = st.Retransmits, st.FastRetransmits
+			rex, fast = st.Get("retransmits"), st.Get("fast_retransmits")
 		}
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%.0f%%", loss*100),
@@ -58,6 +61,8 @@ func E3SublayeredTCP(seed int64) *Result {
 			fmt.Sprintf("%d", rex),
 			fmt.Sprintf("%d", fast),
 		})
+		res.Metrics = metrics.Merge(res.Metrics,
+			reg.Snapshot().WithPrefix(fmt.Sprintf("loss%02.0f", loss*100)))
 	}
 	// Header isomorphism spot check (full property suite in tcpwire).
 	shim := tcpwire.NewShim(1000)
@@ -85,8 +90,10 @@ func E4Interop(seed int64) *Result {
 	for _, ck := range kinds {
 		for _, sk := range kinds {
 			i++
+			reg := metrics.New()
 			w := harness.BuildWorld(harness.WorldConfig{
 				Seed: seed + i, Link: lossyLink(0.04), Client: ck, Server: sk,
+				Metrics: reg,
 			})
 			up := randPayload(60_000, seed+i)
 			down := randPayload(40_000, seed+i+50)
@@ -100,6 +107,8 @@ func E4Interop(seed int64) *Result {
 				fmt.Sprintf("%v", clean),
 				r.Elapsed.Truncate(time.Millisecond).String(),
 			})
+			res.Metrics = metrics.Merge(res.Metrics,
+				reg.Snapshot().WithPrefix(fmt.Sprintf("%s-to-%s", ck, sk)))
 		}
 	}
 	res.Notes = append(res.Notes,

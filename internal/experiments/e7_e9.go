@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/offload"
 	"repro/internal/transport/harness"
 	"repro/internal/transport/sublayered"
@@ -33,8 +34,10 @@ func E7Performance(seed int64) *Result {
 			if kind == harness.KindSublayeredShim {
 				peer = harness.KindMonolithic // shim's raison d'être
 			}
+			reg := metrics.New()
 			w := harness.BuildWorld(harness.WorldConfig{
 				Seed: seed, Link: lossyLink(sc.loss), Client: kind, Server: peer,
+				Metrics: reg,
 			})
 			data := randPayload(500_000, seed)
 			r, err := harness.RunTransfer(w, data, nil, 30*time.Minute)
@@ -42,14 +45,14 @@ func E7Performance(seed int64) *Result {
 			var segs, rex uint64
 			if s, ok := r.ClientConn.(harness.SubConnAccess); ok {
 				st := s.Conn().RD().Stats()
-				segs, rex = st.SegmentsSent, st.Retransmits
+				segs, rex = st.Get("segments_sent"), st.Get("retransmits")
 			} else if m, ok := r.ClientConn.(harness.MonoConnAccess); ok {
 				stats := m.PCB
 				_ = stats
 			}
 			if kind == harness.KindMonolithic {
 				st := w.Client.(*harness.Monolithic).Stack.Stats()
-				segs, rex = st.SegmentsOut, st.Retransmits
+				segs, rex = st.Get("segments_out"), st.Get("retransmits")
 			}
 			tm := r.Elapsed.Truncate(time.Millisecond).String()
 			if !intact {
@@ -59,6 +62,8 @@ func E7Performance(seed int64) *Result {
 				kind.String(), sc.name, fmt.Sprintf("%d", len(data)),
 				tm, fmt.Sprintf("%d", segs), fmt.Sprintf("%d", rex),
 			})
+			res.Metrics = metrics.Merge(res.Metrics,
+				reg.Snapshot().WithPrefix(sc.name+"/"+kind.String()))
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -140,9 +145,11 @@ func E9Offload(seed int64) *Result {
 		Title:  "challenge 6 (Hardware assist): partitioning the Fig. 5 stack",
 		Header: []string{"partition", "hardware", "bus-events", "bus-bytes", "dup-state"},
 	}
+	reg := metrics.New()
 	w := harness.BuildWorld(harness.WorldConfig{
 		Seed: seed, Link: lossyLink(0.02),
 		Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
+		Metrics: reg,
 	})
 	data := randPayload(300_000, seed)
 	r, err := harness.RunTransfer(w, data, nil, 15*time.Minute)
@@ -150,8 +157,8 @@ func E9Offload(seed int64) *Result {
 		panic("E9 workload failed")
 	}
 	cr := r.ClientConn.(harness.SubConnAccess).Conn().CrossingStats()
-	wirePkts := cr.ToDM + cr.FromDM
-	wireBytes := cr.OSRBytes + 24*wirePkts // payload + headers
+	wirePkts := cr.ToDM.Value() + cr.FromDM.Value()
+	wireBytes := cr.OSRBytes.Value() + 24*wirePkts // payload + headers
 	for _, row := range offload.Analyze(cr, wirePkts, wireBytes) {
 		hw := "-"
 		if len(row.Hardware) > 0 {
@@ -164,6 +171,7 @@ func E9Offload(seed int64) *Result {
 			fmt.Sprintf("%dB", row.DuplicatedState),
 		})
 	}
+	res.Metrics = reg.Snapshot()
 	res.Notes = append(res.Notes,
 		"the paper's simple cut (RD+CM+DM in hardware) minimizes bus events: acks and retransmissions stay on the NIC and the host sees only the narrow OSR↔RD interface",
 		"RD-only hardware pays extra crossings for the CM↔RD boundary plus mirrored CM state — the predicted 'modest duplication of state'")

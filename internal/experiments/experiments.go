@@ -8,16 +8,24 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
-// Result is one regenerated experiment.
+// Result is one regenerated experiment. It marshals deterministically:
+// every field is ordered data, and Metrics snapshots are sorted by
+// name, so the same seed yields byte-identical JSON.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 	// Notes carry the paper-vs-measured commentary.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
+	// Metrics is the merged registry snapshot of the experiment's
+	// simulated worlds, one name prefix per scenario (e.g.
+	// "loss05/n1/transport/conn0/rd/retransmits").
+	Metrics metrics.Snapshot `json:"metrics"`
 }
 
 // Text renders the result as an aligned table.

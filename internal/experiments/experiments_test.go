@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"strconv"
 	"strings"
 	"testing"
@@ -142,5 +143,41 @@ func TestByID(t *testing.T) {
 	}
 	if ByID("nope", 1) != nil {
 		t.Error("unknown id not nil")
+	}
+}
+
+// TestMetricsDeterministic pins the run-report contract: the same
+// experiment at the same seed snapshots byte-identical metrics, and a
+// different seed produces a visibly different world.
+func TestMetricsDeterministic(t *testing.T) {
+	a, b := E1DataLink(7), E1DataLink(7)
+	if len(a.Metrics.Samples) == 0 {
+		t.Fatal("E1 attached no metrics")
+	}
+	if !bytes.Equal(a.Metrics.JSON(), b.Metrics.JSON()) {
+		t.Error("same seed, different snapshots")
+	}
+	c := E1DataLink(8)
+	if bytes.Equal(a.Metrics.JSON(), c.Metrics.JSON()) {
+		t.Error("different seeds produced identical snapshots")
+	}
+}
+
+// TestMetricsDeterministicTransport repeats the check through the full
+// transport harness (E9's single sublayered world), where RTT
+// histograms and per-connection scopes join the snapshot.
+func TestMetricsDeterministicTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offload workload")
+	}
+	a, b := E9Offload(11), E9Offload(11)
+	if len(a.Metrics.Samples) == 0 {
+		t.Fatal("E9 attached no metrics")
+	}
+	if _, ok := a.Metrics.Get("n1/transport/conn0/rd/rtt_ms"); !ok {
+		t.Error("snapshot missing client RD RTT histogram")
+	}
+	if !bytes.Equal(a.Metrics.JSON(), b.Metrics.JSON()) {
+		t.Error("same seed, different snapshots")
 	}
 }

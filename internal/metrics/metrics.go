@@ -1,0 +1,137 @@
+// Package metrics is the repository's observability substrate: a
+// deterministic, allocation-light registry of counters, gauges and
+// histograms keyed by hierarchical slash-separated names such as
+// "n1/network/forwarding/forwarded" (node/layer/sublayer/metric).
+//
+// The design follows three rules:
+//
+//   - Instruments are usable as zero values. Components embed Counter
+//     and Gauge fields by value, so instrumentation costs nothing when
+//     no registry is attached and a single struct allocation when one
+//     is.
+//   - Registration is adoption, not creation. A component keeps its
+//     counters as ordinary fields (the single source of truth) and a
+//     Scope adopts pointers to them under hierarchical names. The old
+//     per-package Stats() snapshot structs are replaced by View maps
+//     built from the same fields.
+//   - Snapshots are deterministic. Samples are sorted by name and hold
+//     only plain integers, so two runs of the same seeded simulation
+//     marshal to byte-identical JSON.
+package metrics
+
+// Instrument is the closed set of metric kinds a Registry can hold:
+// *Counter, *Gauge and *Histogram.
+type Instrument interface {
+	sample(name string) Sample
+}
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+func (c *Counter) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindCounter, Value: int64(c.v)}
+}
+
+// Gauge is an instantaneous int64 level (queue depth, window size).
+// The zero value is ready to use.
+type Gauge struct{ v int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Add moves the level by d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v += d }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+func (g *Gauge) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindGauge, Value: g.v}
+}
+
+// Histogram counts int64 observations into fixed buckets. Bounds are
+// inclusive upper edges in ascending order; observations above the
+// last bound land in an implicit overflow bucket.
+type Histogram struct {
+	bounds []int64
+	counts []uint64
+	sum    int64
+	n      uint64
+}
+
+// NewHistogram builds a histogram with the given ascending inclusive
+// upper bounds. At least one bound is required.
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h *Histogram) Mean() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / int64(h.n)
+}
+
+func (h *Histogram) sample(name string) Sample {
+	s := Sample{Name: name, Kind: KindHistogram, Value: int64(h.n), Sum: h.sum}
+	for i, b := range h.bounds {
+		if h.counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: b, N: h.counts[i]})
+		}
+	}
+	if over := h.counts[len(h.bounds)]; over > 0 {
+		s.Buckets = append(s.Buckets, Bucket{Le: -1, N: over})
+	}
+	return s
+}
+
+// Instrumented is implemented by components that can adopt their
+// instruments into a registry scope. BindMetrics must tolerate a nil
+// scope (all Scope methods are nil-safe no-ops).
+type Instrumented interface {
+	BindMetrics(sc *Scope)
+}
+
+// View is a component-local, read-only projection of its instruments —
+// the thin accessor that replaced the per-package Stats snapshot
+// structs. Keys are metric leaf names ("retransmits", "queue_drop").
+type View map[string]uint64
+
+// Get returns the named value, or 0 if absent.
+func (v View) Get(name string) uint64 { return v[name] }

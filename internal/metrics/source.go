@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Source is one contributor to a run report. Registry implements it
+// (the metrics snapshot), as does trace.Recorder (the event trace), so
+// metrics and traces render through one report writer.
+type Source interface {
+	// SourceName labels the section ("metrics", "trace").
+	SourceName() string
+	// ReportJSON returns the section's machine-readable form. It must
+	// be deterministic: plain data with no maps of unordered keys.
+	ReportJSON() any
+	// ReportText returns the section rendered for humans.
+	ReportText() string
+}
+
+// SnapshotSource wraps a frozen snapshot as a named report Source.
+func SnapshotSource(name string, s Snapshot) Source {
+	return snapSource{name: name, snap: s}
+}
+
+type snapSource struct {
+	name string
+	snap Snapshot
+}
+
+func (s snapSource) SourceName() string { return s.name }
+func (s snapSource) ReportJSON() any    { return s.snap }
+func (s snapSource) ReportText() string { return s.snap.Text() }
+
+// WriteReport renders the sources as one report. Format "json" emits a
+// single object whose keys appear in source order; "text" emits
+// "== name ==" sections.
+func WriteReport(w io.Writer, format string, sources ...Source) error {
+	switch format {
+	case "json":
+		if _, err := io.WriteString(w, "{\n"); err != nil {
+			return err
+		}
+		for i, src := range sources {
+			body, err := json.MarshalIndent(src.ReportJSON(), "  ", "  ")
+			if err != nil {
+				return fmt.Errorf("metrics: marshal %s: %w", src.SourceName(), err)
+			}
+			sep := ","
+			if i == len(sources)-1 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "  %q: %s%s\n", src.SourceName(), body, sep); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "}\n")
+		return err
+	case "text":
+		for _, src := range sources {
+			if _, err := fmt.Fprintf(w, "== %s ==\n%s\n", src.SourceName(), src.ReportText()); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("metrics: unknown report format %q", format)
+	}
+}

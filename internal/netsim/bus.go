@@ -1,7 +1,10 @@
 package netsim
 
 import (
+	"fmt"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Bus models a shared broadcast medium (classic Ethernet segment or a
@@ -26,7 +29,7 @@ type Bus struct {
 	// transmissions in the current busy period, delivered (or voided)
 	// when it ends.
 	inFlight []busTx
-	stats    BusStats
+	m        busMetrics
 }
 
 type busTx struct {
@@ -34,11 +37,17 @@ type busTx struct {
 	data []byte
 }
 
-// BusStats counts medium-level outcomes.
-type BusStats struct {
-	Transmissions uint64
-	Collisions    uint64
-	Delivered     uint64
+// busMetrics counts medium-level outcomes.
+type busMetrics struct {
+	transmissions metrics.Counter
+	collisions    metrics.Counter
+	delivered     metrics.Counter
+}
+
+func (m *busMetrics) bind(sc *metrics.Scope) {
+	sc.Register("transmissions", &m.transmissions)
+	sc.Register("collisions", &m.collisions)
+	sc.Register("delivered", &m.delivered)
 }
 
 // Station is one attachment point on the bus.
@@ -57,7 +66,12 @@ func (s *Simulator) NewBus(rateBps int64, prop time.Duration) *Bus {
 	if rateBps <= 0 {
 		panic("netsim: bus rate must be positive")
 	}
-	return &Bus{sim: s, rate: rateBps, prop: prop}
+	b := &Bus{sim: s, rate: rateBps, prop: prop}
+	if s.msc != nil {
+		b.m.bind(s.msc.Sub(fmt.Sprintf("bus%d", s.busSeq)))
+	}
+	s.busSeq++
+	return b
 }
 
 // Attach adds a station delivering received frames to recv.
@@ -67,8 +81,15 @@ func (b *Bus) Attach(recv Handler) *Station {
 	return st
 }
 
-// Stats returns a snapshot of the bus counters.
-func (b *Bus) Stats() BusStats { return b.stats }
+// Stats returns a view of the bus counters (keys: transmissions,
+// collisions, delivered).
+func (b *Bus) Stats() metrics.View {
+	return metrics.View{
+		"transmissions": b.m.transmissions.Value(),
+		"collisions":    b.m.collisions.Value(),
+		"delivered":     b.m.delivered.Value(),
+	}
+}
 
 // Busy reports whether this station can hear a transmission on the
 // medium. Carrier from a transmission that started less than one
@@ -90,7 +111,7 @@ func (st *Station) Busy() bool {
 // every participating station's OnCollision fires when the period ends.
 func (st *Station) Transmit(data []byte) {
 	b := st.bus
-	b.stats.Transmissions++
+	b.m.transmissions.Inc()
 	now := b.sim.Now()
 	txDur := Time(int64(len(data)) * 8 * int64(time.Second) / b.rate)
 	end := now + txDur + durTicks(b.prop)
@@ -125,7 +146,7 @@ func (b *Bus) settle(scheduledEnd Time) {
 	copy(txs, b.inFlight)
 	b.inFlight = b.inFlight[:0]
 	if b.collision {
-		b.stats.Collisions++
+		b.m.collisions.Inc()
 		for _, tx := range txs {
 			if tx.from.OnCollision != nil {
 				tx.from.OnCollision()
@@ -139,7 +160,7 @@ func (b *Bus) settle(scheduledEnd Time) {
 		if st == tx.from {
 			continue
 		}
-		b.stats.Delivered++
+		b.m.delivered.Inc()
 		st.recv(&Packet{Data: append([]byte(nil), tx.data...)})
 	}
 }

@@ -1,8 +1,11 @@
 package netsim
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Packet is the unit carried by links: opaque bytes plus the ECN
@@ -52,26 +55,57 @@ type LinkConfig struct {
 	CorruptProb float64
 }
 
-// LinkStats counts what happened to traffic on a link.
-type LinkStats struct {
-	Sent      uint64
-	Delivered uint64
-	Lost      uint64
-	Duplicate uint64
-	Reordered uint64
-	Corrupted uint64
-	QueueDrop uint64
-	ECNMarked uint64
+// linkMetrics counts what happened to traffic on a link. The fields
+// are the single source of truth; Stats() projects them as a View and
+// WithMetrics adopts them into the registry.
+type linkMetrics struct {
+	sent           metrics.Counter
+	delivered      metrics.Counter
+	deliveredBytes metrics.Counter
+	lost           metrics.Counter
+	duplicate      metrics.Counter
+	reordered      metrics.Counter
+	corrupted      metrics.Counter
+	queueDrop      metrics.Counter
+	ecnMarked      metrics.Counter
+	queueDepth     metrics.Gauge
+}
+
+func (m *linkMetrics) bind(sc *metrics.Scope) {
+	sc.Register("sent", &m.sent)
+	sc.Register("delivered", &m.delivered)
+	sc.Register("delivered_bytes", &m.deliveredBytes)
+	sc.Register("lost", &m.lost)
+	sc.Register("duplicate", &m.duplicate)
+	sc.Register("reordered", &m.reordered)
+	sc.Register("corrupted", &m.corrupted)
+	sc.Register("queue_drop", &m.queueDrop)
+	sc.Register("ecn_marked", &m.ecnMarked)
+	sc.Register("queue_depth", &m.queueDepth)
+}
+
+func (m *linkMetrics) view() metrics.View {
+	return metrics.View{
+		"sent":            m.sent.Value(),
+		"delivered":       m.delivered.Value(),
+		"delivered_bytes": m.deliveredBytes.Value(),
+		"lost":            m.lost.Value(),
+		"duplicate":       m.duplicate.Value(),
+		"reordered":       m.reordered.Value(),
+		"corrupted":       m.corrupted.Value(),
+		"queue_drop":      m.queueDrop.Value(),
+		"ecn_marked":      m.ecnMarked.Value(),
+	}
 }
 
 // Link is a unidirectional impaired channel. Create with
 // Simulator.NewLink; send with Send. Delivery invokes the destination
 // handler inside the event loop.
 type Link struct {
-	sim   *Simulator
-	cfg   LinkConfig
-	dst   Handler
-	stats LinkStats
+	sim *Simulator
+	cfg LinkConfig
+	dst Handler
+	m   linkMetrics
 	// serializer state: the time at which the transmitter frees up.
 	txFree Time
 	queued int
@@ -80,12 +114,19 @@ type Link struct {
 	up bool
 }
 
-// NewLink creates a unidirectional link delivering to dst.
+// NewLink creates a unidirectional link delivering to dst. When the
+// simulator carries a registry, the link's counters register under
+// "netsim/link<n>/..." in creation order.
 func (s *Simulator) NewLink(cfg LinkConfig, dst Handler) *Link {
 	if dst == nil {
 		panic("netsim: NewLink with nil destination")
 	}
-	return &Link{sim: s, cfg: cfg, dst: dst, up: true}
+	l := &Link{sim: s, cfg: cfg, dst: dst, up: true}
+	if s.msc != nil {
+		l.m.bind(s.msc.Sub(fmt.Sprintf("link%d", s.linkSeq)))
+	}
+	s.linkSeq++
+	return l
 }
 
 // SetUp raises or cuts the link. Packets sent while down are counted as
@@ -95,8 +136,10 @@ func (l *Link) SetUp(up bool) { l.up = up }
 // Up reports whether the link is passing traffic.
 func (l *Link) Up() bool { return l.up }
 
-// Stats returns a snapshot of the link counters.
-func (l *Link) Stats() LinkStats { return l.stats }
+// Stats returns a view of the link counters (keys: sent, delivered,
+// delivered_bytes, lost, duplicate, reordered, corrupted, queue_drop,
+// ecn_marked).
+func (l *Link) Stats() metrics.View { return l.m.view() }
 
 // Config returns the link's configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
@@ -109,14 +152,14 @@ func (l *Link) Send(data []byte) {
 
 // SendPacket is Send for a packet that may already carry an ECN mark.
 func (l *Link) SendPacket(pkt *Packet) {
-	l.stats.Sent++
+	l.m.sent.Inc()
 	if !l.up {
-		l.stats.Lost++
+		l.m.lost.Inc()
 		return
 	}
 	rng := l.sim.rng
 	if chance(rng, l.cfg.LossProb) {
-		l.stats.Lost++
+		l.m.lost.Inc()
 		return
 	}
 	p := pkt.Clone()
@@ -125,12 +168,12 @@ func (l *Link) SendPacket(pkt *Packet) {
 	depart := l.sim.Now()
 	if l.cfg.RateBps > 0 {
 		if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
-			l.stats.QueueDrop++
+			l.m.queueDrop.Inc()
 			return
 		}
 		if l.cfg.ECNThreshold > 0 && l.queued >= l.cfg.ECNThreshold {
 			p.ECN = true
-			l.stats.ECNMarked++
+			l.m.ecnMarked.Inc()
 		}
 		txTime := Time(int64(len(p.Data)) * 8 * int64(time.Second) / l.cfg.RateBps)
 		start := l.txFree
@@ -139,8 +182,8 @@ func (l *Link) SendPacket(pkt *Packet) {
 		}
 		l.txFree = start + txTime
 		depart = l.txFree
-		l.queued++
-		l.sim.ScheduleAt(depart, func() { l.queued-- })
+		l.setQueued(l.queued + 1)
+		l.sim.ScheduleAt(depart, func() { l.setQueued(l.queued - 1) })
 	}
 
 	extra := Time(0)
@@ -148,7 +191,7 @@ func (l *Link) SendPacket(pkt *Packet) {
 		extra += Time(rng.Int63n(l.cfg.Jitter.Nanoseconds()))
 	}
 	if chance(rng, l.cfg.ReorderProb) {
-		l.stats.Reordered++
+		l.m.reordered.Inc()
 		span := 4 * l.cfg.Delay.Nanoseconds()
 		if span <= 0 {
 			span = int64(400 * time.Microsecond)
@@ -156,7 +199,7 @@ func (l *Link) SendPacket(pkt *Packet) {
 		extra += Time(1 + rng.Int63n(span))
 	}
 	if chance(rng, l.cfg.CorruptProb) && len(p.Data) > 0 {
-		l.stats.Corrupted++
+		l.m.corrupted.Inc()
 		bit := rng.Intn(len(p.Data) * 8)
 		p.Data[bit/8] ^= 1 << uint(7-bit%8)
 	}
@@ -164,18 +207,24 @@ func (l *Link) SendPacket(pkt *Packet) {
 	arrive := depart + durTicks(l.cfg.Delay) + extra
 	l.deliverAt(arrive, p)
 	if chance(rng, l.cfg.DupProb) {
-		l.stats.Duplicate++
+		l.m.duplicate.Inc()
 		l.deliverAt(arrive+durTicks(time.Microsecond), p.Clone())
 	}
+}
+
+func (l *Link) setQueued(n int) {
+	l.queued = n
+	l.m.queueDepth.Set(int64(n))
 }
 
 func (l *Link) deliverAt(at Time, p *Packet) {
 	l.sim.ScheduleAt(at, func() {
 		if !l.up {
-			l.stats.Lost++
+			l.m.lost.Inc()
 			return
 		}
-		l.stats.Delivered++
+		l.m.delivered.Inc()
+		l.m.deliveredBytes.Add(uint64(len(p.Data)))
 		l.dst(p)
 	})
 }

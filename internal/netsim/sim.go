@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Time is virtual simulation time in nanoseconds since simulation start.
@@ -74,12 +76,37 @@ type Simulator struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
-	steps  uint64
+
+	scheduled metrics.Counter
+	executed  metrics.Counter
+	// msc is the simulator's metrics scope ("netsim/..."); nil when no
+	// registry is attached (all instruments then run detached).
+	msc     *metrics.Scope
+	linkSeq int
+	busSeq  int
+}
+
+// Option configures a Simulator at construction.
+type Option func(*Simulator)
+
+// WithMetrics registers the simulator's event counters and every
+// subsequently created Link and Bus into reg under "netsim/...".
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Simulator) { s.msc = reg.Scope("netsim") }
 }
 
 // NewSimulator returns a simulator whose randomness derives from seed.
-func NewSimulator(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+func NewSimulator(seed int64, opts ...Option) *Simulator {
+	s := &Simulator{rng: rand.New(rand.NewSource(seed))}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.msc != nil {
+		sc := s.msc.Sub("events")
+		sc.Register("scheduled", &s.scheduled)
+		sc.Register("executed", &s.executed)
+	}
+	return s
 }
 
 // Now returns the current virtual time.
@@ -120,6 +147,7 @@ func (s *Simulator) ScheduleAt(at Time, fn func()) *Timer {
 		at = s.now
 	}
 	s.seq++
+	s.scheduled.Inc()
 	e := &event{at: at, seq: s.seq, fn: fn}
 	heap.Push(&s.events, e)
 	return &Timer{ev: e}
@@ -135,7 +163,7 @@ func (s *Simulator) Step() bool {
 		}
 		e.dead = true // a fired timer is no longer Active
 		s.now = e.at
-		s.steps++
+		s.executed.Inc()
 		e.fn()
 		return true
 	}
@@ -181,8 +209,9 @@ func (s *Simulator) RunUntil(t Time) {
 }
 
 // Steps returns the total number of events executed, a cheap progress
-// metric for benchmarks.
-func (s *Simulator) Steps() uint64 { return s.steps }
+// metric for benchmarks. It reads the same counter the metrics
+// registry exports as "netsim/events/executed".
+func (s *Simulator) Steps() uint64 { return s.executed.Value() }
 
 // Every schedules fn to run every interval until the returned Repeater
 // is stopped. The first firing is after one interval.
@@ -222,5 +251,5 @@ func (r *Repeater) Stop() {
 }
 
 func (s *Simulator) String() string {
-	return fmt.Sprintf("sim(t=%v, pending=%d, steps=%d)", s.now, len(s.events), s.steps)
+	return fmt.Sprintf("sim(t=%v, pending=%d, steps=%d)", s.now, len(s.events), s.executed.Value())
 }

@@ -197,7 +197,7 @@ func TestLinkQueueDrop(t *testing.T) {
 		l.Send(make([]byte, 1000))
 	}
 	s.Run(0)
-	if st := l.Stats(); st.QueueDrop == 0 {
+	if st := l.Stats(); st["queue_drop"] == 0 {
 		t.Error("no queue drops with tiny queue")
 	}
 	if n >= 10 {
@@ -221,8 +221,8 @@ func TestLinkECNMarking(t *testing.T) {
 	if marked == 0 {
 		t.Error("no ECN marks despite standing queue")
 	}
-	if st := l.Stats(); st.ECNMarked != uint64(marked) {
-		t.Errorf("stats.ECNMarked=%d delivered marked=%d", st.ECNMarked, marked)
+	if st := l.Stats(); st["ecn_marked"] != uint64(marked) {
+		t.Errorf("stats.ECNMarked=%d delivered marked=%d", st["ecn_marked"], marked)
 	}
 }
 
@@ -237,8 +237,8 @@ func TestLinkLossAll(t *testing.T) {
 	if n != 0 {
 		t.Errorf("delivered %d with loss=1", n)
 	}
-	if st := l.Stats(); st.Lost != 50 {
-		t.Errorf("Lost = %d", st.Lost)
+	if st := l.Stats(); st["lost"] != 50 {
+		t.Errorf("Lost = %d", st["lost"])
 	}
 }
 
@@ -384,8 +384,8 @@ func TestBusCollision(t *testing.T) {
 	if !collided[0] || !collided[1] {
 		t.Errorf("collision callbacks = %v", collided)
 	}
-	if st := b.Stats(); st.Collisions != 1 {
-		t.Errorf("Collisions = %d", st.Collisions)
+	if st := b.Stats(); st["collisions"] != 1 {
+		t.Errorf("Collisions = %d", st["collisions"])
 	}
 }
 
@@ -419,8 +419,8 @@ func TestBusSequentialNoCollision(t *testing.T) {
 	st2.Transmit(make([]byte, 10))
 	s.Schedule(time.Second, func() { st2.Transmit(make([]byte, 10)) })
 	s.Run(0)
-	if st := b.Stats(); st.Collisions != 0 {
-		t.Errorf("Collisions = %d", st.Collisions)
+	if st := b.Stats(); st["collisions"] != 0 {
+		t.Errorf("Collisions = %d", st["collisions"])
 	}
 	if n != 4 {
 		t.Errorf("delivered %d, want 4", n)
@@ -464,7 +464,7 @@ func TestLinkDownMidFlight(t *testing.T) {
 	if n != 0 {
 		t.Error("packet delivered over a cut link")
 	}
-	if l.Stats().Lost == 0 {
+	if l.Stats()["lost"] == 0 {
 		t.Error("in-flight loss not counted")
 	}
 }
@@ -492,8 +492,8 @@ func TestBusThreeWayCollisionExtendsPeriod(t *testing.T) {
 	if !collided[0] || !collided[1] || !collided[2] {
 		t.Errorf("collision callbacks = %v", collided)
 	}
-	if st := b.Stats(); st.Collisions != 1 {
-		t.Errorf("Collisions = %d, want 1 (one extended busy period)", st.Collisions)
+	if st := b.Stats(); st["collisions"] != 1 {
+		t.Errorf("Collisions = %d, want 1 (one extended busy period)", st["collisions"])
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -17,7 +18,7 @@ type DistanceVector struct {
 	table  map[Addr]*dvEntry
 	timers []*netsim.Repeater
 	trig   *netsim.Timer
-	stats  DVStats
+	m      dvMetrics
 }
 
 type dvEntry struct {
@@ -37,12 +38,12 @@ type DVConfig struct {
 	GCTime time.Duration
 }
 
-// DVStats counts protocol events.
-type DVStats struct {
-	AdvertsSent     uint64
-	AdvertsReceived uint64
-	TriggeredSent   uint64
-	RouteChanges    uint64
+// dvMetrics counts protocol events.
+type dvMetrics struct {
+	advertsSent     metrics.Counter
+	advertsReceived metrics.Counter
+	triggeredSent   metrics.Counter
+	routeChanges    metrics.Counter
 }
 
 func (c DVConfig) withDefaults() DVConfig {
@@ -93,8 +94,24 @@ func (d *DistanceVector) Stop() {
 	}
 }
 
-// Stats returns a snapshot of protocol counters.
-func (d *DistanceVector) Stats() DVStats { return d.stats }
+// Stats returns a view of the protocol counters (keys: adverts_sent,
+// adverts_received, triggered_sent, route_changes).
+func (d *DistanceVector) Stats() metrics.View {
+	return metrics.View{
+		"adverts_sent":     d.m.advertsSent.Value(),
+		"adverts_received": d.m.advertsReceived.Value(),
+		"triggered_sent":   d.m.triggeredSent.Value(),
+		"route_changes":    d.m.routeChanges.Value(),
+	}
+}
+
+// BindMetrics implements metrics.Instrumented.
+func (d *DistanceVector) BindMetrics(sc *metrics.Scope) {
+	sc.Register("adverts_sent", &d.m.advertsSent)
+	sc.Register("adverts_received", &d.m.advertsReceived)
+	sc.Register("triggered_sent", &d.m.triggeredSent)
+	sc.Register("route_changes", &d.m.routeChanges)
+}
 
 // OnNeighborChange implements RouteComputer: adopt direct routes to new
 // neighbors, poison routes through vanished ones.
@@ -126,7 +143,7 @@ func (d *DistanceVector) OnNeighborChange() {
 		}
 	}
 	if changed {
-		d.stats.RouteChanges++
+		d.m.routeChanges.Inc()
 		d.install()
 		d.trigger()
 	}
@@ -138,7 +155,7 @@ func (d *DistanceVector) OnPacket(ifi int, sender Addr, body []byte) {
 		return // another protocol's PDU (e.g. mid-swap link state)
 	}
 	body = body[1:]
-	d.stats.AdvertsReceived++
+	d.m.advertsReceived.Inc()
 	// Find the adjacency to get the link cost; ignore vectors from
 	// non-neighbors (stale or spoofed).
 	var nb *Neighbor
@@ -184,7 +201,7 @@ func (d *DistanceVector) OnPacket(ifi int, sender Addr, body []byte) {
 		}
 	}
 	if changed {
-		d.stats.RouteChanges++
+		d.m.routeChanges.Inc()
 		d.install()
 		d.trigger()
 	}
@@ -218,9 +235,9 @@ func (d *DistanceVector) advertise(triggered bool) {
 			body = append(body, rec[:]...)
 		}
 		if triggered {
-			d.stats.TriggeredSent++
+			d.m.triggeredSent.Inc()
 		} else {
-			d.stats.AdvertsSent++
+			d.m.advertsSent.Inc()
 		}
 		d.env.SendRouting(n.If, body)
 	}

@@ -1,24 +1,35 @@
 package network
 
+import "repro/internal/metrics"
+
 // Forwarder is the data plane of Fig. 3: it holds the forwarding
 // database (FIB) that route computation installs, and moves data
 // datagrams hop by hop. Data packets never traverse the control
 // sublayers — the paper's observation that control sublayers "provide
 // information for the data plane that bypasses them."
 type Forwarder struct {
-	self  Addr
-	fib   map[Addr]Route
-	stats ForwardStats
+	self Addr
+	fib  map[Addr]Route
+	m    forwardMetrics
 }
 
-// ForwardStats counts data-plane outcomes.
-type ForwardStats struct {
-	Originated     uint64
-	Forwarded      uint64
-	LocalDelivered uint64
-	NoRoute        uint64
-	TTLExpired     uint64
-	Malformed      uint64
+// forwardMetrics counts data-plane outcomes.
+type forwardMetrics struct {
+	originated     metrics.Counter
+	forwarded      metrics.Counter
+	localDelivered metrics.Counter
+	noRoute        metrics.Counter
+	ttlExpired     metrics.Counter
+	malformed      metrics.Counter
+}
+
+func (m *forwardMetrics) bind(sc *metrics.Scope) {
+	sc.Register("originated", &m.originated)
+	sc.Register("forwarded", &m.forwarded)
+	sc.Register("local_delivered", &m.localDelivered)
+	sc.Register("no_route", &m.noRoute)
+	sc.Register("ttl_expired", &m.ttlExpired)
+	sc.Register("malformed", &m.malformed)
 }
 
 // newForwarder is created by the Router.
@@ -51,5 +62,15 @@ func (f *Forwarder) FIB() map[Addr]Route {
 	return out
 }
 
-// Stats returns a snapshot of the data-plane counters.
-func (f *Forwarder) Stats() ForwardStats { return f.stats }
+// Stats returns a view of the data-plane counters (keys: originated,
+// forwarded, local_delivered, no_route, ttl_expired, malformed).
+func (f *Forwarder) Stats() metrics.View {
+	return metrics.View{
+		"originated":      f.m.originated.Value(),
+		"forwarded":       f.m.forwarded.Value(),
+		"local_delivered": f.m.localDelivered.Value(),
+		"no_route":        f.m.noRoute.Value(),
+		"ttl_expired":     f.m.ttlExpired.Value(),
+		"malformed":       f.m.malformed.Value(),
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -18,7 +19,7 @@ type LinkState struct {
 	seq    uint32
 	db     map[Addr]*lsp
 	timers []*netsim.Repeater
-	stats  LSStats
+	m      lsMetrics
 	// routesCache is the last SPF result, served by Routes.
 	routesCache map[Addr]Route
 }
@@ -43,12 +44,12 @@ type LSConfig struct {
 	MaxAge time.Duration
 }
 
-// LSStats counts protocol events.
-type LSStats struct {
-	LSPsOriginated uint64
-	LSPsFlooded    uint64
-	LSPsReceived   uint64
-	SPFRuns        uint64
+// lsMetrics counts protocol events.
+type lsMetrics struct {
+	lspsOriginated metrics.Counter
+	lspsFlooded    metrics.Counter
+	lspsReceived   metrics.Counter
+	spfRuns        metrics.Counter
 }
 
 func (c LSConfig) withDefaults() LSConfig {
@@ -90,8 +91,24 @@ func (l *LinkState) Stop() {
 	l.timers = nil
 }
 
-// Stats returns a snapshot of protocol counters.
-func (l *LinkState) Stats() LSStats { return l.stats }
+// Stats returns a view of the protocol counters (keys:
+// lsps_originated, lsps_flooded, lsps_received, spf_runs).
+func (l *LinkState) Stats() metrics.View {
+	return metrics.View{
+		"lsps_originated": l.m.lspsOriginated.Value(),
+		"lsps_flooded":    l.m.lspsFlooded.Value(),
+		"lsps_received":   l.m.lspsReceived.Value(),
+		"spf_runs":        l.m.spfRuns.Value(),
+	}
+}
+
+// BindMetrics implements metrics.Instrumented.
+func (l *LinkState) BindMetrics(sc *metrics.Scope) {
+	sc.Register("lsps_originated", &l.m.lspsOriginated)
+	sc.Register("lsps_flooded", &l.m.lspsFlooded)
+	sc.Register("lsps_received", &l.m.lspsReceived)
+	sc.Register("spf_runs", &l.m.spfRuns)
+}
 
 // OnNeighborChange implements RouteComputer: re-originate and recompute.
 func (l *LinkState) OnNeighborChange() {
@@ -102,7 +119,7 @@ func (l *LinkState) OnNeighborChange() {
 // floods it on every interface.
 func (l *LinkState) originate() {
 	l.seq++
-	l.stats.LSPsOriginated++
+	l.m.lspsOriginated.Inc()
 	ns := l.env.Neighbors()
 	p := &lsp{origin: l.env.Self(), seq: l.seq, received: l.env.Sim().Now()}
 	for _, n := range ns {
@@ -120,7 +137,7 @@ func (l *LinkState) flood(p *lsp, exceptIf int) {
 		if n.If == exceptIf {
 			continue
 		}
-		l.stats.LSPsFlooded++
+		l.m.lspsFlooded.Inc()
 		l.env.SendRouting(n.If, body)
 	}
 }
@@ -131,7 +148,7 @@ func (l *LinkState) OnPacket(ifi int, sender Addr, body []byte) {
 	if err != nil {
 		return
 	}
-	l.stats.LSPsReceived++
+	l.m.lspsReceived.Inc()
 	cur, ok := l.db[p.origin]
 	if ok && cur.seq >= p.seq {
 		return // old news
@@ -164,7 +181,7 @@ func (l *LinkState) age() {
 // u→v is used only if both u's and v's LSPs list each other (the
 // standard two-way connectivity check), with u's advertised cost.
 func (l *LinkState) spf() {
-	l.stats.SPFRuns++
+	l.m.spfRuns.Inc()
 	self := l.env.Self()
 
 	type node struct {

@@ -3,6 +3,7 @@ package network
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -23,7 +24,7 @@ type NeighborTable struct {
 	// computation subscribes (the narrow T2 interface between the two
 	// control sublayers).
 	onChange []func()
-	stats    NeighborStats
+	m        neighborMetrics
 }
 
 // Neighbor is one adjacency.
@@ -42,12 +43,19 @@ type NeighborConfig struct {
 	HoldTime time.Duration
 }
 
-// NeighborStats counts protocol events.
-type NeighborStats struct {
-	HellosSent     uint64
-	HellosReceived uint64
-	Ups            uint64
-	Downs          uint64
+// neighborMetrics counts protocol events.
+type neighborMetrics struct {
+	hellosSent     metrics.Counter
+	hellosReceived metrics.Counter
+	ups            metrics.Counter
+	downs          metrics.Counter
+}
+
+func (m *neighborMetrics) bind(sc *metrics.Scope) {
+	sc.Register("hellos_sent", &m.hellosSent)
+	sc.Register("hellos_received", &m.hellosReceived)
+	sc.Register("ups", &m.ups)
+	sc.Register("downs", &m.downs)
 }
 
 func (c NeighborConfig) withDefaults() NeighborConfig {
@@ -77,7 +85,7 @@ func (n *NeighborTable) addPort(p Port, cost uint8) int {
 func (n *NeighborTable) start() {
 	n.sim.Every(n.cfg.HelloInterval, func() {
 		for i, p := range n.ports {
-			n.stats.HellosSent++
+			n.m.hellosSent.Inc()
 			p.Send(marshalHello(n.self, n.costs[i]), false)
 		}
 	})
@@ -85,7 +93,7 @@ func (n *NeighborTable) start() {
 	// Send the first round immediately rather than one interval in.
 	n.sim.Schedule(0, func() {
 		for i, p := range n.ports {
-			n.stats.HellosSent++
+			n.m.hellosSent.Inc()
 			p.Send(marshalHello(n.self, n.costs[i]), false)
 		}
 	})
@@ -97,11 +105,11 @@ func (n *NeighborTable) onHello(ifi int, data []byte) {
 	if err != nil {
 		return
 	}
-	n.stats.HellosReceived++
+	n.m.hellosReceived.Inc()
 	row := n.rows[ifi]
 	if row == nil || row.Addr != sender {
 		n.rows[ifi] = &Neighbor{Addr: sender, If: ifi, Cost: n.costs[ifi], LastSeen: n.sim.Now()}
-		n.stats.Ups++
+		n.m.ups.Inc()
 		n.notify()
 		return
 	}
@@ -115,7 +123,7 @@ func (n *NeighborTable) expire() {
 	for i, row := range n.rows {
 		if row != nil && n.sim.Now()-row.LastSeen > hold {
 			n.rows[i] = nil
-			n.stats.Downs++
+			n.m.downs.Inc()
 			changed = true
 		}
 	}
@@ -154,5 +162,13 @@ func (n *NeighborTable) notify() {
 	}
 }
 
-// Stats returns a snapshot of the hello-protocol counters.
-func (n *NeighborTable) Stats() NeighborStats { return n.stats }
+// Stats returns a view of the hello-protocol counters (keys:
+// hellos_sent, hellos_received, ups, downs).
+func (n *NeighborTable) Stats() metrics.View {
+	return metrics.View{
+		"hellos_sent":     n.m.hellosSent.Value(),
+		"hellos_received": n.m.hellosReceived.Value(),
+		"ups":             n.m.ups.Value(),
+		"downs":           n.m.downs.Value(),
+	}
+}

@@ -82,7 +82,7 @@ func TestNeighborDiscoveryAndExpiry(t *testing.T) {
 		t.Error("IfFor wrong")
 	}
 	st := topo.Routers[1].Neighbors().Stats()
-	if st.HellosSent == 0 || st.HellosReceived == 0 || st.Ups != 1 {
+	if st["hellos_sent"] == 0 || st["hellos_received"] == 0 || st["ups"] != 1 {
 		t.Errorf("stats = %+v", st)
 	}
 	// Cut the link: neighbor must expire.
@@ -91,7 +91,7 @@ func TestNeighborDiscoveryAndExpiry(t *testing.T) {
 	if len(topo.Routers[1].Neighbors().Neighbors()) != 0 {
 		t.Error("neighbor did not expire after link cut")
 	}
-	if topo.Routers[1].Neighbors().Stats().Downs != 1 {
+	if topo.Routers[1].Neighbors().Stats()["downs"] != 1 {
 		t.Error("down not counted")
 	}
 	// Restore: neighbor returns.
@@ -163,10 +163,10 @@ func TestEndToEndDelivery(t *testing.T) {
 				t.Fatalf("delivery failed: %q", got)
 			}
 			// Intermediate routers forwarded.
-			if topo.Routers[2].Forwarder().Stats().Forwarded == 0 {
+			if topo.Routers[2].Forwarder().Stats()["forwarded"] == 0 {
 				t.Error("router 2 forwarded nothing")
 			}
-			if topo.Routers[4].Forwarder().Stats().LocalDelivered == 0 {
+			if topo.Routers[4].Forwarder().Stats()["local_delivered"] == 0 {
 				t.Error("router 4 delivered nothing")
 			}
 		})
@@ -274,7 +274,7 @@ func TestTTLExpiry(t *testing.T) {
 	if delivered {
 		t.Error("TTL did not expire")
 	}
-	if topo.Routers[3].Forwarder().Stats().TTLExpired == 0 {
+	if topo.Routers[3].Forwarder().Stats()["ttl_expired"] == 0 {
 		t.Error("TTL expiry not counted")
 	}
 }
@@ -287,7 +287,7 @@ func TestNoRouteError(t *testing.T) {
 	if err := r.Send(99, ProtoUDP, []byte("x")); err == nil {
 		t.Error("send with no route succeeded")
 	}
-	if r.Forwarder().Stats().NoRoute != 1 {
+	if r.Forwarder().Stats()["no_route"] != 1 {
 		t.Error("NoRoute not counted")
 	}
 }

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -21,6 +22,11 @@ type Router struct {
 	handlers map[Proto]func(*Datagram)
 	started  bool
 	tap      func(ifi int, data []byte)
+	// msc is the router's metrics scope; kept so SwapComputer can bind
+	// the replacement route computer under a fresh name. swaps counts
+	// binds so repeated same-algorithm computers get distinct names.
+	msc   *metrics.Scope
+	swaps int
 }
 
 // NewRouter builds a router with the given route computer. Ports are
@@ -77,9 +83,37 @@ func (r *Router) SwapComputer(rc RouteComputer) {
 	r.rc.Stop()
 	r.rc = rc
 	rc.Attach((*routerEnv)(r))
+	r.bindComputer()
 	if r.started {
 		rc.Start()
 		rc.OnNeighborChange()
+	}
+}
+
+// BindMetrics adopts the router's sublayer counters into sc:
+// "neighbor/...", "forwarding/..." and "routing/<algorithm>/...".
+// Safe to call with a nil scope.
+func (r *Router) BindMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	r.msc = sc
+	r.nt.m.bind(sc.Sub("neighbor"))
+	r.fwd.m.bind(sc.Sub("forwarding"))
+	r.bindComputer()
+}
+
+func (r *Router) bindComputer() {
+	if r.msc == nil {
+		return
+	}
+	name := r.rc.Name()
+	if r.swaps > 0 {
+		name = fmt.Sprintf("%s.%d", name, r.swaps)
+	}
+	r.swaps++
+	if in, ok := r.rc.(metrics.Instrumented); ok {
+		in.BindMetrics(r.msc.Sub("routing").Sub(name))
 	}
 }
 
@@ -97,7 +131,7 @@ func (r *Router) Send(dst Addr, proto Proto, payload []byte) error {
 // transports that echo congestion signals).
 func (r *Router) SendECN(dst Addr, proto Proto, payload []byte, ecn bool) error {
 	dg := &Datagram{Src: r.addr, Dst: dst, TTL: DefaultTTL, Proto: proto, ECN: ecn, Payload: payload}
-	r.fwd.stats.Originated++
+	r.fwd.m.originated.Inc()
 	if dst == r.addr {
 		r.deliverLocal(dg)
 		return nil
@@ -108,7 +142,7 @@ func (r *Router) SendECN(dst Addr, proto Proto, payload []byte, ecn bool) error 
 func (r *Router) transmit(dg *Datagram) error {
 	route, ok := r.fwd.Lookup(dg.Dst)
 	if !ok || route.If < 0 {
-		r.fwd.stats.NoRoute++
+		r.fwd.m.noRoute.Inc()
 		return fmt.Errorf("network: %v has no route to %v", r.addr, dg.Dst)
 	}
 	r.ports[route.If].Send(dg.Marshal(), dg.ECN)
@@ -141,7 +175,7 @@ func (r *Router) receive(ifi int, data []byte, ecn bool) {
 	case classData:
 		dg, err := UnmarshalDatagram(data)
 		if err != nil {
-			r.fwd.stats.Malformed++
+			r.fwd.m.malformed.Inc()
 			return
 		}
 		dg.ECN = dg.ECN || ecn
@@ -156,18 +190,18 @@ func (r *Router) forward(dg *Datagram) {
 		return
 	}
 	if dg.TTL <= 1 {
-		r.fwd.stats.TTLExpired++
+		r.fwd.m.ttlExpired.Inc()
 		return
 	}
 	dg.TTL--
 	if err := r.transmit(dg); err != nil {
 		return // NoRoute already counted
 	}
-	r.fwd.stats.Forwarded++
+	r.fwd.m.forwarded.Inc()
 }
 
 func (r *Router) deliverLocal(dg *Datagram) {
-	r.fwd.stats.LocalDelivered++
+	r.fwd.m.localDelivered.Inc()
 	if h, ok := r.handlers[dg.Proto]; ok {
 		h(dg)
 	}

@@ -1,9 +1,12 @@
 package network
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -42,10 +45,33 @@ func BuildTopology(sim *netsim.Simulator, edges []Edge, link netsim.LinkConfig, 
 	for _, e := range edges {
 		t.Links[[2]Addr{e.A, e.B}] = ConnectRouters(sim, t.Routers[e.A], t.Routers[e.B], link, e.Cost)
 	}
-	for _, r := range t.Routers {
-		r.Start()
+	// Start in address order, not map order: the first hello round fires
+	// at t=0 in start order, and each hello's loss draw comes from the
+	// shared seeded RNG, so start order is part of the deterministic
+	// world. Map iteration here would make same-seed runs diverge.
+	addrs := make([]Addr, 0, len(t.Routers))
+	for a := range t.Routers {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		t.Routers[a].Start()
 	}
 	return t
+}
+
+// BindMetrics adopts every router's sublayer counters into reg under
+// "n<addr>/network/...". Routers bind in address order so registration
+// is deterministic.
+func (t *Topology) BindMetrics(reg *metrics.Registry) {
+	addrs := make([]Addr, 0, len(t.Routers))
+	for a := range t.Routers {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		t.Routers[a].BindMetrics(reg.Scope(fmt.Sprintf("n%d", a)).Sub("network"))
+	}
 }
 
 // CutLink takes the A–B link down (both directions).

@@ -100,7 +100,7 @@ type Report struct {
 // wirePackets/wireBytes describe raw packet traffic for the sw-only
 // baseline (every packet crosses the host bus anyway).
 func Analyze(cr sublayered.Crossings, wirePackets, wireBytes uint64) []Report {
-	osrRD := cr.OSRToRD + cr.RDToOSRAck + cr.RDToOSRDat + cr.RDToOSRLos
+	osrRD := cr.OSRToRD.Value() + cr.RDToOSRAck.Value() + cr.RDToOSRDat.Value() + cr.RDToOSRLos.Value()
 	out := []Report{
 		{
 			Partition: SWOnly,
@@ -110,20 +110,20 @@ func Analyze(cr sublayered.Crossings, wirePackets, wireBytes uint64) []Report {
 		},
 		{
 			Partition: NICDM,
-			BusEvents: cr.FromDM + cr.ToDM,
+			BusEvents: cr.FromDM.Value() + cr.ToDM.Value(),
 			BusBytes:  wireBytes, // payload still crosses, pre-demultiplexed
 			Note:      "NIC demultiplexes; host receives per-connection segments",
 		},
 		{
 			Partition: NICRDCMDM,
-			BusEvents: osrRD + cr.CMToRD,
-			BusBytes:  cr.OSRBytes,
+			BusEvents: osrRD + cr.CMToRD.Value(),
+			BusBytes:  cr.OSRBytes.Value(),
 			Note:      "paper's simple cut: bus carries the narrow OSR↔RD interface; acks and retransmissions never reach the host",
 		},
 		{
 			Partition:       NICRDOnly,
-			BusEvents:       osrRD + 2*cr.CMToRD + cr.FromDM/8,
-			BusBytes:        cr.OSRBytes,
+			BusEvents:       osrRD + 2*cr.CMToRD.Value() + cr.FromDM.Value()/8,
+			BusBytes:        cr.OSRBytes.Value(),
 			DuplicatedState: stateCM,
 			Note:            "only RD in hardware: CM runs on the host but its ISN/FIN state is mirrored on the NIC (the paper's 'modest duplication of state')",
 		},

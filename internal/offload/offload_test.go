@@ -42,7 +42,7 @@ func crossingsOf(t *testing.T, e harness.Endpoint) sublayered.Crossings {
 
 func TestAnalyzeShape(t *testing.T) {
 	cr, _, _ := runWorkload(t, 120_000)
-	wirePkts := cr.ToDM + cr.FromDM // every composed/received segment hits the wire in sw-only
+	wirePkts := cr.ToDM.Value() + cr.FromDM.Value() // every composed/received segment hits the wire in sw-only
 	rows := Analyze(cr, wirePkts, 130_000)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
@@ -94,7 +94,13 @@ func TestPartitionMetadata(t *testing.T) {
 }
 
 func TestFormatTable(t *testing.T) {
-	rows := Analyze(sublayered.Crossings{OSRToRD: 10, RDToOSRAck: 5, ToDM: 20, FromDM: 20, OSRBytes: 10000}, 40, 50000)
+	var cr sublayered.Crossings
+	cr.OSRToRD.Add(10)
+	cr.RDToOSRAck.Add(5)
+	cr.ToDM.Add(20)
+	cr.FromDM.Add(20)
+	cr.OSRBytes.Add(10000)
+	rows := Analyze(cr, 40, 50000)
 	tab := FormatTable(rows)
 	for _, want := range []string{"sw-only", "nic-rd-only", "bus events"} {
 		if !strings.Contains(tab, want) {

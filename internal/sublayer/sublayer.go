@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -111,15 +112,34 @@ type Sublayer interface {
 	HandleUp(p *PDU)
 }
 
-// BoundaryStats counts traffic across one sublayer boundary — the raw
-// material of the offload experiment (how many crossings would become
-// bus transactions if the layers below were moved to hardware).
-type BoundaryStats struct {
+// Boundary is a frozen view of traffic across one sublayer boundary —
+// the raw material of the offload experiment (how many crossings would
+// become bus transactions if the layers below were moved to hardware).
+type Boundary struct {
 	Above, Below string // sublayer names; "app"/"wire" at the ends
 	Down, Up     uint64 // PDUs crossing in each direction
 	DownBytes    uint64
 	UpBytes      uint64
 	Drops        uint64
+}
+
+// boundary is the live counter set behind one Boundary view. The
+// counters register into the metrics registry via Stack.BindMetrics.
+type boundary struct {
+	above, below string
+	down, up     metrics.Counter
+	downBytes    metrics.Counter
+	upBytes      metrics.Counter
+	drops        metrics.Counter
+}
+
+func (b *boundary) view() Boundary {
+	return Boundary{
+		Above: b.above, Below: b.below,
+		Down: b.down.Value(), Up: b.up.Value(),
+		DownBytes: b.downBytes.Value(), UpBytes: b.upBytes.Value(),
+		Drops: b.drops.Value(),
+	}
 }
 
 // Stack composes sublayers top-to-bottom over a simulator.
@@ -129,7 +149,7 @@ type Stack struct {
 	layers []Sublayer // index 0 = top
 	rts    []*runtime
 	// boundaries[i] sits above layers[i]; boundaries[len] is the wire.
-	boundaries []BoundaryStats
+	boundaries []boundary
 	app        func(*PDU)
 	wire       func(*PDU)
 	tracer     func(ev string, layer string, p *PDU)
@@ -159,7 +179,7 @@ func New(sim *netsim.Simulator, name string, layers ...Sublayer) (*Stack, error)
 		name:       name,
 		sim:        sim,
 		layers:     layers,
-		boundaries: make([]BoundaryStats, len(layers)+1),
+		boundaries: make([]boundary, len(layers)+1),
 	}
 	for i := range s.boundaries {
 		above, below := "app", "wire"
@@ -169,7 +189,7 @@ func New(sim *netsim.Simulator, name string, layers ...Sublayer) (*Stack, error)
 		if i < len(layers) {
 			below = layers[i].Name()
 		}
-		s.boundaries[i] = BoundaryStats{Above: above, Below: below}
+		s.boundaries[i].above, s.boundaries[i].below = above, below
 	}
 	s.rts = make([]*runtime, len(layers))
 	for i, l := range layers {
@@ -213,18 +233,44 @@ func (s *Stack) Receive(p *PDU) { s.up(len(s.layers)-1, p) }
 
 // Boundaries returns a snapshot of per-boundary crossing statistics,
 // index 0 = app boundary, last = wire boundary.
-func (s *Stack) Boundaries() []BoundaryStats {
-	out := make([]BoundaryStats, len(s.boundaries))
-	copy(out, s.boundaries)
+func (s *Stack) Boundaries() []Boundary {
+	out := make([]Boundary, len(s.boundaries))
+	for i := range s.boundaries {
+		out[i] = s.boundaries[i].view()
+	}
 	return out
+}
+
+// BindMetrics adopts the stack's boundary counters into sc under
+// "boundary/<i>-<above>-<below>/..." and offers every sublayer that
+// implements metrics.Instrumented a scope named after itself. Safe to
+// call with a nil scope.
+func (s *Stack) BindMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	for i := range s.boundaries {
+		b := &s.boundaries[i]
+		bsc := sc.Sub(fmt.Sprintf("boundary/%d-%s-%s", i, b.above, b.below))
+		bsc.Register("down", &b.down)
+		bsc.Register("up", &b.up)
+		bsc.Register("down_bytes", &b.downBytes)
+		bsc.Register("up_bytes", &b.upBytes)
+		bsc.Register("drops", &b.drops)
+	}
+	for _, l := range s.layers {
+		if in, ok := l.(metrics.Instrumented); ok {
+			in.BindMetrics(sc.Sub(l.Name()))
+		}
+	}
 }
 
 // down delivers p into layers[i].HandleDown, accounting the boundary
 // above layer i.
 func (s *Stack) down(i int, p *PDU) {
 	b := &s.boundaries[i]
-	b.Down++
-	b.DownBytes += uint64(len(p.Data))
+	b.down.Inc()
+	b.downBytes.Add(uint64(len(p.Data)))
 	if s.tracer != nil {
 		name := "wire"
 		if i < len(s.layers) {
@@ -245,8 +291,8 @@ func (s *Stack) down(i int, p *PDU) {
 // layer i... i == -1 delivers to the app.
 func (s *Stack) up(i int, p *PDU) {
 	b := &s.boundaries[i+1]
-	b.Up++
-	b.UpBytes += uint64(len(p.Data))
+	b.up.Inc()
+	b.upBytes.Add(uint64(len(p.Data)))
 	if s.tracer != nil {
 		name := "app"
 		if i >= 0 {
@@ -280,7 +326,7 @@ func (r *runtime) Every(d time.Duration, fn func()) *netsim.Repeater {
 func (r *runtime) Rand() *rand.Rand { return r.stack.sim.Rand() }
 func (r *runtime) Now() netsim.Time { return r.stack.sim.Now() }
 func (r *runtime) Drop(p *PDU, reason string) {
-	r.stack.boundaries[r.idx].Drops++
+	r.stack.boundaries[r.idx].drops.Inc()
 	if r.stack.tracer != nil {
 		r.stack.tracer("drop:"+reason, r.stack.layers[r.idx].Name(), p)
 	}

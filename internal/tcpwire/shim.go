@@ -1,5 +1,7 @@
 package tcpwire
 
+import "repro/internal/metrics"
+
 // The §3.1 shim sublayer: "adding a shim sublayer that converts the
 // sublayered header in Figure 6 to a standard TCP header ... should
 // allow interoperability." The mapping is an isomorphism:
@@ -37,15 +39,15 @@ type Shim struct {
 	// peerSACK remembers whether the remote end negotiated SACK;
 	// blocks are stripped toward peers that did not.
 	peerSACK map[FlowKey]bool
-	stats    ShimStats
+	m        shimMetrics
 }
 
-// ShimStats counts translations.
-type ShimStats struct {
-	Outbound, Inbound uint64
-	UnknownISN        uint64 // inbound non-SYN segments for unseeded flows
-	SACKStripped      uint64
-	ChecksumRejected  uint64
+// shimMetrics instruments translations.
+type shimMetrics struct {
+	outbound, inbound metrics.Counter
+	unknownISN        metrics.Counter // inbound non-SYN segments for unseeded flows
+	sackStripped      metrics.Counter
+	checksumRejected  metrics.Counter
 }
 
 // NewShim returns a shim advertising the given MSS.
@@ -54,7 +56,24 @@ func NewShim(mss uint16) *Shim {
 }
 
 // Stats returns a snapshot of the shim counters.
-func (s *Shim) Stats() ShimStats { return s.stats }
+func (s *Shim) Stats() metrics.View {
+	return metrics.View{
+		"outbound":          s.m.outbound.Value(),
+		"inbound":           s.m.inbound.Value(),
+		"unknown_isn":       s.m.unknownISN.Value(),
+		"sack_stripped":     s.m.sackStripped.Value(),
+		"checksum_rejected": s.m.checksumRejected.Value(),
+	}
+}
+
+// BindMetrics adopts the shim counters into sc (metrics.Instrumented).
+func (s *Shim) BindMetrics(sc *metrics.Scope) {
+	sc.Register("outbound", &s.m.outbound)
+	sc.Register("inbound", &s.m.inbound)
+	sc.Register("unknown_isn", &s.m.unknownISN)
+	sc.Register("sack_stripped", &s.m.sackStripped)
+	sc.Register("checksum_rejected", &s.m.checksumRejected)
+}
 
 // ToTCP maps a sublayered header to a standard one (stateless except
 // for SACK-permission stripping).
@@ -91,7 +110,7 @@ func (s *Shim) ToTCP(sub *SubHeader, key FlowKey) *TCPHeader {
 		if s.peerSACK[key.Reverse()] {
 			h.SACKBlocks = sub.RD.SACK
 		} else {
-			s.stats.SACKStripped++
+			s.m.sackStripped.Inc()
 		}
 	}
 	return h
@@ -128,7 +147,7 @@ func (s *Shim) FromTCP(h *TCPHeader, key FlowKey) *SubHeader {
 	} else if isn, ok := s.isns[key]; ok {
 		sub.CM.ISN = isn
 	} else {
-		s.stats.UnknownISN++
+		s.m.unknownISN.Inc()
 	}
 	return sub
 }
@@ -137,7 +156,7 @@ func (s *Shim) FromTCP(h *TCPHeader, key FlowKey) *SubHeader {
 // bytes for the network. It also seeds the local direction's ISN so
 // the isomorphism tests can invert.
 func (s *Shim) Outbound(sub *SubHeader, payload []byte, key FlowKey) []byte {
-	s.stats.Outbound++
+	s.m.outbound.Inc()
 	sub.OSR.DataLen = uint16(len(payload))
 	if sub.CM.SYN {
 		s.isns[key] = sub.RD.Seq
@@ -153,10 +172,10 @@ func (s *Shim) Outbound(sub *SubHeader, payload []byte, key FlowKey) []byte {
 func (s *Shim) Inbound(data []byte, key FlowKey) (*SubHeader, []byte, error) {
 	h, payload, err := UnmarshalTCP(data, key.SrcAddr, key.DstAddr)
 	if err != nil {
-		s.stats.ChecksumRejected++
+		s.m.checksumRejected.Inc()
 		return nil, nil, err
 	}
-	s.stats.Inbound++
+	s.m.inbound.Inc()
 	key.SrcPort, key.DstPort = h.SrcPort, h.DstPort
 	sub := s.FromTCP(h, key)
 	sub.OSR.DataLen = uint16(len(payload))

@@ -286,7 +286,7 @@ func TestShimISNUnknownWithoutSYN(t *testing.T) {
 	if sub.CM.ISN != 0 {
 		t.Errorf("ISN = %d for unseeded flow", sub.CM.ISN)
 	}
-	if shim.Stats().UnknownISN != 1 {
+	if shim.Stats().Get("unknown_isn") != 1 {
 		t.Error("UnknownISN not counted")
 	}
 }
@@ -303,7 +303,7 @@ func TestShimSACKNegotiation(t *testing.T) {
 	if len(h.SACKBlocks) != 0 {
 		t.Error("SACK sent to non-negotiating peer")
 	}
-	if shim.Stats().SACKStripped != 1 {
+	if shim.Stats().Get("sack_stripped") != 1 {
 		t.Error("strip not counted")
 	}
 	// Peer SYN with SACKPermitted arrives: now blocks pass.
@@ -332,7 +332,7 @@ func TestShimRejectsCorruptInbound(t *testing.T) {
 	if _, _, err := shim.Inbound(wire, flowKey()); err == nil {
 		t.Error("corrupt segment accepted")
 	}
-	if shim.Stats().ChecksumRejected != 1 {
+	if shim.Stats().Get("checksum_rejected") != 1 {
 		t.Error("rejection not counted")
 	}
 }

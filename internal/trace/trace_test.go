@@ -1,10 +1,13 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -86,6 +89,65 @@ func TestRecorderRingDropsOldest(t *testing.T) {
 	}
 	if rec.Total() != 5 {
 		t.Errorf("Total = %d", rec.Total())
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", rec.Dropped())
+	}
+}
+
+// TestTotalOutlivesRing pins the documented overflow contract: Total
+// keeps counting far past the retention window, the window stays at
+// the limit, and the report carries both numbers.
+func TestTotalOutlivesRing(t *testing.T) {
+	sim := netsim.NewSimulator(1)
+	rec := NewRecorder(sim, 8)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		rec.add(Event{Len: i})
+	}
+	if rec.Total() != n {
+		t.Errorf("Total = %d, want %d", rec.Total(), n)
+	}
+	if got := len(rec.Events()); got != 8 {
+		t.Errorf("retained %d events, want 8", got)
+	}
+	if rec.Dropped() != n-8 {
+		t.Errorf("Dropped = %d, want %d", rec.Dropped(), n-8)
+	}
+	// The retained window is the newest events, in order.
+	ev := rec.Events()
+	if ev[0].Len != n-8 || ev[7].Len != n-1 {
+		t.Errorf("window = [%d..%d], want [%d..%d]", ev[0].Len, ev[7].Len, n-8, n-1)
+	}
+	rep := rec.ReportJSON().(traceReport)
+	if rep.Total != n || rep.Dropped != n-8 || len(rep.Events) != 8 {
+		t.Errorf("report = total %d dropped %d events %d", rep.Total, rep.Dropped, len(rep.Events))
+	}
+}
+
+// TestRecorderIsReportSource checks the Recorder renders through the
+// shared metrics report writer.
+func TestRecorderIsReportSource(t *testing.T) {
+	sim := netsim.NewSimulator(1)
+	rec := NewRecorder(sim, 4)
+	rec.add(Event{Node: "n1", Summary: "HELLO from n2 cost 1", Len: 4})
+	var src metrics.Source = rec
+	if src.SourceName() != "trace" {
+		t.Errorf("SourceName = %q", src.SourceName())
+	}
+	var buf bytes.Buffer
+	if err := metrics.WriteReport(&buf, "json", src); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]traceReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["trace"].Total != 1 {
+		t.Errorf("decoded trace total = %d", decoded["trace"].Total)
+	}
+	if !strings.Contains(rec.ReportText(), "HELLO from n2") {
+		t.Error("text report missing event line")
 	}
 }
 

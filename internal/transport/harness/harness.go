@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/transport/monolithic"
@@ -199,6 +200,11 @@ type WorldConfig struct {
 	Tracker *verify.Tracker // attached to both transports (E6)
 	SubCfg  sublayered.Config
 	MonoCfg monolithic.Config
+	// Metrics, when non-nil, adopts every instrument in the world: the
+	// simulator and links under "netsim/...", each router under
+	// "n<addr>/network/..." and each end host's transport under
+	// "n<addr>/transport/...".
+	Metrics *metrics.Registry
 }
 
 // BuildWorld constructs a line topology 1–…–N with transports on the
@@ -207,7 +213,11 @@ func BuildWorld(cfg WorldConfig) *World {
 	if cfg.Hops < 2 {
 		cfg.Hops = 4
 	}
-	sim := netsim.NewSimulator(cfg.Seed)
+	var simOpts []netsim.Option
+	if cfg.Metrics != nil {
+		simOpts = append(simOpts, netsim.WithMetrics(cfg.Metrics))
+	}
+	sim := netsim.NewSimulator(cfg.Seed, simOpts...)
 	var edges []network.Edge
 	for i := 1; i < cfg.Hops; i++ {
 		edges = append(edges, network.Edge{A: network.Addr(i), B: network.Addr(i + 1), Cost: 1})
@@ -217,27 +227,42 @@ func BuildWorld(cfg WorldConfig) *World {
 		func() network.RouteComputer {
 			return network.NewDistanceVector(network.DVConfig{AdvertiseInterval: 500 * time.Millisecond})
 		})
+	if cfg.Metrics != nil {
+		topo.BindMetrics(cfg.Metrics)
+	}
 	w := &World{Sim: sim, Topo: topo}
-	w.Client = buildTransport(cfg.Client, sim, topo.Routers[1], cfg)
-	w.Server = buildTransport(cfg.Server, sim, topo.Routers[network.Addr(cfg.Hops)], cfg)
+	w.Client = buildTransport(cfg.Client, sim, topo.Routers[1], cfg, hostScope(cfg.Metrics, 1))
+	w.Server = buildTransport(cfg.Server, sim, topo.Routers[network.Addr(cfg.Hops)], cfg, hostScope(cfg.Metrics, cfg.Hops))
 	sim.RunFor(5 * time.Second)
 	return w
 }
 
-func buildTransport(k Kind, sim *netsim.Simulator, r *network.Router, cfg WorldConfig) Transport {
+// hostScope names a host's transport subtree, or nil without a
+// registry (nil scopes are inert).
+func hostScope(reg *metrics.Registry, addr int) *metrics.Scope {
+	if reg == nil {
+		return nil
+	}
+	return reg.Scope(fmt.Sprintf("n%d", addr)).Sub("transport")
+}
+
+func buildTransport(k Kind, sim *netsim.Simulator, r *network.Router, cfg WorldConfig, msc *metrics.Scope) Transport {
 	switch k {
 	case KindMonolithic:
 		mc := cfg.MonoCfg
 		mc.Tracker = cfg.Tracker
+		mc.Metrics = msc
 		return NewMonolithic(sim, r, mc)
 	case KindSublayeredShim:
 		sc := cfg.SubCfg
 		sc.UseShim = true
 		sc.Tracker = cfg.Tracker
+		sc.Metrics = msc
 		return NewSublayered(sim, r, sc)
 	default:
 		sc := cfg.SubCfg
 		sc.Tracker = cfg.Tracker
+		sc.Metrics = msc
 		return NewSublayered(sim, r, sc)
 	}
 }

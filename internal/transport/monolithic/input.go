@@ -13,10 +13,10 @@ import (
 // passive-open, stray handling — the outer shell of lwIP's tcp_input().
 func (s *Stack) tcpInput(dg *network.Datagram) {
 	s.track("tcp_input")
-	s.stats.SegmentsIn++
+	s.m.segmentsIn.Inc()
 	h, payload, err := tcpwire.UnmarshalTCP(dg.Payload, uint16(dg.Src), uint16(dg.Dst))
 	if err != nil {
-		s.stats.ChecksumErrors++
+		s.m.checksumErrors.Inc()
 		return
 	}
 	id := connID{remoteAddr: dg.Src, remotePort: h.SrcPort, localPort: h.DstPort}
@@ -48,14 +48,14 @@ func (s *Stack) tcpInput(dg *network.Datagram) {
 	}
 	// Stray segment: answer with RST (unless it is itself a RST).
 	if h.Flags&tcpwire.FlagRST == 0 {
-		s.stats.RSTsSent++
+		s.m.rstsSent.Inc()
 		rst := &tcpwire.TCPHeader{
 			SrcPort: h.DstPort, DstPort: h.SrcPort,
 			Seq: h.Ack, Ack: h.Seq + uint32(len(payload)),
 			Flags: tcpwire.FlagRST | tcpwire.FlagACK, WScale: -1,
 		}
 		wire := rst.Marshal(nil, uint16(s.router.Addr()), uint16(dg.Src))
-		s.stats.SegmentsOut++
+		s.m.segmentsOut.Inc()
 		_ = s.router.Send(dg.Src, network.ProtoTCP, wire)
 	}
 }
@@ -177,7 +177,9 @@ func (s *Stack) tcpReceive(p *PCB, h *tcpwire.TCPHeader, payload []byte) {
 				}
 			}
 			if p.timing && p.timedEnd.Leq(ack) {
-				p.rtt.Sample(timeSince(s, p.timedAt))
+				sample := timeSince(s, p.timedAt)
+				p.rtt.Sample(sample)
+				s.m.rttMs.Observe(sample.Milliseconds())
 				p.timing = false
 				s.tw("pcb.rto")
 			}
@@ -187,7 +189,7 @@ func (s *Stack) tcpReceive(p *PCB, h *tcpwire.TCPHeader, payload []byte) {
 			s.tw("pcb.dup_acks")
 			if p.dupAcks == 3 {
 				// Fast retransmit: halve cwnd, roll back, resend one.
-				s.stats.FastRetransmits++
+				s.m.fastRetransmits.Inc()
 				p.ssthresh = maxi(p.inflight()/2, 2*s.cfg.MSS)
 				p.cwnd = p.ssthresh
 				s.tw("pcb.ssthresh", "pcb.cwnd")

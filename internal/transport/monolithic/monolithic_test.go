@@ -161,7 +161,7 @@ func TestLargeTransferNasty(t *testing.T) {
 	if !bytes.Equal(res.serverGot, data) {
 		t.Fatalf("got %d of %d bytes", len(res.serverGot), len(data))
 	}
-	if w.client.Stats().Retransmits == 0 {
+	if w.client.Stats().Get("retransmits") == 0 {
 		t.Error("no retransmissions on lossy path")
 	}
 }
@@ -356,7 +356,7 @@ func TestGarbageSegmentsDoNotPanic(t *testing.T) {
 	if !bytes.Equal(got, msg) {
 		t.Fatalf("transfer corrupted by garbage (%d of %d)", len(got), len(msg))
 	}
-	if w.server.Stats().ChecksumErrors == 0 {
+	if w.server.Stats().Get("checksum_errors") == 0 {
 		t.Error("no checksum errors counted despite noise")
 	}
 }

@@ -101,7 +101,7 @@ func (p *PCB) tcpOutput() {
 		p.nextSend += uint64(n)
 		s.tw("pcb.next_send")
 		if sq.Add(n).Leq(p.sndNxt) {
-			s.stats.Retransmits++
+			s.m.retransmits.Inc()
 		} else {
 			p.sndNxt = sq.Add(n)
 			s.tw("pcb.snd_nxt")
@@ -164,7 +164,7 @@ func (p *PCB) onRexmitTimer() {
 	if p.inflight() == 0 && !(p.finSent && !p.finAcked) {
 		return
 	}
-	s.stats.Timeouts++
+	s.m.timeouts.Inc()
 	p.nrexmit++
 	if p.nrexmit > s.cfg.MaxRexmit {
 		p.kill(ErrTimeout)
@@ -279,7 +279,7 @@ func (p *PCB) sendSegment(flags uint8, sq, ack seg.Seq, payload []byte) {
 		h.MSS = uint16(s.cfg.MSS)
 	}
 	wire := h.Marshal(payload, uint16(s.router.Addr()), uint16(p.id.remoteAddr))
-	s.stats.SegmentsOut++
+	s.m.segmentsOut.Inc()
 	_ = s.router.Send(p.id.remoteAddr, network.ProtoTCP, wire)
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -74,6 +75,9 @@ type Config struct {
 	// Contracts, if set, evaluates the PCB's (entangled, whole-block)
 	// invariants after each processed segment.
 	Contracts *verify.Checker
+	// Metrics, when non-nil, adopts the stack's instruments under this
+	// scope as "tcp/...". A nil scope costs nothing.
+	Metrics *metrics.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -101,15 +105,42 @@ type connID struct {
 	localPort  uint16
 }
 
-// Stats counts stack-wide events.
-type Stats struct {
-	SegmentsIn      uint64
-	SegmentsOut     uint64
-	ChecksumErrors  uint64
-	Retransmits     uint64
-	FastRetransmits uint64
-	Timeouts        uint64
-	RSTsSent        uint64
+// tcpMetrics instruments stack-wide events — the monolithic
+// equivalents of the sublayered stack's RD/CM counters, plus the same
+// milliseconds RTT histogram so E7-style comparisons line up.
+type tcpMetrics struct {
+	segmentsIn      metrics.Counter
+	segmentsOut     metrics.Counter
+	checksumErrors  metrics.Counter
+	retransmits     metrics.Counter
+	fastRetransmits metrics.Counter
+	timeouts        metrics.Counter
+	rstsSent        metrics.Counter
+	rttMs           *metrics.Histogram
+}
+
+func (m *tcpMetrics) bind(sc *metrics.Scope) {
+	sc.Register("segments_in", &m.segmentsIn)
+	sc.Register("segments_out", &m.segmentsOut)
+	sc.Register("checksum_errors", &m.checksumErrors)
+	sc.Register("retransmits", &m.retransmits)
+	sc.Register("fast_retransmits", &m.fastRetransmits)
+	sc.Register("timeouts", &m.timeouts)
+	sc.Register("rsts_sent", &m.rstsSent)
+	sc.Register("rtt_ms", m.rttMs)
+}
+
+func (m *tcpMetrics) view() metrics.View {
+	return metrics.View{
+		"segments_in":      m.segmentsIn.Value(),
+		"segments_out":     m.segmentsOut.Value(),
+		"checksum_errors":  m.checksumErrors.Value(),
+		"retransmits":      m.retransmits.Value(),
+		"fast_retransmits": m.fastRetransmits.Value(),
+		"timeouts":         m.timeouts.Value(),
+		"rsts_sent":        m.rstsSent.Value(),
+		"rtt_samples":      m.rttMs.Count(),
+	}
 }
 
 // Stack is one host's monolithic TCP.
@@ -120,7 +151,7 @@ type Stack struct {
 	pcbs      map[connID]*PCB
 	listeners map[uint16]*Listener
 	nextPort  uint16
-	stats     Stats
+	m         tcpMetrics
 }
 
 // Listener accepts passive opens.
@@ -143,12 +174,21 @@ func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack 
 		listeners: make(map[uint16]*Listener),
 		nextPort:  49152,
 	}
+	s.m.rttMs = metrics.NewHistogram(rttBoundsMs...)
+	s.m.bind(cfg.Metrics.Sub("tcp"))
 	router.Handle(network.ProtoTCP, s.tcpInput)
 	return s
 }
 
 // Stats returns a snapshot of stack counters.
-func (s *Stack) Stats() Stats { return s.stats }
+func (s *Stack) Stats() metrics.View { return s.m.view() }
+
+// RTTHistogram exposes the RTT sample distribution (milliseconds).
+func (s *Stack) RTTHistogram() *metrics.Histogram { return s.m.rttMs }
+
+// rttBoundsMs matches the sublayered RD histogram bucketing so the two
+// stacks' distributions compare directly.
+var rttBoundsMs = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 
 // Addr returns the host's network address.
 func (s *Stack) Addr() network.Addr { return s.router.Addr() }

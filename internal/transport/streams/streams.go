@@ -29,6 +29,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/metrics"
 )
 
 // frame header: streamID(4) flags(1) length(2)
@@ -105,16 +107,26 @@ type Mux struct {
 	OnStream func(*Stream)
 	// sendQ holds frames the transport below could not fully accept.
 	sendQ []byte
-	stats MuxStats
+	m     muxMetrics
 }
 
-// MuxStats counts multiplexing work.
-type MuxStats struct {
-	FramesSent     uint64
-	FramesReceived uint64
-	BytesSent      uint64
-	BytesReceived  uint64
-	Malformed      uint64
+// muxMetrics instruments multiplexing work.
+type muxMetrics struct {
+	framesSent     metrics.Counter
+	framesReceived metrics.Counter
+	bytesSent      metrics.Counter
+	bytesReceived  metrics.Counter
+	malformed      metrics.Counter
+}
+
+func (m *muxMetrics) view() metrics.View {
+	return metrics.View{
+		"frames_sent":     m.framesSent.Value(),
+		"frames_received": m.framesReceived.Value(),
+		"bytes_sent":      m.bytesSent.Value(),
+		"bytes_received":  m.bytesReceived.Value(),
+		"malformed":       m.malformed.Value(),
+	}
 }
 
 // NewMux wraps a transport endpoint. Odd/even id spaces avoid
@@ -138,7 +150,16 @@ func (m *Mux) Open() *Stream {
 }
 
 // Stats returns a snapshot of the mux counters.
-func (m *Mux) Stats() MuxStats { return m.stats }
+func (m *Mux) Stats() metrics.View { return m.m.view() }
+
+// BindMetrics adopts the mux counters into sc (metrics.Instrumented).
+func (m *Mux) BindMetrics(sc *metrics.Scope) {
+	sc.Register("frames_sent", &m.m.framesSent)
+	sc.Register("frames_received", &m.m.framesReceived)
+	sc.Register("bytes_sent", &m.m.bytesSent)
+	sc.Register("bytes_received", &m.m.bytesReceived)
+	sc.Register("malformed", &m.m.malformed)
+}
 
 // Streams returns the number of streams known.
 func (m *Mux) Streams() int { return len(m.streams) }
@@ -157,8 +178,8 @@ func (m *Mux) send(id uint32, flags byte, payload []byte) error {
 		binary.BigEndian.PutUint16(hdr[5:7], uint16(n))
 		frame := append(hdr, payload[:n]...)
 		payload = payload[n:]
-		m.stats.FramesSent++
-		m.stats.BytesSent += uint64(n)
+		m.m.framesSent.Inc()
+		m.m.bytesSent.Add(uint64(n))
 		m.sendQ = append(m.sendQ, frame...)
 	}
 	m.Flush()
@@ -189,7 +210,7 @@ func (m *Mux) Pump() error {
 		flags := m.buf[4]
 		n := int(binary.BigEndian.Uint16(m.buf[5:7]))
 		if n > maxFrame {
-			m.stats.Malformed++
+			m.m.malformed.Inc()
 			return fmt.Errorf("streams: frame length %d exceeds maximum", n)
 		}
 		if len(m.buf) < frameHeader+n {
@@ -202,8 +223,8 @@ func (m *Mux) Pump() error {
 }
 
 func (m *Mux) dispatch(id uint32, flags byte, payload []byte) {
-	m.stats.FramesReceived++
-	m.stats.BytesReceived += uint64(len(payload))
+	m.m.framesReceived.Inc()
+	m.m.bytesReceived.Add(uint64(len(payload)))
 	s, ok := m.streams[id]
 	if !ok {
 		s = &Stream{mux: m, id: id}

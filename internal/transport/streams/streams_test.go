@@ -132,8 +132,8 @@ func TestMuxLargeWriteFragmentsFrames(t *testing.T) {
 	if !bytes.Equal(got, big) {
 		t.Fatalf("large write corrupted (%d of %d)", len(got), len(big))
 	}
-	if ma.Stats().FramesSent < 4 {
-		t.Errorf("FramesSent = %d, want ≥4", ma.Stats().FramesSent)
+	if ma.Stats().Get("frames_sent") < 4 {
+		t.Errorf("FramesSent = %d, want ≥4", ma.Stats().Get("frames_sent"))
 	}
 }
 
@@ -193,7 +193,7 @@ func TestMuxMalformedFrameLength(t *testing.T) {
 	if err := mb.Pump(); err == nil {
 		t.Error("oversize frame accepted")
 	}
-	if mb.Stats().Malformed != 1 {
+	if mb.Stats().Get("malformed") != 1 {
 		t.Error("malformed not counted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/seg"
@@ -125,7 +126,7 @@ type HandshakeCM struct {
 
 	remoteFinSeen bool
 
-	stats CMStats
+	m cmMetrics
 }
 
 // CMConfig tunes connection management.
@@ -139,11 +140,29 @@ type CMConfig struct {
 	TimeWait time.Duration
 }
 
-// CMStats counts connection-management events.
-type CMStats struct {
-	SynSent, SynRetransmits uint64
-	FinSent, FinRetransmits uint64
-	Resets                  uint64
+// cmMetrics instruments connection-management events.
+type cmMetrics struct {
+	synSent, synRetransmits metrics.Counter
+	finSent, finRetransmits metrics.Counter
+	resets                  metrics.Counter
+}
+
+func (m *cmMetrics) bind(sc *metrics.Scope) {
+	sc.Register("syn_sent", &m.synSent)
+	sc.Register("syn_retransmits", &m.synRetransmits)
+	sc.Register("fin_sent", &m.finSent)
+	sc.Register("fin_retransmits", &m.finRetransmits)
+	sc.Register("resets", &m.resets)
+}
+
+func (m *cmMetrics) view() metrics.View {
+	return metrics.View{
+		"syn_sent":        m.synSent.Value(),
+		"syn_retransmits": m.synRetransmits.Value(),
+		"fin_sent":        m.finSent.Value(),
+		"fin_retransmits": m.finRetransmits.Value(),
+		"resets":          m.resets.Value(),
+	}
 }
 
 func (c CMConfig) withDefaults() CMConfig {
@@ -169,7 +188,10 @@ func NewHandshakeCM(gen ISNGenerator, cfg CMConfig) *HandshakeCM {
 func (m *HandshakeCM) Name() string { return "handshake(" + m.gen.Name() + ")" }
 
 // Stats returns a snapshot of the CM counters.
-func (m *HandshakeCM) Stats() CMStats { return m.stats }
+func (m *HandshakeCM) Stats() metrics.View { return m.m.view() }
+
+// BindMetrics adopts the CM counters into sc (metrics.Instrumented).
+func (m *HandshakeCM) BindMetrics(sc *metrics.Scope) { m.m.bind(sc) }
 
 func (m *HandshakeCM) attach(c *Conn) { m.conn = c }
 
@@ -214,31 +236,31 @@ func (m *HandshakeCM) open(active bool, first *cmView) {
 
 // sendSYN emits the active-open SYN with bootstrap retransmission.
 func (m *HandshakeCM) sendSYN() {
-	m.stats.SynSent++
+	m.m.synSent.Inc()
 	m.conn.xmitCM(tcpwire.CMSection{SYN: true, ISN: uint32(m.isn)},
 		m.isn, 0, false)
 	m.armRexmit(func() {
-		m.stats.SynRetransmits++
+		m.m.synRetransmits.Inc()
 		m.sendSYN()
 	})
 }
 
 func (m *HandshakeCM) sendSYNACK() {
-	m.stats.SynSent++
+	m.m.synSent.Inc()
 	m.conn.xmitCM(tcpwire.CMSection{SYN: true, ISN: uint32(m.isn)},
 		m.isn, m.peerISN.Add(1), true)
 	m.armRexmit(func() {
-		m.stats.SynRetransmits++
+		m.m.synRetransmits.Inc()
 		m.sendSYNACK()
 	})
 }
 
 func (m *HandshakeCM) sendFIN() {
-	m.stats.FinSent++
+	m.m.finSent.Inc()
 	m.conn.xmitCM(tcpwire.CMSection{FIN: true, ISN: uint32(m.isn)},
 		m.finSeq, 0, false) // ack fields filled by RD via xmitCM
 	m.armRexmit(func() {
-		m.stats.FinRetransmits++
+		m.m.finRetransmits.Inc()
 		m.sendFIN()
 	})
 }
@@ -270,7 +292,7 @@ func (m *HandshakeCM) cancelRexmit() {
 func (m *HandshakeCM) onSegment(v cmView) bool {
 	m.conn.stack.track("cm.onSegment")
 	if v.rst {
-		m.stats.Resets++
+		m.m.resets.Inc()
 		// A reset in a terminal state follows a completed exchange;
 		// treat it as a close.
 		if m.st == StateLastAck || m.st == StateClosing || m.st == StateTimeWait {

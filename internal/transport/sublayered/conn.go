@@ -3,6 +3,7 @@ package sublayered
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/seg"
@@ -62,17 +63,34 @@ func (c *Conn) OSR() *OSR { return c.osr }
 func (c *Conn) CM() ConnManager { return c.cm }
 
 // Crossings counts events and bytes over each inter-sublayer boundary.
+// The fields are live counters; CrossingStats returns a copy, which
+// freezes them into a snapshot.
 type Crossings struct {
-	AppToOSR   uint64 // Write calls
-	AppBytes   uint64
-	OSRToRD    uint64 // segments handed down as "ready"
-	OSRBytes   uint64
-	RDToOSRAck uint64 // onAcked notifications
-	RDToOSRDat uint64 // deliver notifications
-	RDToOSRLos uint64 // loss summaries
-	CMToRD     uint64 // established / fin notes
-	ToDM       uint64 // composed segments handed to DM
-	FromDM     uint64 // segments demultiplexed up
+	AppToOSR   metrics.Counter // Write calls
+	AppBytes   metrics.Counter
+	OSRToRD    metrics.Counter // segments handed down as "ready"
+	OSRBytes   metrics.Counter
+	RDToOSRAck metrics.Counter // onAcked notifications
+	RDToOSRDat metrics.Counter // deliver notifications
+	RDToOSRLos metrics.Counter // loss summaries
+	CMToRD     metrics.Counter // established / fin notes
+	ToDM       metrics.Counter // composed segments handed to DM
+	FromDM     metrics.Counter // segments demultiplexed up
+}
+
+// bind adopts the boundary counters into sc, named after the Fig. 5
+// edges they sit on.
+func (x *Crossings) bind(sc *metrics.Scope) {
+	sc.Register("app_to_osr", &x.AppToOSR)
+	sc.Register("app_bytes", &x.AppBytes)
+	sc.Register("osr_to_rd", &x.OSRToRD)
+	sc.Register("osr_bytes", &x.OSRBytes)
+	sc.Register("rd_to_osr_ack", &x.RDToOSRAck)
+	sc.Register("rd_to_osr_dat", &x.RDToOSRDat)
+	sc.Register("rd_to_osr_los", &x.RDToOSRLos)
+	sc.Register("cm_to_rd", &x.CMToRD)
+	sc.Register("to_dm", &x.ToDM)
+	sc.Register("from_dm", &x.FromDM)
 }
 
 // CrossingStats returns a snapshot of the boundary counters.
@@ -85,9 +103,9 @@ func (c *Conn) Write(p []byte) int {
 	if c.dead {
 		return 0
 	}
-	c.crossings.AppToOSR++
+	c.crossings.AppToOSR.Inc()
 	n := c.osr.write(p)
-	c.crossings.AppBytes += uint64(n)
+	c.crossings.AppBytes.Add(uint64(n))
 	return n
 }
 
@@ -197,7 +215,7 @@ func (c *Conn) onSegment(h *tcpwire.SubHeader, payload []byte, ecnMarked bool) {
 		ackValid:   h.RD.AckValid,
 		ack:        seg.Seq(h.RD.Ack),
 	}
-	c.crossings.FromDM++
+	c.crossings.FromDM.Inc()
 	deliver := c.cm.onSegment(v)
 	if c.dead || !deliver {
 		return
@@ -250,7 +268,7 @@ func (c *Conn) xmitCM(cm tcpwire.CMSection, seqNum seg.Seq, overrideAck seg.Seq,
 // transmit hands the composed segment to DM for port stamping and
 // network transmission.
 func (c *Conn) transmit(h *tcpwire.SubHeader, payload []byte) {
-	c.crossings.ToDM++
+	c.crossings.ToDM.Inc()
 	c.stack.dm.send(c, h, payload)
 }
 

@@ -3,6 +3,7 @@ package sublayered
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -44,6 +45,11 @@ type Config struct {
 	Contracts *verify.Checker
 	// CM tuning shared by default managers.
 	CMConfig CMConfig
+	// Metrics, when non-nil, adopts the stack's instruments under this
+	// scope: "dm/..." for the demultiplexer and "conn<n>/<sublayer>/..."
+	// per connection, numbered in creation order. A nil scope costs
+	// nothing (instruments stay detached).
+	Metrics *metrics.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -73,13 +79,31 @@ type connID struct {
 	localPort  uint16
 }
 
-// DMStats counts demultiplexing outcomes.
-type DMStats struct {
-	Delivered  uint64
-	NewPassive uint64
-	NoListener uint64
-	Malformed  uint64
-	RSTsSent   uint64
+// dmMetrics instruments demultiplexing outcomes.
+type dmMetrics struct {
+	delivered  metrics.Counter
+	newPassive metrics.Counter
+	noListener metrics.Counter
+	malformed  metrics.Counter
+	rstsSent   metrics.Counter
+}
+
+func (m *dmMetrics) bind(sc *metrics.Scope) {
+	sc.Register("delivered", &m.delivered)
+	sc.Register("new_passive", &m.newPassive)
+	sc.Register("no_listener", &m.noListener)
+	sc.Register("malformed", &m.malformed)
+	sc.Register("rsts_sent", &m.rstsSent)
+}
+
+func (m *dmMetrics) view() metrics.View {
+	return metrics.View{
+		"delivered":   m.delivered.Value(),
+		"new_passive": m.newPassive.Value(),
+		"no_listener": m.noListener.Value(),
+		"malformed":   m.malformed.Value(),
+		"rsts_sent":   m.rstsSent.Value(),
+	}
 }
 
 // DM is the demultiplexing sublayer — "essentially UDP; it allows
@@ -92,7 +116,7 @@ type DM struct {
 	listeners map[uint16]*Listener
 	conns     map[connID]*Conn
 	nextPort  uint16
-	stats     DMStats
+	m         dmMetrics
 }
 
 // Listener accepts passive opens on a port.
@@ -114,11 +138,12 @@ func (l *Listener) Port() uint16 { return l.port }
 // Stack is one host's sublayered transport: a DM instance bound to a
 // router, creating four-sublayer Conns.
 type Stack struct {
-	sim    *netsim.Simulator
-	router *network.Router
-	cfg    Config
-	dm     *DM
-	shim   *tcpwire.Shim
+	sim     *netsim.Simulator
+	router  *network.Router
+	cfg     Config
+	dm      *DM
+	shim    *tcpwire.Shim
+	connSeq int
 }
 
 // NewStack attaches a sublayered transport to a router. In shim mode
@@ -131,8 +156,10 @@ func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack 
 		conns:     make(map[connID]*Conn),
 		nextPort:  49152,
 	}
+	s.dm.m.bind(s.cfg.Metrics.Sub("dm"))
 	if s.cfg.UseShim {
 		s.shim = tcpwire.NewShim(uint16(s.cfg.MSS))
+		s.shim.BindMetrics(s.cfg.Metrics.Sub("shim"))
 		router.Handle(network.ProtoTCP, s.dm.receive)
 	} else {
 		router.Handle(network.ProtoSubTCP, s.dm.receive)
@@ -144,7 +171,7 @@ func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack 
 func (s *Stack) Addr() network.Addr { return s.router.Addr() }
 
 // DMStats returns a snapshot of the demultiplexer's counters.
-func (s *Stack) DMStats() DMStats { return s.dm.stats }
+func (s *Stack) DMStats() metrics.View { return s.dm.m.view() }
 
 // Config returns the stack's (defaulted) configuration.
 func (s *Stack) Config() Config { return s.cfg }
@@ -190,6 +217,16 @@ func (s *Stack) newConn(key tcpwire.FlowKey) *Conn {
 	c.cm.attach(c)
 	c.rd = newRD(c, s.cfg.NativeSACK || s.cfg.UseShim, s.cfg.DelayedAcks)
 	c.osr = newOSR(c, s.cfg.NewCC(s.cfg.MSS), s.cfg.MSS, s.cfg.SendBuf, s.cfg.RecvBuf)
+	// The sequence number advances whether or not a registry is
+	// attached, so metric names are stable across configurations.
+	sc := s.cfg.Metrics.Sub(fmt.Sprintf("conn%d", s.connSeq))
+	s.connSeq++
+	c.crossings.bind(sc.Sub("crossings"))
+	c.rd.bindMetrics(sc.Sub("rd"))
+	c.osr.bindMetrics(sc.Sub("osr"))
+	if in, ok := c.cm.(metrics.Instrumented); ok {
+		in.BindMetrics(sc.Sub("cm"))
+	}
 	return c
 }
 
@@ -247,12 +284,12 @@ func (d *DM) receive(dg *network.Datagram) {
 		h, payload, err = tcpwire.UnmarshalSub(dg.Payload)
 	}
 	if err != nil {
-		d.stats.Malformed++
+		d.m.malformed.Inc()
 		return
 	}
 	id := connID{remoteAddr: dg.Src, remotePort: h.DM.SrcPort, localPort: h.DM.DstPort}
 	if c, ok := d.conns[id]; ok {
-		d.stats.Delivered++
+		d.m.delivered.Inc()
 		c.onSegment(h, payload, dg.ECN)
 		return
 	}
@@ -277,7 +314,7 @@ func (d *DM) receive(dg *network.Datagram) {
 			if c.dead {
 				return
 			}
-			d.stats.NewPassive++
+			d.m.newPassive.Inc()
 			d.conns[id] = c
 			l.accepted = append(l.accepted, c)
 			if l.OnAccept != nil {
@@ -290,7 +327,7 @@ func (d *DM) receive(dg *network.Datagram) {
 			return
 		}
 	}
-	d.stats.NoListener++
+	d.m.noListener.Inc()
 	if !h.CM.RST {
 		d.sendRST(dg.Src, h)
 	}
@@ -298,7 +335,7 @@ func (d *DM) receive(dg *network.Datagram) {
 
 // sendRST answers a stray segment with a reset.
 func (d *DM) sendRST(to network.Addr, in *tcpwire.SubHeader) {
-	d.stats.RSTsSent++
+	d.m.rstsSent.Inc()
 	out := &tcpwire.SubHeader{
 		DM: tcpwire.DMSection{SrcPort: in.DM.DstPort, DstPort: in.DM.SrcPort},
 		CM: tcpwire.CMSection{RST: true},

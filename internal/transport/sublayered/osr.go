@@ -3,6 +3,7 @@ package sublayered
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/seg"
@@ -43,17 +44,37 @@ type OSR struct {
 	eofDelivered bool
 	eceEcho      bool
 
-	stats OSRStats
+	m osrMetrics
 }
 
-// OSRStats counts ordering/segmenting/rate-control events.
-type OSRStats struct {
-	SegmentsReady    uint64
-	BytesSegmented   uint64
-	BytesReassembled uint64
-	WindowStalls     uint64 // pump blocked by min(cwnd, rwnd)
-	ZeroWindowProbes uint64
-	ECNReactions     uint64
+// osrMetrics instruments ordering/segmenting/rate-control events.
+type osrMetrics struct {
+	segmentsReady    metrics.Counter
+	bytesSegmented   metrics.Counter
+	bytesReassembled metrics.Counter
+	windowStalls     metrics.Counter // pump blocked by min(cwnd, rwnd)
+	zeroWindowProbes metrics.Counter
+	ecnReactions     metrics.Counter
+}
+
+func (m *osrMetrics) bind(sc *metrics.Scope) {
+	sc.Register("segments_ready", &m.segmentsReady)
+	sc.Register("bytes_segmented", &m.bytesSegmented)
+	sc.Register("bytes_reassembled", &m.bytesReassembled)
+	sc.Register("window_stalls", &m.windowStalls)
+	sc.Register("zero_window_probes", &m.zeroWindowProbes)
+	sc.Register("ecn_reactions", &m.ecnReactions)
+}
+
+func (m *osrMetrics) view() metrics.View {
+	return metrics.View{
+		"segments_ready":     m.segmentsReady.Value(),
+		"bytes_segmented":    m.bytesSegmented.Value(),
+		"bytes_reassembled":  m.bytesReassembled.Value(),
+		"window_stalls":      m.windowStalls.Value(),
+		"zero_window_probes": m.zeroWindowProbes.Value(),
+		"ecn_reactions":      m.ecnReactions.Value(),
+	}
 }
 
 func newOSR(c *Conn, cc CongestionControl, mss, sendBuf, recvBuf int) *OSR {
@@ -68,7 +89,10 @@ func newOSR(c *Conn, cc CongestionControl, mss, sendBuf, recvBuf int) *OSR {
 }
 
 // Stats returns a snapshot of the OSR counters.
-func (o *OSR) Stats() OSRStats { return o.stats }
+func (o *OSR) Stats() metrics.View { return o.m.view() }
+
+// bindMetrics adopts OSR's instruments into sc.
+func (o *OSR) bindMetrics(sc *metrics.Scope) { o.m.bind(sc) }
 
 // CC exposes the congestion controller (read-only use: stats, E8).
 func (o *OSR) CC() CongestionControl { return o.cc }
@@ -119,7 +143,7 @@ func (o *OSR) pump() {
 		inflight := int(o.nextSeg - o.cumAcked)
 		room := window - inflight
 		if room <= 0 {
-			o.stats.WindowStalls++
+			o.m.windowStalls.Inc()
 			o.armProbe(inflight)
 			break
 		}
@@ -141,8 +165,8 @@ func (o *OSR) pump() {
 			break
 		}
 		data := o.sb.Slice(o.nextSeg, n)
-		o.stats.SegmentsReady++
-		o.stats.BytesSegmented += uint64(n)
+		o.m.segmentsReady.Inc()
+		o.m.bytesSegmented.Add(uint64(n))
 		off := o.nextSeg
 		o.nextSeg += uint64(n)
 		o.conn.stack.trackWrite("osr.nextSeg")
@@ -168,7 +192,7 @@ func (o *OSR) armProbe(inflight int) {
 		}
 		// Send one byte beyond the window as a probe.
 		if o.sb.End() > o.nextSeg {
-			o.stats.ZeroWindowProbes++
+			o.m.zeroWindowProbes.Inc()
 			data := o.sb.Slice(o.nextSeg, 1)
 			off := o.nextSeg
 			o.nextSeg++
@@ -224,7 +248,7 @@ func (o *OSR) deliver(off uint64, data []byte) {
 	out := o.ra.Insert(off, data)
 	o.conn.stack.trackWrite("osr.reassembly")
 	if len(out) > 0 {
-		o.stats.BytesReassembled += uint64(len(out))
+		o.m.bytesReassembled.Add(uint64(len(out)))
 		o.conn.pushRead(out)
 	}
 	o.checkEOF()
@@ -261,7 +285,7 @@ func (o *OSR) onPeerHeader(h tcpwire.OSRSection) {
 		}
 		if now-o.lastECNCut > netsim.Time(2*srtt) {
 			o.lastECNCut = now
-			o.stats.ECNReactions++
+			o.m.ecnReactions.Inc()
 			o.cc.OnECN()
 			o.cwrPending = true
 		}

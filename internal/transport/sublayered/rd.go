@@ -3,6 +3,7 @@ package sublayered
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/seg"
@@ -69,18 +70,48 @@ type RD struct {
 	ackable     bool
 	sackEnabled bool
 
-	stats RDStats
+	m rdMetrics
 }
 
-// RDStats counts reliable-delivery events.
-type RDStats struct {
-	SegmentsSent    uint64
-	Retransmits     uint64
-	FastRetransmits uint64
-	Timeouts        uint64
-	AcksSent        uint64
-	DupSegments     uint64
-	DeliveredBytes  uint64
+// rdMetrics instruments reliable-delivery events. The RTT histogram
+// (milliseconds) records the Karn-valid samples that also feed the RTO
+// estimator.
+type rdMetrics struct {
+	segmentsSent    metrics.Counter
+	retransmits     metrics.Counter
+	fastRetransmits metrics.Counter
+	timeouts        metrics.Counter
+	acksSent        metrics.Counter
+	dupSegments     metrics.Counter
+	deliveredBytes  metrics.Counter
+	rttMs           *metrics.Histogram
+}
+
+// rttBoundsMs buckets RTT samples from LAN-ish to badly congested.
+var rttBoundsMs = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+func (m *rdMetrics) bind(sc *metrics.Scope) {
+	sc.Register("segments_sent", &m.segmentsSent)
+	sc.Register("retransmits", &m.retransmits)
+	sc.Register("fast_retransmits", &m.fastRetransmits)
+	sc.Register("timeouts", &m.timeouts)
+	sc.Register("acks_sent", &m.acksSent)
+	sc.Register("dup_segments", &m.dupSegments)
+	sc.Register("delivered_bytes", &m.deliveredBytes)
+	sc.Register("rtt_ms", m.rttMs)
+}
+
+func (m *rdMetrics) view() metrics.View {
+	return metrics.View{
+		"segments_sent":    m.segmentsSent.Value(),
+		"retransmits":      m.retransmits.Value(),
+		"fast_retransmits": m.fastRetransmits.Value(),
+		"timeouts":         m.timeouts.Value(),
+		"acks_sent":        m.acksSent.Value(),
+		"dup_segments":     m.dupSegments.Value(),
+		"delivered_bytes":  m.deliveredBytes.Value(),
+		"rtt_samples":      m.rttMs.Count(),
+	}
 }
 
 type outSeg struct {
@@ -96,23 +127,31 @@ type outSeg struct {
 }
 
 func newRD(c *Conn, sackEnabled, delayedAcks bool) *RD {
-	return &RD{
+	r := &RD{
 		conn:        c,
 		sackEnabled: sackEnabled,
 		delayedAcks: delayedAcks,
 		rtt:         seg.NewRTTEstimator(time.Second, 200*time.Millisecond, 60*time.Second),
 	}
+	r.m.rttMs = metrics.NewHistogram(rttBoundsMs...)
+	return r
 }
 
 // Stats returns a snapshot of the RD counters.
-func (r *RD) Stats() RDStats { return r.stats }
+func (r *RD) Stats() metrics.View { return r.m.view() }
+
+// RTTHistogram exposes the Karn-valid RTT sample distribution.
+func (r *RD) RTTHistogram() *metrics.Histogram { return r.m.rttMs }
+
+// bindMetrics adopts RD's instruments into sc.
+func (r *RD) bindMetrics(sc *metrics.Scope) { r.m.bind(sc) }
 
 // Established is CM's service delivered: a pair of ISNs "not present in
 // the network so that segments and acks can be trusted as not being
 // delayed duplicates."
 func (r *RD) Established(localISN, peerISN seg.Seq) {
 	r.track("rd.established")
-	r.conn.crossings.CMToRD++
+	r.conn.crossings.CMToRD.Inc()
 	r.isn = localISN
 	r.peerISN = peerISN
 	r.sndUna = localISN.Add(1)
@@ -140,7 +179,7 @@ func (r *RD) SuppressAcksUntilPeerISN() { r.ackable = false }
 // FIN), so cumulative acknowledgements can cover the FIN.
 func (r *RD) SetRemoteFin(finSeq seg.Seq) {
 	r.track("rd.setRemoteFin")
-	r.conn.crossings.CMToRD++
+	r.conn.crossings.CMToRD.Inc()
 	r.remoteFin = true
 	r.remoteFinOff = r.rcvOffset(finSeq)
 	r.trackW("rd.remoteFinOff")
@@ -150,8 +189,8 @@ func (r *RD) SetRemoteFin(finSeq seg.Seq) {
 // calls it when rate control deems the segment ready.
 func (r *RD) Send(off uint64, data []byte) {
 	r.track("rd.send")
-	r.conn.crossings.OSRToRD++
-	r.conn.crossings.OSRBytes += uint64(len(data))
+	r.conn.crossings.OSRToRD.Inc()
+	r.conn.crossings.OSRBytes.Add(uint64(len(data)))
 	// Offsets above 2^32 wrap; Seq arithmetic keeps working because
 	// windows are far below 2^31.
 	s := r.isn.Add(1).Add(int(uint32(off)))
@@ -165,7 +204,7 @@ func (r *RD) Send(off uint64, data []byte) {
 	if r.sndNxt.Less(s.Add(len(data))) {
 		r.sndNxt = s.Add(len(data))
 	}
-	r.stats.SegmentsSent++
+	r.m.segmentsSent.Inc()
 	r.conn.xmitData(s, o.payload)
 	r.armRTO()
 	r.trackW("rd.outstanding", "rd.sndNxt")
@@ -199,18 +238,18 @@ func (r *RD) onData(s seg.Seq, payload []byte) {
 	if !ok {
 		// Sequence below the stream start: a stray from outside the
 		// ISN-trusted range. Re-acknowledge and drop.
-		r.stats.DupSegments++
+		r.m.dupSegments.Inc()
 		r.AckNow()
 		return
 	}
 	wasContig := r.ranges.ContiguousFrom(0)
 	inOrder := off == wasContig
 	if r.ranges.Add(off, off+uint64(len(payload))) {
-		r.stats.DeliveredBytes += uint64(len(payload))
-		r.conn.crossings.RDToOSRDat++
+		r.m.deliveredBytes.Add(uint64(len(payload)))
+		r.conn.crossings.RDToOSRDat.Inc()
 		r.conn.osr.deliver(off, payload)
 	} else {
-		r.stats.DupSegments++
+		r.m.dupSegments.Inc()
 		inOrder = false // duplicates must elicit an immediate (dup) ack
 	}
 	r.trackW("rd.ranges")
@@ -281,6 +320,7 @@ func (r *RD) onAck(ack seg.Seq, sack [][2]uint32, hadPayload bool) {
 		r.dupAcks = 0
 		if rttSample > 0 {
 			r.rtt.Sample(rttSample)
+			r.m.rttMs.Observe(rttSample.Milliseconds())
 		}
 		switch {
 		case r.inRecovery && ack.Less(r.recover):
@@ -314,17 +354,17 @@ func (r *RD) onAck(ack seg.Seq, sack [][2]uint32, hadPayload bool) {
 			}
 		}
 		r.trackW("rd.sndUna", "rd.outstanding")
-		r.conn.crossings.RDToOSRAck++
+		r.conn.crossings.RDToOSRAck.Inc()
 		r.conn.osr.onAcked(cum, newly, rttSample)
 	case ack == r.sndUna && len(r.outstanding) > 0 && !hadPayload:
 		r.dupAcks++
 		r.trackW("rd.dupAcks")
 		if r.dupAcks == 3 && !r.inRecovery {
-			r.stats.FastRetransmits++
+			r.m.fastRetransmits.Inc()
 			r.inRecovery = true
 			r.recover = r.sndNxt
 			r.retransmitFirst()
-			r.conn.crossings.RDToOSRLos++
+			r.conn.crossings.RDToOSRLos.Inc()
 			r.conn.osr.onLoss(LossFast)
 		}
 	}
@@ -342,7 +382,7 @@ func (r *RD) retransmitFirst() {
 		o.rexmit = true
 		o.pending = false
 		o.sentAt = r.conn.now()
-		r.stats.Retransmits++
+		r.m.retransmits.Inc()
 		r.conn.xmitData(o.seq, o.payload)
 		return
 	}
@@ -364,7 +404,7 @@ func (r *RD) onRTO() {
 	if len(r.outstanding) == 0 {
 		return
 	}
-	r.stats.Timeouts++
+	r.m.timeouts.Inc()
 	r.rtt.Backoff()
 	r.dupAcks = 0
 	r.inRecovery = false
@@ -375,7 +415,7 @@ func (r *RD) onRTO() {
 	}
 	r.retransmitFirst()
 	r.armRTO()
-	r.conn.crossings.RDToOSRLos++
+	r.conn.crossings.RDToOSRLos.Inc()
 	r.conn.osr.onLoss(LossTimeout)
 }
 
@@ -386,7 +426,7 @@ func (r *RD) AckNow() {
 		r.ackTimer.Stop()
 		r.ackTimer = nil
 	}
-	r.stats.AcksSent++
+	r.m.acksSent.Inc()
 	r.conn.xmitAck()
 }
 

@@ -62,7 +62,7 @@ func TestECNBottleneckReaction(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatalf("transfer through bottleneck failed (%d of %d)", len(got), len(data))
 	}
-	if cc.OSR().Stats().ECNReactions == 0 {
+	if cc.OSR().Stats().Get("ecn_reactions") == 0 {
 		t.Error("congestion control never reacted to ECN despite a marking bottleneck")
 	}
 }
@@ -126,7 +126,7 @@ func TestGarbageSegmentsDoNotPanic(t *testing.T) {
 	if !bytes.Equal(got, msg) {
 		t.Fatalf("legitimate transfer corrupted by garbage traffic (%d of %d)", len(got), len(msg))
 	}
-	if w.server.DMStats().Malformed == 0 {
+	if w.server.DMStats().Get("malformed") == 0 {
 		t.Error("no malformed segments counted despite noise injection")
 	}
 }
@@ -167,7 +167,7 @@ func TestDelayedAcksHalveAckTraffic(t *testing.T) {
 		res := runTransfer(t, w, data, nil, time.Minute)
 		var acks uint64
 		if res.serverConn != nil {
-			acks = res.serverConn.RD().Stats().AcksSent
+			acks = res.serverConn.RD().Stats().Get("acks_sent")
 		}
 		return acks, bytes.Equal(res.serverGot, data)
 	}
@@ -212,7 +212,7 @@ func TestTimeWaitReAcksRetransmittedFIN(t *testing.T) {
 	// Client should be in TIME_WAIT (it closed first) or already
 	// finished; if TIME_WAIT, a re-sent FIN must elicit an ack.
 	if cc.State() == "TIME_WAIT" {
-		acksBefore := cc.RD().Stats().AcksSent
+		acksBefore := cc.RD().Stats().Get("acks_sent")
 		fin := &tcpwire.SubHeader{
 			DM: tcpwire.DMSection{SrcPort: 80, DstPort: cc.LocalPort()},
 			CM: tcpwire.CMSection{FIN: true, ISN: uint32(srv.cm.(*HandshakeCM).isn)},
@@ -220,7 +220,7 @@ func TestTimeWaitReAcksRetransmittedFIN(t *testing.T) {
 		}
 		_ = w.topo.Routers[4].Send(1, network.ProtoSubTCP, fin.Marshal(nil))
 		w.sim.RunFor(time.Second)
-		if cc.RD().Stats().AcksSent <= acksBefore {
+		if cc.RD().Stats().Get("acks_sent") <= acksBefore {
 			t.Error("TIME_WAIT did not re-ack a retransmitted FIN")
 		}
 	}

@@ -201,7 +201,7 @@ func TestE3LargeTransferNasty(t *testing.T) {
 		t.Error("no EOF at server")
 	}
 	// Loss must have caused retransmissions — the machinery really ran.
-	if res.clientConn.RD().Stats().Retransmits == 0 {
+	if res.clientConn.RD().Stats().Get("retransmits") == 0 {
 		t.Error("no retransmissions on a lossy path (suspicious)")
 	}
 }
@@ -343,7 +343,7 @@ func TestConnectToClosedPortResets(t *testing.T) {
 	if !errors.Is(closedErr, ErrReset) {
 		t.Errorf("err = %v, want ErrReset", closedErr)
 	}
-	if w.server.DMStats().RSTsSent == 0 {
+	if w.server.DMStats().Get("rsts_sent") == 0 {
 		t.Error("server sent no RST")
 	}
 }
@@ -413,7 +413,7 @@ func TestFlowControlSmallReceiverWindow(t *testing.T) {
 		t.Fatalf("flow-controlled transfer: got %d of %d bytes", len(got), len(data))
 	}
 	// The receiver's window must actually have closed at some point.
-	if res := cc.OSR().Stats(); res.WindowStalls == 0 {
+	if res := cc.OSR().Stats(); res.Get("window_stalls") == 0 {
 		t.Error("sender never stalled on the receive window")
 	}
 }
