@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify report clean
+.PHONY: all build test race vet fuzz verify report clean
 
 all: build
 
@@ -16,12 +16,17 @@ race:
 vet:
 	$(GO) vet ./...
 
-# verify is the PR gate: static checks plus the full suite under the
-# race detector.
-verify: vet race
+# fuzz gives the stuffing round-trip spec a brief randomized workout;
+# run with a longer -fuzztime for a real campaign.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzStuffRoundTrip -fuzztime 5s ./internal/stuffing
+
+# verify is the PR gate: static checks, the full suite under the race
+# detector, and a short fuzz pass over the bit-stuffing spec.
+verify: vet race fuzz
 
 # report regenerates BENCH_metrics.json, the machine-readable run
-# report over E1-E9 (deterministic: same seed, same bytes).
+# report over E1-E10 (deterministic: same seed, same bytes).
 report:
 	$(GO) run ./cmd/runreport
 

@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per experiment in DESIGN.md's index (E1–E9). Each
+// One benchmark per experiment in DESIGN.md's index (E1–E10). Each
 // regenerates its table through internal/experiments — the same code
 // path as cmd/benchreport — so `go test -bench=. -benchtime=1x` is a
 // full reproduction run, and the b.N loop measures the end-to-end cost
@@ -105,6 +105,11 @@ func BenchmarkE8Replace(b *testing.B) { benchExperiment(b, "e8") }
 
 // BenchmarkE9Offload regenerates the hardware-partition table.
 func BenchmarkE9Offload(b *testing.B) { benchExperiment(b, "e9") }
+
+// BenchmarkE10ChaosSoak regenerates the fault-matrix soak: both stacks
+// through bursty loss, flaps, partitions, a router crash-restart, a
+// blackhole, and the permanent partition that trips the user timeout.
+func BenchmarkE10ChaosSoak(b *testing.B) { benchExperiment(b, "e10") }
 
 // --- ablation benches for DESIGN.md's called-out choices ---
 

@@ -1,5 +1,5 @@
 // Command benchreport regenerates the experiment tables of
-// EXPERIMENTS.md (E1–E9 from DESIGN.md) in one run.
+// EXPERIMENTS.md (E1–E10 from DESIGN.md) in one run.
 //
 //	benchreport            # run everything
 //	benchreport -e e5      # one experiment

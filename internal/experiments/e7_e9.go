@@ -116,10 +116,12 @@ func E8Replace(seed int64) *Result {
 			mkCfg := func() sublayered.Config {
 				return sublayered.Config{NewCC: cc.mk, NewCM: cm.mk()}
 			}
+			reg := metrics.New()
 			w := harness.BuildWorld(harness.WorldConfig{
 				Seed: seed, Link: lossyLink(0.04),
 				Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
-				SubCfg: mkCfg(),
+				SubCfg:  mkCfg(),
+				Metrics: reg,
 			})
 			data := randPayload(100_000, seed)
 			r, err := harness.RunTransfer(w, data, nil, 15*time.Minute)
@@ -129,6 +131,8 @@ func E8Replace(seed int64) *Result {
 				tm = "FAILED"
 			}
 			res.Rows = append(res.Rows, []string{cc.name, cm.name, fmt.Sprintf("%v", intact), tm})
+			res.Metrics = metrics.Merge(res.Metrics,
+				reg.Snapshot().WithPrefix(cc.name+"/"+cm.name))
 		}
 	}
 	res.Notes = append(res.Notes,

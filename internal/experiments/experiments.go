@@ -1,5 +1,5 @@
 // Package experiments regenerates every table of EXPERIMENTS.md — one
-// function per experiment E1–E9 from DESIGN.md. Each function builds
+// function per experiment E1–E10 from DESIGN.md. Each function builds
 // its own simulated world from a seed, runs the workload, and returns
 // a formatted table plus structured rows, so cmd/benchreport, the
 // root-level benchmarks and the tests all share one implementation.
@@ -75,6 +75,7 @@ func All(seed int64) []*Result {
 		E7Performance(seed),
 		E8Replace(seed),
 		E9Offload(seed),
+		E10ChaosSoak(seed),
 	}
 }
 
@@ -99,6 +100,8 @@ func ByID(id string, seed int64) *Result {
 		return E8Replace(seed)
 	case "e9":
 		return E9Offload(seed)
+	case "e10":
+		return E10ChaosSoak(seed)
 	}
 	return nil
 }

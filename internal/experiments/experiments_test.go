@@ -127,6 +127,39 @@ func TestE9SimpleCutWins(t *testing.T) {
 	}
 }
 
+// TestE10ChaosInvariants is the chaos-soak acceptance check: every
+// healing scenario completes, the prefix invariant and sublayer
+// contracts hold across the whole matrix, and the permanent partition
+// trips the user timeout on both stacks instead of hanging.
+func TestE10ChaosInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix")
+	}
+	r := E10ChaosSoak(10)
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (6 scenarios × 2 stacks)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		scenario, stack := row[0], row[1]
+		if row[3] != "true" {
+			t.Errorf("%s/%s: prefix invariant violated", scenario, stack)
+		}
+		if row[4] != "0" {
+			t.Errorf("%s/%s: %s contract violations under chaos", scenario, stack, row[4])
+		}
+		if scenario == "hard-partition" {
+			if row[2] != "false" {
+				t.Errorf("%s/%s: completed through a permanent partition?", scenario, stack)
+			}
+			if row[5] == "0" {
+				t.Errorf("%s/%s: no abort — user timeout did not fire", scenario, stack)
+			}
+		} else if row[2] != "true" {
+			t.Errorf("%s/%s: transfer did not complete after healing", scenario, stack)
+		}
+	}
+}
+
 func TestResultTextRenders(t *testing.T) {
 	r := E5Stuffing()
 	txt := r.Text()
@@ -179,5 +212,43 @@ func TestMetricsDeterministicTransport(t *testing.T) {
 	}
 	if !bytes.Equal(a.Metrics.JSON(), b.Metrics.JSON()) {
 		t.Error("same seed, different snapshots")
+	}
+}
+
+// TestMetricsDeterministicChaos extends the byte-identity contract to
+// E10, where the snapshot additionally contains the fault injector's
+// own counters and the watchdog scope — the whole failure history must
+// be a pure function of the seed.
+func TestMetricsDeterministicChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix")
+	}
+	a, b := E10ChaosSoak(13), E10ChaosSoak(13)
+	if len(a.Metrics.Samples) == 0 {
+		t.Fatal("E10 attached no metrics")
+	}
+	if _, ok := a.Metrics.Get("bursty-loss/sublayered/faults/ge_transitions"); !ok {
+		t.Error("snapshot missing fault-injector counters")
+	}
+	if !bytes.Equal(a.Metrics.JSON(), b.Metrics.JSON()) {
+		t.Error("same seed, different snapshots")
+	}
+	c := E10ChaosSoak(14)
+	if bytes.Equal(a.Metrics.JSON(), c.Metrics.JSON()) {
+		t.Error("different seeds produced identical snapshots")
+	}
+}
+
+// TestAllExperimentsCarryMetrics pins the satellite claim: every
+// experiment in the run report, E1 through E10, populates
+// Result.Metrics.
+func TestAllExperimentsCarryMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, r := range All(1) {
+		if len(r.Metrics.Samples) == 0 {
+			t.Errorf("%s: no metrics in run report", r.ID)
+		}
 	}
 }

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"time"
+
+	"repro/internal/network"
+)
+
+// GEConfig parameterizes the Gilbert–Elliott two-state bursty-loss
+// model: the channel alternates between a Good state (low loss) and a
+// Bad state (high loss), with exponentially distributed dwell times in
+// each. Unlike the static Bernoulli LossProb, GE produces loss that
+// clusters into bursts — the failure mode that actually defeats
+// retransmission strategies tuned for independent loss.
+type GEConfig struct {
+	// MeanGood / MeanBad are the mean dwell times (exponential) in each
+	// state. Defaults: 500ms good, 50ms bad.
+	MeanGood, MeanBad time.Duration
+	// LossGood / LossBad are the per-packet loss probabilities while in
+	// each state. Defaults: 0 good, 0.3 bad.
+	LossGood, LossBad float64
+}
+
+func (c GEConfig) withDefaults() GEConfig {
+	if c.MeanGood <= 0 {
+		c.MeanGood = 500 * time.Millisecond
+	}
+	if c.MeanBad <= 0 {
+		c.MeanBad = 50 * time.Millisecond
+	}
+	if c.LossBad == 0 {
+		c.LossBad = 0.3
+	}
+	return c
+}
+
+// burstyLoss overlays the GE model on both directions of the a–b link
+// for [start, start+window), then restores the link's original loss
+// probability. State transitions are simulator events whose dwell times
+// come from the injector's RNG, so the whole loss history is a pure
+// function of the seed. window <= 0 runs the model forever.
+func (inj *Injector) burstyLoss(a, b network.Addr, start, window time.Duration, cfg GEConfig) {
+	cfg = cfg.withDefaults()
+	d := inj.duplex(a, b)
+	if d == nil {
+		return
+	}
+	orig := d.AB.Config().LossProb
+	end := time.Duration(-1)
+	if window > 0 {
+		end = start + window
+	}
+	bad := false
+	setLoss := func(p float64) {
+		d.AB.SetLossProb(p)
+		d.BA.SetLossProb(p)
+	}
+	// dwell samples an exponential holding time for the current state.
+	dwell := func() time.Duration {
+		mean := cfg.MeanGood
+		if bad {
+			mean = cfg.MeanBad
+		}
+		return time.Duration(inj.rng.ExpFloat64() * float64(mean))
+	}
+	var transition func(elapsed time.Duration)
+	transition = func(elapsed time.Duration) {
+		if end >= 0 && elapsed >= end {
+			setLoss(orig)
+			return
+		}
+		bad = !bad
+		if bad {
+			setLoss(cfg.LossBad)
+		} else {
+			setLoss(cfg.LossGood)
+		}
+		inj.m.geTransitions.Inc()
+		next := dwell()
+		inj.sim.Schedule(next, func() { transition(elapsed + next) })
+	}
+	inj.sim.Schedule(start, func() {
+		setLoss(cfg.LossGood)
+		next := dwell()
+		inj.sim.Schedule(next, func() { transition(start + next) })
+	})
+}

@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/network"
+)
+
+// Script is a declarative fault schedule: a named list of timed steps.
+// Scripts are the unit the chaos-soak experiment (E10) iterates over —
+// one script describes one failure history, and the same script against
+// the same seeds replays identically.
+type Script struct {
+	Name  string
+	Steps []Step
+}
+
+// Step schedules one fault. At is the virtual-time offset (from Apply)
+// at which the fault begins; For is how long it lasts, with 0 meaning
+// permanent (never healed). For randomized faults (RandomLinkFlaps,
+// BurstyLoss) the window [At, At+For) bounds the randomness instead.
+type Step struct {
+	At    time.Duration
+	For   time.Duration
+	Fault Fault
+}
+
+// Fault is one kind of injectable failure. Implementations are the
+// vocabulary of the script format; String renders the fault for tables
+// and logs.
+type Fault interface {
+	apply(inj *Injector, at, dur time.Duration)
+	String() string
+}
+
+// Apply installs every step of the script on the injector's simulator.
+// Call before (or during) the run; each step becomes ordinary events.
+func (inj *Injector) Apply(s Script) {
+	for _, st := range s.Steps {
+		st.Fault.apply(inj, st.At, st.For)
+	}
+}
+
+// String renders the script as "name{fault@at/for, ...}".
+func (s Script) String() string {
+	parts := make([]string, len(s.Steps))
+	for i, st := range s.Steps {
+		parts[i] = fmt.Sprintf("%s@%v/%v", st.Fault, st.At, st.For)
+	}
+	return s.Name + "{" + strings.Join(parts, ", ") + "}"
+}
+
+// LinkFlap cuts the A–B link for the step's duration.
+type LinkFlap struct{ A, B network.Addr }
+
+func (f LinkFlap) apply(inj *Injector, at, dur time.Duration) {
+	inj.FlapLink(at, dur, f.A, f.B)
+}
+func (f LinkFlap) String() string { return fmt.Sprintf("flap %d-%d", f.A, f.B) }
+
+// RandomLinkFlaps flaps the A–B link N times at seed-determined moments
+// within the step's window, each down for a seed-determined duration in
+// [MinDown, MaxDown].
+type RandomLinkFlaps struct {
+	A, B             network.Addr
+	N                int
+	MinDown, MaxDown time.Duration
+}
+
+func (f RandomLinkFlaps) apply(inj *Injector, at, dur time.Duration) {
+	inj.randomFlaps(f.A, f.B, at, dur, f.N, f.MinDown, f.MaxDown)
+}
+func (f RandomLinkFlaps) String() string {
+	return fmt.Sprintf("flaps×%d %d-%d", f.N, f.A, f.B)
+}
+
+// Partition cuts every link with exactly one endpoint in Nodes,
+// isolating the set from the rest of the topology for the step's
+// duration.
+type Partition struct{ Nodes []network.Addr }
+
+func (f Partition) apply(inj *Injector, at, dur time.Duration) {
+	inj.partition(at, dur, f.Nodes)
+}
+func (f Partition) String() string {
+	ns := append([]network.Addr(nil), f.Nodes...)
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return "partition {" + strings.Join(parts, ",") + "}"
+}
+
+// RouterPause takes the router off the network (all incident links
+// down) for the step's duration, keeping its routing state — a
+// maintenance pause or transient isolation.
+type RouterPause struct{ Addr network.Addr }
+
+func (f RouterPause) apply(inj *Injector, at, dur time.Duration) {
+	inj.outage(at, dur, f.Addr, nil)
+}
+func (f RouterPause) String() string { return fmt.Sprintf("pause n%d", f.Addr) }
+
+// RouterCrash takes the router off the network and restarts it with a
+// brand-new route computer from Fresh — all routing state lost, so the
+// control plane must reconverge from scratch (neighbors re-discovered,
+// routes re-advertised).
+type RouterCrash struct {
+	Addr  network.Addr
+	Fresh func() network.RouteComputer
+}
+
+func (f RouterCrash) apply(inj *Injector, at, dur time.Duration) {
+	inj.outage(at, dur, f.Addr, f.Fresh)
+}
+func (f RouterCrash) String() string { return fmt.Sprintf("crash n%d", f.Addr) }
+
+// Blackhole makes the router at At silently discard matching data
+// datagrams for the step's duration, while control traffic flows and
+// routing stays converged — the classic misconfigured-middlebox
+// failure. A nil Match drops all data datagrams.
+type Blackhole struct {
+	At    network.Addr
+	Match func(*network.Datagram) bool
+}
+
+func (f Blackhole) apply(inj *Injector, at, dur time.Duration) {
+	match := f.Match
+	if match == nil {
+		match = func(*network.Datagram) bool { return true }
+	}
+	inj.blackhole(at, dur, f.At, match)
+}
+func (f Blackhole) String() string { return fmt.Sprintf("blackhole n%d", f.At) }
+
+// BurstyLoss overlays the Gilbert–Elliott model on the A–B link for
+// the step's window, then restores the configured loss probability.
+type BurstyLoss struct {
+	A, B network.Addr
+	GE   GEConfig
+}
+
+func (f BurstyLoss) apply(inj *Injector, at, dur time.Duration) {
+	inj.burstyLoss(f.A, f.B, at, dur, f.GE)
+}
+func (f BurstyLoss) String() string { return fmt.Sprintf("bursty %d-%d", f.A, f.B) }

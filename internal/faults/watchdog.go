@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/verify"
+)
+
+// Watchdog collects end-to-end invariant violations observed while a
+// transfer runs under chaos. The invariants are the ones the transport
+// owes its user regardless of what the network does:
+//
+//   - Prefix: the delivered byte stream is an exact prefix of the sent
+//     stream. Any duplication, reordering or corruption surviving above
+//     OSR breaks byte equality at the first divergent offset, so this
+//     single check subsumes no-dup/no-reorder/no-corruption.
+//   - Contracts: the per-sublayer invariants from contracts.go
+//     (evaluated by a verify.Checker in ModeRecord) hold after every
+//     processed segment, chaos or not.
+//
+// A fault script may legitimately prevent *completion* (a permanent
+// partition aborts the transfer), but it must never make the transport
+// deliver wrong bytes. The watchdog checks exactly that.
+type Watchdog struct {
+	violations []string
+	checks     metrics.Counter
+	failed     metrics.Counter
+}
+
+// NewWatchdog returns an empty watchdog.
+func NewWatchdog() *Watchdog { return &Watchdog{} }
+
+// BindMetrics adopts the watchdog's counters into sc (keys: checks,
+// violations).
+func (w *Watchdog) BindMetrics(sc *metrics.Scope) {
+	sc.Register("checks", &w.checks)
+	sc.Register("violations", &w.failed)
+}
+
+// CheckPrefix verifies got is an exact prefix of sent (label names the
+// direction in violation messages). Returns true if the invariant holds.
+func (w *Watchdog) CheckPrefix(label string, sent, got []byte) bool {
+	w.checks.Inc()
+	if len(got) > len(sent) {
+		w.fail("%s: delivered %d bytes but only %d were sent", label, len(got), len(sent))
+		return false
+	}
+	if !bytes.Equal(sent[:len(got)], got) {
+		i := 0
+		for i < len(got) && sent[i] == got[i] {
+			i++
+		}
+		w.fail("%s: delivered stream diverges from sent stream at offset %d", label, i)
+		return false
+	}
+	return true
+}
+
+// CheckComplete verifies got is the entire sent stream — the stronger
+// claim for scenarios where the transfer is expected to finish.
+func (w *Watchdog) CheckComplete(label string, sent, got []byte) bool {
+	if !w.CheckPrefix(label, sent, got) {
+		return false
+	}
+	w.checks.Inc()
+	if len(got) != len(sent) {
+		w.fail("%s: delivered %d of %d bytes", label, len(got), len(sent))
+		return false
+	}
+	return true
+}
+
+// CheckContracts folds a sublayer contract checker's recorded
+// violations into the watchdog.
+func (w *Watchdog) CheckContracts(label string, ck *verify.Checker) bool {
+	w.checks.Inc()
+	vs := ck.Violations()
+	for i := range vs {
+		w.fail("%s: contract %s", label, vs[i].Error())
+	}
+	return len(vs) == 0
+}
+
+func (w *Watchdog) fail(format string, args ...any) {
+	w.failed.Inc()
+	w.violations = append(w.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns every recorded violation, in order.
+func (w *Watchdog) Violations() []string { return w.violations }
+
+// OK reports whether no invariant was violated.
+func (w *Watchdog) OK() bool { return len(w.violations) == 0 }

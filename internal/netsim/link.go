@@ -67,6 +67,7 @@ type linkMetrics struct {
 	reordered      metrics.Counter
 	corrupted      metrics.Counter
 	queueDrop      metrics.Counter
+	downDrop       metrics.Counter
 	ecnMarked      metrics.Counter
 	queueDepth     metrics.Gauge
 }
@@ -80,6 +81,7 @@ func (m *linkMetrics) bind(sc *metrics.Scope) {
 	sc.Register("reordered", &m.reordered)
 	sc.Register("corrupted", &m.corrupted)
 	sc.Register("queue_drop", &m.queueDrop)
+	sc.Register("down_drop", &m.downDrop)
 	sc.Register("ecn_marked", &m.ecnMarked)
 	sc.Register("queue_depth", &m.queueDepth)
 }
@@ -94,6 +96,7 @@ func (m *linkMetrics) view() metrics.View {
 		"reordered":       m.reordered.Value(),
 		"corrupted":       m.corrupted.Value(),
 		"queue_drop":      m.queueDrop.Value(),
+		"down_drop":       m.downDrop.Value(),
 		"ecn_marked":      m.ecnMarked.Value(),
 	}
 }
@@ -109,8 +112,9 @@ type Link struct {
 	// serializer state: the time at which the transmitter frees up.
 	txFree Time
 	queued int
-	// Up gates delivery: a downed link silently drops (used by routing
-	// failure experiments).
+	// Up gates delivery: a downed link drops traffic, counting it as
+	// down_drop (used by routing failure experiments and fault
+	// injection).
 	up bool
 }
 
@@ -129,16 +133,21 @@ func (s *Simulator) NewLink(cfg LinkConfig, dst Handler) *Link {
 	return l
 }
 
-// SetUp raises or cuts the link. Packets sent while down are counted as
-// lost.
+// SetUp raises or cuts the link. Packets sent (or already in flight)
+// while down are counted as down_drop, distinct from random loss.
 func (l *Link) SetUp(up bool) { l.up = up }
 
 // Up reports whether the link is passing traffic.
 func (l *Link) Up() bool { return l.up }
 
+// SetLossProb replaces the link's random-loss probability at runtime.
+// Fault injectors use this to overlay time-varying loss models (e.g.
+// Gilbert–Elliott bursty loss) on top of a static configuration.
+func (l *Link) SetLossProb(p float64) { l.cfg.LossProb = p }
+
 // Stats returns a view of the link counters (keys: sent, delivered,
 // delivered_bytes, lost, duplicate, reordered, corrupted, queue_drop,
-// ecn_marked).
+// down_drop, ecn_marked).
 func (l *Link) Stats() metrics.View { return l.m.view() }
 
 // Config returns the link's configuration.
@@ -154,7 +163,7 @@ func (l *Link) Send(data []byte) {
 func (l *Link) SendPacket(pkt *Packet) {
 	l.m.sent.Inc()
 	if !l.up {
-		l.m.lost.Inc()
+		l.m.downDrop.Inc()
 		return
 	}
 	rng := l.sim.rng
@@ -220,7 +229,7 @@ func (l *Link) setQueued(n int) {
 func (l *Link) deliverAt(at Time, p *Packet) {
 	l.sim.ScheduleAt(at, func() {
 		if !l.up {
-			l.m.lost.Inc()
+			l.m.downDrop.Inc()
 			return
 		}
 		l.m.delivered.Inc()

@@ -464,8 +464,42 @@ func TestLinkDownMidFlight(t *testing.T) {
 	if n != 0 {
 		t.Error("packet delivered over a cut link")
 	}
-	if l.Stats()["lost"] == 0 {
-		t.Error("in-flight loss not counted")
+	if l.Stats()["down_drop"] == 0 {
+		t.Error("in-flight down-link drop not counted")
+	}
+}
+
+func TestLinkDownDropAndSetLossProb(t *testing.T) {
+	// Downed-link drops count as down_drop, not lost; SetLossProb
+	// retunes random loss at runtime (the fault injector's GE overlay).
+	s := NewSimulator(53)
+	n := 0
+	l := s.NewLink(LinkConfig{}, func(p *Packet) { n++ })
+	l.SetUp(false)
+	for i := 0; i < 5; i++ {
+		l.Send([]byte("x"))
+	}
+	s.Run(0)
+	if st := l.Stats(); st["down_drop"] != 5 || st["lost"] != 0 {
+		t.Errorf("down_drop=%d lost=%d, want 5/0", st["down_drop"], st["lost"])
+	}
+	l.SetUp(true)
+	l.SetLossProb(1)
+	for i := 0; i < 5; i++ {
+		l.Send([]byte("x"))
+	}
+	s.Run(0)
+	if n != 0 {
+		t.Errorf("delivered %d with loss=1", n)
+	}
+	if st := l.Stats(); st["lost"] != 5 {
+		t.Errorf("lost=%d after SetLossProb(1), want 5", st["lost"])
+	}
+	l.SetLossProb(0)
+	l.Send([]byte("x"))
+	s.Run(0)
+	if n != 1 {
+		t.Errorf("delivered %d after SetLossProb(0), want 1", n)
 	}
 }
 

@@ -21,6 +21,7 @@ type forwardMetrics struct {
 	noRoute        metrics.Counter
 	ttlExpired     metrics.Counter
 	malformed      metrics.Counter
+	blackholed     metrics.Counter
 }
 
 func (m *forwardMetrics) bind(sc *metrics.Scope) {
@@ -30,6 +31,7 @@ func (m *forwardMetrics) bind(sc *metrics.Scope) {
 	sc.Register("no_route", &m.noRoute)
 	sc.Register("ttl_expired", &m.ttlExpired)
 	sc.Register("malformed", &m.malformed)
+	sc.Register("blackholed", &m.blackholed)
 }
 
 // newForwarder is created by the Router.
@@ -63,7 +65,8 @@ func (f *Forwarder) FIB() map[Addr]Route {
 }
 
 // Stats returns a view of the data-plane counters (keys: originated,
-// forwarded, local_delivered, no_route, ttl_expired, malformed).
+// forwarded, local_delivered, no_route, ttl_expired, malformed,
+// blackholed).
 func (f *Forwarder) Stats() metrics.View {
 	return metrics.View{
 		"originated":      f.m.originated.Value(),
@@ -72,5 +75,6 @@ func (f *Forwarder) Stats() metrics.View {
 		"no_route":        f.m.noRoute.Value(),
 		"ttl_expired":     f.m.ttlExpired.Value(),
 		"malformed":       f.m.malformed.Value(),
+		"blackholed":      f.m.blackholed.Value(),
 	}
 }

@@ -22,6 +22,7 @@ type Router struct {
 	handlers map[Proto]func(*Datagram)
 	started  bool
 	tap      func(ifi int, data []byte)
+	drop     func(*Datagram) bool
 	// msc is the router's metrics scope; kept so SwapComputer can bind
 	// the replacement route computer under a fresh name. swaps counts
 	// binds so repeated same-algorithm computers get distinct names.
@@ -153,6 +154,13 @@ func (r *Router) transmit(dg *Datagram) error {
 // receives, before demultiplexing — the hook packet tracing hangs off.
 func (r *Router) Tap(fn func(ifi int, data []byte)) { r.tap = fn }
 
+// SetDropFilter installs a predicate consulted for every received data
+// datagram; when it returns true the datagram is silently discarded and
+// counted as blackholed. Control traffic (hello, routing) is never
+// filtered, so routing stays converged while the data plane misbehaves —
+// the classic blackhole failure. A nil filter removes the hook.
+func (r *Router) SetDropFilter(fn func(*Datagram) bool) { r.drop = fn }
+
 // receive demultiplexes a wire packet by class: hello to the neighbor
 // sublayer, routing to the route computer, data to the forwarder. The
 // three sublayers literally use different packets (T3).
@@ -179,6 +187,10 @@ func (r *Router) receive(ifi int, data []byte, ecn bool) {
 			return
 		}
 		dg.ECN = dg.ECN || ecn
+		if r.drop != nil && r.drop(dg) {
+			r.fwd.m.blackholed.Inc()
+			return
+		}
 		r.forward(dg)
 	}
 }

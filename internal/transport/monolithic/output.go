@@ -167,6 +167,7 @@ func (p *PCB) onRexmitTimer() {
 	s.m.timeouts.Inc()
 	p.nrexmit++
 	if p.nrexmit > s.cfg.MaxRexmit {
+		s.m.aborts.Inc()
 		p.kill(ErrTimeout)
 		return
 	}
@@ -181,6 +182,7 @@ func (p *PCB) onRexmitTimer() {
 func (p *PCB) retryOrDie(resend func()) {
 	p.nrexmit++
 	if p.nrexmit > p.stack.cfg.MaxRexmit {
+		p.stack.m.aborts.Inc()
 		p.kill(ErrTimeout)
 		return
 	}

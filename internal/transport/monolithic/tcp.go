@@ -116,6 +116,7 @@ type tcpMetrics struct {
 	fastRetransmits metrics.Counter
 	timeouts        metrics.Counter
 	rstsSent        metrics.Counter
+	aborts          metrics.Counter
 	rttMs           *metrics.Histogram
 }
 
@@ -127,6 +128,7 @@ func (m *tcpMetrics) bind(sc *metrics.Scope) {
 	sc.Register("fast_retransmits", &m.fastRetransmits)
 	sc.Register("timeouts", &m.timeouts)
 	sc.Register("rsts_sent", &m.rstsSent)
+	sc.Register("aborts", &m.aborts)
 	sc.Register("rtt_ms", m.rttMs)
 }
 
@@ -139,6 +141,7 @@ func (m *tcpMetrics) view() metrics.View {
 		"fast_retransmits": m.fastRetransmits.Value(),
 		"timeouts":         m.timeouts.Value(),
 		"rsts_sent":        m.rstsSent.Value(),
+		"aborts":           m.aborts.Value(),
 		"rtt_samples":      m.rttMs.Count(),
 	}
 }

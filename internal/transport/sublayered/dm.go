@@ -43,6 +43,13 @@ type Config struct {
 	// each processed segment — the paper's localize-bugs-to-sublayers
 	// debugging story. Nil costs nothing.
 	Contracts *verify.Checker
+	// MaxDataRexmit bounds consecutive data-path retransmission timeouts
+	// without forward progress before RD gives up and destroys the
+	// connection with ErrTimeout (the user timeout of RFC 793 §3.8,
+	// mirroring the monolithic baseline's MaxRexmit). Any cumulative-ack
+	// advance resets the count. Default 12; negative disables the bound
+	// (retransmit forever, the pre-hardening behavior).
+	MaxDataRexmit int
 	// CM tuning shared by default managers.
 	CMConfig CMConfig
 	// Metrics, when non-nil, adopts the stack's instruments under this
@@ -64,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NewCC == nil {
 		c.NewCC = func(mss int) CongestionControl { return NewNewReno(mss) }
+	}
+	if c.MaxDataRexmit == 0 {
+		c.MaxDataRexmit = 12
 	}
 	if c.NewCM == nil {
 		cmCfg := c.CMConfig

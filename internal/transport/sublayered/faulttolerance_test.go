@@ -1,0 +1,132 @@
+package sublayered
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// rateLink is a clean but rate-limited link so transfers take long
+// enough to cut mid-flight.
+func rateLink() netsim.LinkConfig {
+	return netsim.LinkConfig{Delay: 2 * time.Millisecond, RateBps: 8_000_000}
+}
+
+// TestRDUserTimeoutUnderPartition: a permanent partition mid-transfer
+// must not leave the sender retransmitting forever — the RD user
+// timeout aborts the connection with ErrTimeout after MaxDataRexmit
+// fruitless RTOs, and whatever was delivered is an exact prefix of the
+// sent stream.
+func TestRDUserTimeoutUnderPartition(t *testing.T) {
+	w := newWorld(t, 21, rateLink(), Config{MaxDataRexmit: 5}, Config{})
+	data := randBytes(256*1024, 21)
+	w.sim.Schedule(100*time.Millisecond, func() { w.topo.CutLink(2, 3) })
+	res := runTransfer(t, w, data, nil, 60*time.Second)
+
+	if !errors.Is(res.clientErr, ErrTimeout) {
+		t.Fatalf("clientErr = %v, want ErrTimeout", res.clientErr)
+	}
+	if ab := res.clientConn.rd.Stats()["aborts"]; ab != 1 {
+		t.Errorf("rd aborts = %d, want 1", ab)
+	}
+	if !bytes.HasPrefix(data, res.serverGot) {
+		t.Error("delivered bytes are not a prefix of the sent stream")
+	}
+	if len(res.serverGot) == 0 {
+		t.Error("nothing delivered before the cut — cut came too early to test mid-flight abort")
+	}
+	if n := w.client.dm.Conns(); n != 0 {
+		t.Errorf("client DM still tracks %d conns after abort", n)
+	}
+}
+
+// TestRDUserTimeoutDisabled: MaxDataRexmit < 0 restores the
+// pre-hardening behavior — the sender retransmits indefinitely and the
+// connection survives an arbitrarily long partition.
+func TestRDUserTimeoutDisabled(t *testing.T) {
+	w := newWorld(t, 22, rateLink(), Config{MaxDataRexmit: -1}, Config{})
+	data := randBytes(256*1024, 22)
+	w.sim.Schedule(100*time.Millisecond, func() { w.topo.CutLink(2, 3) })
+	res := runTransfer(t, w, data, nil, 120*time.Second)
+
+	if res.clientErr != nil {
+		t.Fatalf("clientErr = %v, want nil (unbounded retransmission)", res.clientErr)
+	}
+	st := res.clientConn.rd.Stats()
+	if st["aborts"] != 0 {
+		t.Errorf("aborts = %d with the bound disabled", st["aborts"])
+	}
+	if st["timeouts"] < 5 {
+		t.Errorf("timeouts = %d, expected a long RTO streak", st["timeouts"])
+	}
+}
+
+// TestRDUserTimeoutResetByProgress: a transient outage shorter than the
+// user timeout must not kill the connection — ack progress after the
+// heal resets the streak and the transfer completes.
+func TestRDUserTimeoutResetByProgress(t *testing.T) {
+	w := newWorld(t, 23, rateLink(), Config{MaxDataRexmit: 8}, Config{})
+	data := randBytes(128*1024, 23)
+	w.sim.Schedule(100*time.Millisecond, func() { w.topo.CutLink(2, 3) })
+	w.sim.Schedule(3*time.Second, func() { w.topo.RestoreLink(2, 3) })
+	res := runTransfer(t, w, data, nil, 120*time.Second)
+
+	if res.clientErr != nil {
+		t.Fatalf("clientErr = %v after transient cut, want nil", res.clientErr)
+	}
+	if !bytes.Equal(res.serverGot, data) {
+		t.Fatalf("transfer incomplete after heal: got %d of %d bytes", len(res.serverGot), len(data))
+	}
+	if ab := res.clientConn.rd.Stats()["aborts"]; ab != 0 {
+		t.Errorf("aborts = %d, want 0", ab)
+	}
+}
+
+// TestTimerCMExhaustionUnderPartition (satellite): with the path fully
+// cut, TimerCM's FIN bootstrap retransmission must exhaust MaxAttempts
+// and die with ErrTimeout — and with MaxAttempts far above the backoff
+// cap's exponent, the 1<<6 cap must keep every interval bounded instead
+// of overflowing the shift. 70 attempts at 10ms base with the cap sum
+// to ≈42s of virtual time; an unbounded 1<<69 shift would overflow
+// time.Duration outright.
+func TestTimerCMExhaustionUnderPartition(t *testing.T) {
+	reg := NewIncarnationRegistry()
+	ccfg := Config{
+		NewCM: func() ConnManager {
+			return NewTimerCM(reg, CMConfig{RexmitInterval: 10 * time.Millisecond, MaxAttempts: 70})
+		},
+		MaxDataRexmit: -1, // isolate the CM path: no RD user timeout
+	}
+	w := newWorld(t, 24, cleanLink(), ccfg, Config{})
+	w.topo.CutLink(2, 3) // fully partitioned before the open
+
+	cc, err := w.client.Dial(4, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closedErr error
+	var closedAt netsim.Time
+	closed := false
+	cc.OnClosed = func(err error) { closedErr, closedAt, closed = err, w.sim.Now(), true }
+	start := w.sim.Now()
+	cc.Close() // no data: only the FIN needs (and never gets) an ack
+
+	w.sim.RunFor(120 * time.Second)
+	if !closed {
+		t.Fatal("connection still alive after 120s of FIN retransmission")
+	}
+	if !errors.Is(closedErr, ErrTimeout) && !errors.Is(closedErr, ErrReset) {
+		t.Fatalf("closed with %v, want ErrTimeout or ErrReset", closedErr)
+	}
+	elapsed := time.Duration(closedAt - start)
+	// 70 capped attempts: 10ms*(1+2+4+8+16+32) + 64*10ms*64 ≈ 41.6s.
+	if elapsed > 90*time.Second {
+		t.Errorf("exhaustion took %v — backoff cap not respected", elapsed)
+	}
+	if elapsed < 10*time.Second {
+		t.Errorf("exhaustion took only %v — fewer attempts than configured?", elapsed)
+	}
+}

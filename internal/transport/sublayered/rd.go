@@ -51,6 +51,12 @@ type RD struct {
 	timing   bool
 	timedEnd seg.Seq
 	timedAt  netsim.Time
+	// User timeout (RFC 793 §3.8): rtoStreak counts consecutive RTO
+	// firings with no cumulative-ack progress; at maxRexmit the
+	// connection aborts with ErrTimeout. Negative maxRexmit disables
+	// the bound.
+	rtoStreak int
+	maxRexmit int
 
 	// Receiver half.
 	peerISN      seg.Seq
@@ -84,6 +90,7 @@ type rdMetrics struct {
 	acksSent        metrics.Counter
 	dupSegments     metrics.Counter
 	deliveredBytes  metrics.Counter
+	aborts          metrics.Counter
 	rttMs           *metrics.Histogram
 }
 
@@ -98,6 +105,7 @@ func (m *rdMetrics) bind(sc *metrics.Scope) {
 	sc.Register("acks_sent", &m.acksSent)
 	sc.Register("dup_segments", &m.dupSegments)
 	sc.Register("delivered_bytes", &m.deliveredBytes)
+	sc.Register("aborts", &m.aborts)
 	sc.Register("rtt_ms", m.rttMs)
 }
 
@@ -110,6 +118,7 @@ func (m *rdMetrics) view() metrics.View {
 		"acks_sent":        m.acksSent.Value(),
 		"dup_segments":     m.dupSegments.Value(),
 		"delivered_bytes":  m.deliveredBytes.Value(),
+		"aborts":           m.aborts.Value(),
 		"rtt_samples":      m.rttMs.Count(),
 	}
 }
@@ -131,6 +140,7 @@ func newRD(c *Conn, sackEnabled, delayedAcks bool) *RD {
 		conn:        c,
 		sackEnabled: sackEnabled,
 		delayedAcks: delayedAcks,
+		maxRexmit:   c.stack.cfg.MaxDataRexmit,
 		rtt:         seg.NewRTTEstimator(time.Second, 200*time.Millisecond, 60*time.Second),
 	}
 	r.m.rttMs = metrics.NewHistogram(rttBoundsMs...)
@@ -318,6 +328,7 @@ func (r *RD) onAck(ack seg.Seq, sack [][2]uint32, hadPayload bool) {
 			r.sndNxt = r.sndUna
 		}
 		r.dupAcks = 0
+		r.rtoStreak = 0 // forward progress resets the user timeout
 		if rttSample > 0 {
 			r.rtt.Sample(rttSample)
 			r.m.rttMs.Observe(rttSample.Milliseconds())
@@ -405,6 +416,16 @@ func (r *RD) onRTO() {
 		return
 	}
 	r.m.timeouts.Inc()
+	r.rtoStreak++
+	if r.maxRexmit >= 0 && r.rtoStreak > r.maxRexmit {
+		// User timeout: the data path has made no progress across
+		// maxRexmit consecutive RTOs. Give up and surface the abort —
+		// before this bound existed, a partitioned connection
+		// retransmitted forever.
+		r.m.aborts.Inc()
+		r.conn.destroy(ErrTimeout)
+		return
+	}
 	r.rtt.Backoff()
 	r.dupAcks = 0
 	r.inRecovery = false
