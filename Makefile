@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz verify report clean
+.PHONY: all build test race vet fuzz bench verify report perf clean
 
 all: build
 
@@ -21,14 +21,26 @@ vet:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStuffRoundTrip -fuzztime 5s ./internal/stuffing
 
+# bench runs every experiment benchmark exactly once — a full E1-E11
+# reproduction sweep through the same code path as cmd/benchreport.
+bench:
+	$(GO) test -bench=E -benchtime=1x .
+
 # verify is the PR gate: static checks, the full suite under the race
-# detector, and a short fuzz pass over the bit-stuffing spec.
-verify: vet race fuzz
+# detector, a short fuzz pass over the bit-stuffing spec, and one pass
+# of the experiment benchmarks.
+verify: vet race fuzz bench
 
 # report regenerates BENCH_metrics.json, the machine-readable run
-# report over E1-E10 (deterministic: same seed, same bytes).
+# report over E1-E11 (deterministic: same seed, same bytes).
 report:
 	$(GO) run ./cmd/runreport
 
+# perf regenerates BENCH_perf.json: the E11 flow-scaling matrix plus
+# wall-clock throughput (its "timing" section is the one part of the
+# repo's reports that legitimately varies between machines).
+perf:
+	$(GO) run ./cmd/benchreport -perf BENCH_perf.json
+
 clean:
-	rm -f BENCH_metrics.json
+	rm -f BENCH_metrics.json BENCH_perf.json

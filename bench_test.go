@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per experiment in DESIGN.md's index (E1–E10). Each
+// One benchmark per experiment in DESIGN.md's index (E1–E11). Each
 // regenerates its table through internal/experiments — the same code
 // path as cmd/benchreport — so `go test -bench=. -benchtime=1x` is a
 // full reproduction run, and the b.N loop measures the end-to-end cost
@@ -20,6 +20,7 @@ import (
 	"repro/internal/stuffing"
 	"repro/internal/transport/harness"
 	"repro/internal/transport/sublayered"
+	"repro/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -110,6 +111,22 @@ func BenchmarkE9Offload(b *testing.B) { benchExperiment(b, "e9") }
 // through bursty loss, flaps, partitions, a router crash-restart, a
 // blackhole, and the permanent partition that trips the user timeout.
 func BenchmarkE10ChaosSoak(b *testing.B) { benchExperiment(b, "e10") }
+
+// BenchmarkE11FlowScaling regenerates the many-flow scaling matrix
+// (10/100/1000 flows × both stacks through the workload engine).
+func BenchmarkE11FlowScaling(b *testing.B) { benchExperiment(b, "e11") }
+
+// BenchmarkE11Workload1000 measures the engine alone at the E11
+// ceiling: one 1,000-flow simulation, both payload directions counted.
+func BenchmarkE11Workload1000(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := workload.Run(workload.Config{Seed: 1, Flows: 1000})
+		if r.Completed != 1000 || len(r.Violations) != 0 {
+			b.Fatalf("completed=%d violations=%d", r.Completed, len(r.Violations))
+		}
+	}
+}
 
 // --- ablation benches for DESIGN.md's called-out choices ---
 

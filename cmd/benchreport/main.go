@@ -1,12 +1,16 @@
 // Command benchreport regenerates the experiment tables of
-// EXPERIMENTS.md (E1–E10 from DESIGN.md) in one run.
+// EXPERIMENTS.md (E1–E11 from DESIGN.md) in one run.
 //
-//	benchreport            # run everything
-//	benchreport -e e5      # one experiment
-//	benchreport -seed 7    # different world seed
+//	benchreport                       # run everything
+//	benchreport -e e5                 # one experiment
+//	benchreport -seed 7               # different world seed
+//	benchreport -perf BENCH_perf.json # E11 perf report instead of tables
 //
-// All numbers are deterministic functions of the seed: the simulator's
-// virtual clock and seeded randomness make every table reproducible.
+// Experiments come from the experiments.Registry, so the tool needs no
+// per-experiment wiring. All table numbers are deterministic functions
+// of the seed; -perf additionally measures wall-clock throughput
+// (events/sec, ns/event, allocs/event, RunSeeds speedup), kept in a
+// separate "timing" section excluded from the reproducibility check.
 package main
 
 import (
@@ -16,25 +20,43 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp  = flag.String("e", "", "experiment id (e1..e9); empty runs all")
+		exp  = flag.String("e", "", "comma-separated experiment ids; empty runs all")
 		seed = flag.Int64("seed", 1, "simulation seed")
+		perf = flag.String("perf", "", `write the E11 perf report to this path ("-" for stdout) and exit`)
 	)
 	flag.Parse()
 
+	if *perf != "" {
+		rep := workload.Perf(*seed)
+		if *perf == "-" {
+			os.Stdout.Write(rep.JSON())
+			return
+		}
+		if err := os.WriteFile(*perf, rep.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows, %.0f events/sec)\n", *perf, len(rep.Rows), rep.Timing.EventsPerSec)
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed}
 	if *exp == "" {
-		for _, r := range experiments.All(*seed) {
+		for _, r := range experiments.RunAll(cfg) {
 			fmt.Println(r.Text())
 		}
 		return
 	}
 	for _, id := range strings.Split(*exp, ",") {
-		r := experiments.ByID(strings.TrimSpace(id), *seed)
+		r := experiments.Run(strings.TrimSpace(id), cfg)
 		if r == nil {
-			fmt.Fprintf(os.Stderr, "benchreport: unknown experiment %q (want e1..e9)\n", id)
+			fmt.Fprintf(os.Stderr, "benchreport: unknown experiment %q (want one of %s)\n",
+				id, strings.Join(experiments.IDs(), ","))
 			os.Exit(2)
 		}
 		fmt.Println(r.Text())

@@ -42,7 +42,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := runReport{Seed: *seed, Experiments: experiments.All(*seed)}
+	rep := runReport{Seed: *seed, Experiments: experiments.RunAll(experiments.Config{Seed: *seed})}
 
 	var buf bytes.Buffer
 	switch *format {

@@ -110,35 +110,35 @@ func E10ChaosSoak(seed int64) *Result {
 	for _, sc := range chaosScenarios() {
 		for _, kind := range kinds {
 			idx++
-			reg := metrics.New()
 			wcfg := harness.WorldConfig{
 				Seed: seed + idx,
 				// Rate-limited so transfers outlast the fault windows.
-				Link:    netsim.LinkConfig{Delay: 2 * time.Millisecond, RateBps: 4_000_000, QueueLimit: 64},
-				Client:  kind,
-				Server:  kind,
-				Metrics: reg,
+				Link:   netsim.LinkConfig{Delay: 2 * time.Millisecond, RateBps: 4_000_000, QueueLimit: 64},
+				Client: kind,
+				Server: kind,
 			}
 			var contracts *verify.Checker
 			if kind != harness.KindMonolithic {
 				contracts = verify.NewChecker(verify.ModeRecord)
 				wcfg.SubCfg.Contracts = contracts
 			}
-			w := harness.BuildWorld(wcfg)
 
-			inj := faults.New(w.Sim, w.Topo, seed+100+idx)
-			inj.BindMetrics(reg.Scope("faults"))
-			inj.Apply(sc.script())
+			var inj *faults.Injector
 			wd := faults.NewWatchdog()
-			wd.BindMetrics(reg.Scope("watchdog"))
-
 			c2s := randPayload(120_000, seed+idx)
 			s2c := randPayload(60_000, seed+idx+500)
-			r, err := harness.RunTransfer(w, c2s, s2c, 15*time.Minute)
-			if err != nil {
-				res.Rows = append(res.Rows, []string{sc.name, kind.String(), "error:" + err.Error(), "", "", "", "", ""})
+			out := runWorld(wcfg, c2s, s2c, 15*time.Minute,
+				func(w *harness.World, reg *metrics.Registry) {
+					inj = faults.New(w.Sim, w.Topo, seed+100+idx)
+					inj.BindMetrics(reg.Scope("faults"))
+					inj.Apply(sc.script())
+					wd.BindMetrics(reg.Scope("watchdog"))
+				})
+			if out.Err != nil {
+				res.Rows = append(res.Rows, []string{sc.name, kind.String(), "error:" + out.Err.Error(), "", "", "", "", ""})
 				continue
 			}
+			r := out.R
 			completed := bytes.Equal(r.ServerGot, c2s) && bytes.Equal(r.ClientGot, s2c)
 			if sc.expectComplete {
 				wd.CheckComplete(sc.name+"/c2s", c2s, r.ServerGot)
@@ -155,7 +155,7 @@ func E10ChaosSoak(seed int64) *Result {
 			}
 			totalViolations += len(wd.Violations())
 
-			snap := reg.Snapshot()
+			snap := out.Reg.Snapshot()
 			aborts := sumSuffix(snap, "aborts")
 			if sc.name == "hard-partition" {
 				hardAborts += aborts
@@ -173,8 +173,7 @@ func E10ChaosSoak(seed int64) *Result {
 				fmt.Sprintf("%d", faultEvents),
 				r.Elapsed.Truncate(time.Millisecond).String(),
 			})
-			res.Metrics = metrics.Merge(res.Metrics,
-				snap.WithPrefix(fmt.Sprintf("%s/%s", sc.name, kind)))
+			res.fold(fmt.Sprintf("%s/%s", sc.name, kind), snap)
 		}
 	}
 	res.Notes = append(res.Notes,

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/harness"
@@ -39,17 +38,14 @@ func E3SublayeredTCP(seed int64) *Result {
 		Header: []string{"loss", "bytes", "intact", "virtual-time", "retransmits", "fast-rexmit"},
 	}
 	for _, loss := range []float64{0, 0.01, 0.05, 0.10} {
-		reg := metrics.New()
-		w := harness.BuildWorld(harness.WorldConfig{
+		data := randPayload(200_000, seed)
+		out := runWorld(harness.WorldConfig{
 			Seed: seed, Link: lossyLink(loss),
 			Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
-			Metrics: reg,
-		})
-		data := randPayload(200_000, seed)
-		r, err := harness.RunTransfer(w, data, nil, 20*time.Minute)
-		intact := err == nil && bytes.Equal(r.ServerGot, data)
+		}, data, nil, 20*time.Minute, nil)
+		intact := out.Err == nil && bytes.Equal(out.R.ServerGot, data)
 		var rex, fast uint64
-		if sc, ok := r.ClientConn.(harness.SubConnAccess); ok {
+		if sc, ok := out.R.ClientConn.(harness.SubConnAccess); ok {
 			st := sc.Conn().RD().Stats()
 			rex, fast = st.Get("retransmits"), st.Get("fast_retransmits")
 		}
@@ -57,12 +53,11 @@ func E3SublayeredTCP(seed int64) *Result {
 			fmt.Sprintf("%.0f%%", loss*100),
 			fmt.Sprintf("%d", len(data)),
 			fmt.Sprintf("%v", intact),
-			r.Elapsed.Truncate(time.Millisecond).String(),
+			out.R.Elapsed.Truncate(time.Millisecond).String(),
 			fmt.Sprintf("%d", rex),
 			fmt.Sprintf("%d", fast),
 		})
-		res.Metrics = metrics.Merge(res.Metrics,
-			reg.Snapshot().WithPrefix(fmt.Sprintf("loss%02.0f", loss*100)))
+		res.fold(fmt.Sprintf("loss%02.0f", loss*100), out.Snap)
 	}
 	// Header isomorphism spot check (full property suite in tcpwire).
 	shim := tcpwire.NewShim(1000)
@@ -90,25 +85,21 @@ func E4Interop(seed int64) *Result {
 	for _, ck := range kinds {
 		for _, sk := range kinds {
 			i++
-			reg := metrics.New()
-			w := harness.BuildWorld(harness.WorldConfig{
-				Seed: seed + i, Link: lossyLink(0.04), Client: ck, Server: sk,
-				Metrics: reg,
-			})
 			up := randPayload(60_000, seed+i)
 			down := randPayload(40_000, seed+i+50)
-			r, err := harness.RunTransfer(w, up, down, 10*time.Minute)
-			upOK := err == nil && bytes.Equal(r.ServerGot, up)
-			downOK := err == nil && bytes.Equal(r.ClientGot, down)
-			clean := r.ClientErr == nil && r.ServerErr == nil
+			out := runWorld(harness.WorldConfig{
+				Seed: seed + i, Link: lossyLink(0.04), Client: ck, Server: sk,
+			}, up, down, 10*time.Minute, nil)
+			upOK := out.Err == nil && bytes.Equal(out.R.ServerGot, up)
+			downOK := out.Err == nil && bytes.Equal(out.R.ClientGot, down)
+			clean := out.R.ClientErr == nil && out.R.ServerErr == nil
 			res.Rows = append(res.Rows, []string{
 				ck.String(), sk.String(),
 				fmt.Sprintf("%v", upOK), fmt.Sprintf("%v", downOK),
 				fmt.Sprintf("%v", clean),
-				r.Elapsed.Truncate(time.Millisecond).String(),
+				out.R.Elapsed.Truncate(time.Millisecond).String(),
 			})
-			res.Metrics = metrics.Merge(res.Metrics,
-				reg.Snapshot().WithPrefix(fmt.Sprintf("%s-to-%s", ck, sk)))
+			res.fold(fmt.Sprintf("%s-to-%s", ck, sk), out.Snap)
 		}
 	}
 	res.Notes = append(res.Notes,

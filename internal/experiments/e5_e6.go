@@ -92,18 +92,15 @@ func E6Entanglement(seed int64) *Result {
 	}
 	run := func(kind harness.Kind) verify.Entanglement {
 		tr := verify.NewTracker()
-		reg := metrics.New()
-		w := harness.BuildWorld(harness.WorldConfig{
+		data := randPayload(120_000, seed)
+		out := runWorld(harness.WorldConfig{
 			Seed: seed, Link: lossyLink(0.05),
 			Client: kind, Server: kind, Tracker: tr,
-			Metrics: reg,
-		})
-		data := randPayload(120_000, seed)
-		r, err := harness.RunTransfer(w, data, nil, 10*time.Minute)
-		if err != nil || !bytes.Equal(r.ServerGot, data) {
+		}, data, nil, 10*time.Minute, nil)
+		if out.Err != nil || !bytes.Equal(out.R.ServerGot, data) {
 			panic(fmt.Sprintf("E6 workload failed for %v", kind))
 		}
-		res.Metrics = metrics.Merge(res.Metrics, reg.Snapshot().WithPrefix(kind.String()))
+		res.fold(kind.String(), out.Snap)
 		return tr.Analyze()
 	}
 	for _, k := range []harness.Kind{harness.KindMonolithic, harness.KindSublayeredNative} {

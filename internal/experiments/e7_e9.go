@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/metrics"
 	"repro/internal/offload"
 	"repro/internal/transport/harness"
 	"repro/internal/transport/sublayered"
@@ -34,27 +33,21 @@ func E7Performance(seed int64) *Result {
 			if kind == harness.KindSublayeredShim {
 				peer = harness.KindMonolithic // shim's raison d'être
 			}
-			reg := metrics.New()
-			w := harness.BuildWorld(harness.WorldConfig{
-				Seed: seed, Link: lossyLink(sc.loss), Client: kind, Server: peer,
-				Metrics: reg,
-			})
 			data := randPayload(500_000, seed)
-			r, err := harness.RunTransfer(w, data, nil, 30*time.Minute)
-			intact := err == nil && bytes.Equal(r.ServerGot, data)
+			out := runWorld(harness.WorldConfig{
+				Seed: seed, Link: lossyLink(sc.loss), Client: kind, Server: peer,
+			}, data, nil, 30*time.Minute, nil)
+			intact := out.Err == nil && bytes.Equal(out.R.ServerGot, data)
 			var segs, rex uint64
-			if s, ok := r.ClientConn.(harness.SubConnAccess); ok {
+			if s, ok := out.R.ClientConn.(harness.SubConnAccess); ok {
 				st := s.Conn().RD().Stats()
 				segs, rex = st.Get("segments_sent"), st.Get("retransmits")
-			} else if m, ok := r.ClientConn.(harness.MonoConnAccess); ok {
-				stats := m.PCB
-				_ = stats
 			}
 			if kind == harness.KindMonolithic {
-				st := w.Client.(*harness.Monolithic).Stack.Stats()
+				st := out.W.Client.(*harness.Monolithic).Stack.Stats()
 				segs, rex = st.Get("segments_out"), st.Get("retransmits")
 			}
-			tm := r.Elapsed.Truncate(time.Millisecond).String()
+			tm := out.R.Elapsed.Truncate(time.Millisecond).String()
 			if !intact {
 				tm = "FAILED"
 			}
@@ -62,8 +55,7 @@ func E7Performance(seed int64) *Result {
 				kind.String(), sc.name, fmt.Sprintf("%d", len(data)),
 				tm, fmt.Sprintf("%d", segs), fmt.Sprintf("%d", rex),
 			})
-			res.Metrics = metrics.Merge(res.Metrics,
-				reg.Snapshot().WithPrefix(sc.name+"/"+kind.String()))
+			res.fold(sc.name+"/"+kind.String(), out.Snap)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -113,26 +105,19 @@ func E8Replace(seed int64) *Result {
 	}
 	for _, cc := range ccs {
 		for _, cm := range cms {
-			mkCfg := func() sublayered.Config {
-				return sublayered.Config{NewCC: cc.mk, NewCM: cm.mk()}
-			}
-			reg := metrics.New()
-			w := harness.BuildWorld(harness.WorldConfig{
+			data := randPayload(100_000, seed)
+			out := runWorld(harness.WorldConfig{
 				Seed: seed, Link: lossyLink(0.04),
 				Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
-				SubCfg:  mkCfg(),
-				Metrics: reg,
-			})
-			data := randPayload(100_000, seed)
-			r, err := harness.RunTransfer(w, data, nil, 15*time.Minute)
-			intact := err == nil && bytes.Equal(r.ServerGot, data)
-			tm := r.Elapsed.Truncate(time.Millisecond).String()
+				SubCfg: sublayered.Config{NewCC: cc.mk, NewCM: cm.mk()},
+			}, data, nil, 15*time.Minute, nil)
+			intact := out.Err == nil && bytes.Equal(out.R.ServerGot, data)
+			tm := out.R.Elapsed.Truncate(time.Millisecond).String()
 			if !intact {
 				tm = "FAILED"
 			}
 			res.Rows = append(res.Rows, []string{cc.name, cm.name, fmt.Sprintf("%v", intact), tm})
-			res.Metrics = metrics.Merge(res.Metrics,
-				reg.Snapshot().WithPrefix(cc.name+"/"+cm.name))
+			res.fold(cc.name+"/"+cm.name, out.Snap)
 		}
 	}
 	res.Notes = append(res.Notes,
@@ -149,18 +134,15 @@ func E9Offload(seed int64) *Result {
 		Title:  "challenge 6 (Hardware assist): partitioning the Fig. 5 stack",
 		Header: []string{"partition", "hardware", "bus-events", "bus-bytes", "dup-state"},
 	}
-	reg := metrics.New()
-	w := harness.BuildWorld(harness.WorldConfig{
+	data := randPayload(300_000, seed)
+	out := runWorld(harness.WorldConfig{
 		Seed: seed, Link: lossyLink(0.02),
 		Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
-		Metrics: reg,
-	})
-	data := randPayload(300_000, seed)
-	r, err := harness.RunTransfer(w, data, nil, 15*time.Minute)
-	if err != nil || !bytes.Equal(r.ServerGot, data) {
+	}, data, nil, 15*time.Minute, nil)
+	if out.Err != nil || !bytes.Equal(out.R.ServerGot, data) {
 		panic("E9 workload failed")
 	}
-	cr := r.ClientConn.(harness.SubConnAccess).Conn().CrossingStats()
+	cr := out.R.ClientConn.(harness.SubConnAccess).Conn().CrossingStats()
 	wirePkts := cr.ToDM.Value() + cr.FromDM.Value()
 	wireBytes := cr.OSRBytes.Value() + 24*wirePkts // payload + headers
 	for _, row := range offload.Analyze(cr, wirePkts, wireBytes) {
@@ -175,7 +157,7 @@ func E9Offload(seed int64) *Result {
 			fmt.Sprintf("%dB", row.DuplicatedState),
 		})
 	}
-	res.Metrics = reg.Snapshot()
+	res.Metrics = out.Snap
 	res.Notes = append(res.Notes,
 		"the paper's simple cut (RD+CM+DM in hardware) minimizes bus events: acks and retransmissions stay on the NIC and the host sees only the narrow OSR↔RD interface",
 		"RD-only hardware pays extra crossings for the CM↔RD boundary plus mirrored CM state — the predicted 'modest duplication of state'")

@@ -63,45 +63,25 @@ func (r *Result) Text() string {
 	return b.String()
 }
 
-// All runs every experiment with the default seed.
-func All(seed int64) []*Result {
-	return []*Result{
-		E1DataLink(seed),
-		E2Routing(seed),
-		E3SublayeredTCP(seed),
-		E4Interop(seed),
-		E5Stuffing(),
-		E6Entanglement(seed),
-		E7Performance(seed),
-		E8Replace(seed),
-		E9Offload(seed),
-		E10ChaosSoak(seed),
-	}
+// init registers E1–E10; E11 registers from e11.go. Everything else
+// (All, ByID, both cmd tools, the benchmarks) resolves experiments
+// through the registry, so a new experiment is exactly one Register
+// call.
+func init() {
+	Register("e1", func(c Config) *Result { return E1DataLink(c.Seed) })
+	Register("e2", func(c Config) *Result { return E2Routing(c.Seed) })
+	Register("e3", func(c Config) *Result { return E3SublayeredTCP(c.Seed) })
+	Register("e4", func(c Config) *Result { return E4Interop(c.Seed) })
+	Register("e5", func(c Config) *Result { return E5Stuffing() })
+	Register("e6", func(c Config) *Result { return E6Entanglement(c.Seed) })
+	Register("e7", func(c Config) *Result { return E7Performance(c.Seed) })
+	Register("e8", func(c Config) *Result { return E8Replace(c.Seed) })
+	Register("e9", func(c Config) *Result { return E9Offload(c.Seed) })
+	Register("e10", func(c Config) *Result { return E10ChaosSoak(c.Seed) })
 }
 
-// ByID returns the named experiment's generator, or nil.
-func ByID(id string, seed int64) *Result {
-	switch strings.ToLower(id) {
-	case "e1":
-		return E1DataLink(seed)
-	case "e2":
-		return E2Routing(seed)
-	case "e3":
-		return E3SublayeredTCP(seed)
-	case "e4":
-		return E4Interop(seed)
-	case "e5":
-		return E5Stuffing()
-	case "e6":
-		return E6Entanglement(seed)
-	case "e7":
-		return E7Performance(seed)
-	case "e8":
-		return E8Replace(seed)
-	case "e9":
-		return E9Offload(seed)
-	case "e10":
-		return E10ChaosSoak(seed)
-	}
-	return nil
-}
+// All runs every registered experiment with the given seed.
+func All(seed int64) []*Result { return RunAll(Config{Seed: seed}) }
+
+// ByID runs the named experiment (case-insensitive), or returns nil.
+func ByID(id string, seed int64) *Result { return Run(id, Config{Seed: seed}) }

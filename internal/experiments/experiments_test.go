@@ -160,6 +160,27 @@ func TestE10ChaosInvariants(t *testing.T) {
 	}
 }
 
+// TestE11FlowScaling is the flow-scaling acceptance check: every cell
+// of the 10/100/1000 × both-stacks matrix completes all its flows with
+// zero invariant violations.
+func TestE11FlowScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-flow matrix")
+	}
+	r := E11FlowScaling(11)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 flow counts × 2 stacks)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[2] != row[0]+"/"+row[0] {
+			t.Errorf("%s flows on %s: completed %s", row[0], row[1], row[2])
+		}
+		if row[7] != "0" {
+			t.Errorf("%s flows on %s: %s watchdog violations", row[0], row[1], row[7])
+		}
+	}
+}
+
 func TestResultTextRenders(t *testing.T) {
 	r := E5Stuffing()
 	txt := r.Text()

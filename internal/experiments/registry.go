@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// Seed drives every simulated world the experiment builds; the
+	// same seed yields a byte-identical Result.
+	Seed int64
+	// Scope, when non-nil, receives the experiment's end-of-run
+	// samples as gauges under Sub(<id>) — the same values that land in
+	// Result.Metrics — so a caller can aggregate several experiments
+	// into one live registry. Nil skips publication.
+	Scope *metrics.Scope
+}
+
+// Runner generates one experiment's Result from a Config.
+type Runner func(Config) *Result
+
+// registry maps canonical lower-case IDs ("e1".."e11") to runners.
+// Experiments self-register from init, so adding an experiment is one
+// Register call — cmd/benchreport, cmd/runreport, the benchmarks and
+// the tests all pick it up through Run/RunAll/IDs with no switch to
+// extend.
+var registry = map[string]Runner{}
+
+// Register adds an experiment runner under id. It panics on a
+// duplicate or empty id: both are wiring bugs, not runtime conditions.
+func Register(id string, fn Runner) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	if id == "" {
+		panic("experiments: empty experiment id")
+	}
+	if fn == nil {
+		panic("experiments: nil runner for " + id)
+	}
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate experiment id " + id)
+	}
+	registry[id] = fn
+}
+
+// idOrder sorts "e<N>" numerically so E10/E11 follow E9 regardless of
+// registration order (package init runs in file-name order, which
+// would otherwise put e10 first).
+func idOrder(id string) (int, string) {
+	if len(id) > 1 && id[0] == 'e' {
+		if n, err := strconv.Atoi(id[1:]); err == nil {
+			return n, ""
+		}
+	}
+	return 1 << 30, id // non-numeric ids sort after, lexically
+}
+
+// IDs lists every registered experiment in numeric order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ni, si := idOrder(ids[i])
+		nj, sj := idOrder(ids[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return si < sj
+	})
+	return ids
+}
+
+// Run executes the experiment registered under id (case-insensitive),
+// or returns nil if the id is unknown.
+func Run(id string, cfg Config) *Result {
+	fn := registry[strings.ToLower(strings.TrimSpace(id))]
+	if fn == nil {
+		return nil
+	}
+	res := fn(cfg)
+	publish(cfg, res)
+	return res
+}
+
+// RunAll executes every registered experiment in numeric order.
+func RunAll(cfg Config) []*Result {
+	out := make([]*Result, 0, len(registry))
+	for _, id := range IDs() {
+		res := registry[id](cfg)
+		publish(cfg, res)
+		out = append(out, res)
+	}
+	return out
+}
+
+// publish mirrors the result's samples into cfg.Scope as gauges.
+func publish(cfg Config, res *Result) {
+	if cfg.Scope == nil || res == nil {
+		return
+	}
+	sc := cfg.Scope.Sub(strings.ToLower(res.ID))
+	for _, s := range res.Metrics.Samples {
+		sc.Gauge(s.Name).Set(s.Value)
+	}
+}

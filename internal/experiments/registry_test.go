@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestRegistryIDsNumericOrder pins the registry against Go's
+// file-name init ordering: e10 registers before e1, but IDs must come
+// back e1..e11.
+func TestRegistryIDsNumericOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 10 {
+		t.Fatalf("registered %d experiments: %v", len(ids), ids)
+	}
+	for i, id := range ids {
+		want := "e" + itoa(i+1)
+		if id != want {
+			t.Errorf("ids[%d] = %q, want %q (full order %v)", i, id, want, ids)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestRegistryRun(t *testing.T) {
+	if Run("e5", Config{Seed: 1}) == nil || Run(" E5 ", Config{Seed: 1}) == nil {
+		t.Error("Run e5 nil")
+	}
+	if Run("nope", Config{Seed: 1}) != nil {
+		t.Error("unknown id not nil")
+	}
+}
+
+// TestRegistryRejectsDuplicates: double registration is a wiring bug
+// and must panic rather than silently shadow an experiment.
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("e1", func(Config) *Result { return nil })
+}
+
+// TestRegistryPublishesToScope: a caller-supplied scope receives the
+// experiment's samples as gauges under <id>/..., letting several
+// experiments aggregate into one live registry.
+func TestRegistryPublishesToScope(t *testing.T) {
+	reg := metrics.New()
+	res := Run("e5", Config{Seed: 1, Scope: reg.Scope("experiments")})
+	if res == nil {
+		t.Fatal("e5 nil")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Samples) != len(res.Metrics.Samples) {
+		t.Fatalf("published %d samples, result carries %d", len(snap.Samples), len(res.Metrics.Samples))
+	}
+	for _, s := range snap.Samples {
+		if !strings.HasPrefix(s.Name, "experiments/e5/") {
+			t.Errorf("published sample %q outside experiments/e5/", s.Name)
+		}
+	}
+	if got := snap.Value("experiments/e5/stuffing/lemma_failures"); got != 0 {
+		t.Errorf("lemma_failures = %d", got)
+	}
+}

@@ -38,6 +38,7 @@ type event struct {
 	fn   func()
 	dead bool
 	idx  int
+	sim  *Simulator // owner, so Timer.Stop can account the cancellation
 }
 
 type eventHeap []*event
@@ -79,6 +80,12 @@ type Simulator struct {
 
 	scheduled metrics.Counter
 	executed  metrics.Counter
+	cancelled metrics.Counter
+	// deadPending counts cancelled events still sitting in the heap.
+	// When they outnumber the live ones the heap is compacted, so a
+	// workload that arms and cancels many timers (retransmission timers
+	// across thousands of flows) cannot grow the heap without bound.
+	deadPending int
 	// msc is the simulator's metrics scope ("netsim/..."); nil when no
 	// registry is attached (all instruments then run detached).
 	msc     *metrics.Scope
@@ -105,6 +112,7 @@ func NewSimulator(seed int64, opts ...Option) *Simulator {
 		sc := s.msc.Sub("events")
 		sc.Register("scheduled", &s.scheduled)
 		sc.Register("executed", &s.executed)
+		sc.Register("cancelled", &s.cancelled)
 	}
 	return s
 }
@@ -120,12 +128,19 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 type Timer struct{ ev *event }
 
 // Stop cancels the timer if it has not fired. It reports whether the
-// cancellation prevented a pending firing.
+// cancellation prevented a pending firing. The event stays in the heap
+// as a tombstone; once tombstones exceed half the heap the simulator
+// compacts it, so cancelled timers cannot leak.
 func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
+	if s := t.ev.sim; s != nil {
+		s.cancelled.Inc()
+		s.deadPending++
+		s.maybeCompact()
+	}
 	return true
 }
 
@@ -148,9 +163,34 @@ func (s *Simulator) ScheduleAt(at Time, fn func()) *Timer {
 	}
 	s.seq++
 	s.scheduled.Inc()
-	e := &event{at: at, seq: s.seq, fn: fn}
+	e := &event{at: at, seq: s.seq, fn: fn, sim: s}
 	heap.Push(&s.events, e)
 	return &Timer{ev: e}
+}
+
+// Pending returns the number of events in the heap, tombstones
+// included (tests and capacity planning).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// maybeCompact rebuilds the heap without tombstones once cancelled
+// events outnumber live ones. Rebuilding is O(n), amortized O(1) per
+// cancellation since at least half the heap is discarded each time.
+func (s *Simulator) maybeCompact() {
+	if s.deadPending*2 <= len(s.events) {
+		return
+	}
+	live := make(eventHeap, 0, len(s.events)-s.deadPending)
+	for _, e := range s.events {
+		if !e.dead {
+			live = append(live, e)
+		}
+	}
+	for i, e := range live {
+		e.idx = i
+	}
+	s.events = live
+	heap.Init(&s.events)
+	s.deadPending = 0
 }
 
 // Step executes the next pending event. It reports false when the queue
@@ -159,6 +199,7 @@ func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*event)
 		if e.dead {
+			s.deadPending--
 			continue
 		}
 		e.dead = true // a fired timer is no longer Active
@@ -196,6 +237,7 @@ func (s *Simulator) RunUntil(t Time) {
 		e := s.events[0]
 		if e.dead {
 			heap.Pop(&s.events)
+			s.deadPending--
 			continue
 		}
 		if e.at > t {

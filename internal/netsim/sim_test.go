@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 func TestScheduleOrdering(t *testing.T) {
@@ -563,5 +565,95 @@ func TestTimerActiveLifecycle(t *testing.T) {
 	var nilT *Timer
 	if nilT.Active() || nilT.Stop() {
 		t.Error("nil timer misbehaves")
+	}
+}
+
+func TestHeapCompaction(t *testing.T) {
+	s := NewSimulator(1)
+	reg := metrics.New()
+	s2 := NewSimulator(1, WithMetrics(reg))
+	for _, sim := range []*Simulator{s, s2} {
+		var timers []*Timer
+		for i := 0; i < 1000; i++ {
+			d := time.Duration(i+1) * time.Millisecond
+			timers = append(timers, sim.Schedule(d, func() {}))
+		}
+		// Cancel all but the last 10: tombstones must not linger until
+		// their (far-future) deadlines pop them.
+		for _, tm := range timers[:990] {
+			tm.Stop()
+		}
+		if p := sim.Pending(); p > 500 {
+			t.Errorf("heap holds %d events after cancelling 990/1000; compaction did not run", p)
+		}
+		sim.Run(0)
+	}
+	snap := reg.Snapshot()
+	if v := snap.Value("netsim/events/cancelled"); v != 990 {
+		t.Errorf("netsim/events/cancelled = %d, want 990", v)
+	}
+	if v := snap.Value("netsim/events/executed"); v != 10 {
+		t.Errorf("netsim/events/executed = %d, want 10", v)
+	}
+}
+
+func TestHeapCompactionPreservesOrdering(t *testing.T) {
+	// The same interleaved schedule-and-cancel pattern must fire the
+	// surviving events in the same deterministic order whether or not a
+	// compaction happens in between.
+	run := func(cancelN int) []int {
+		sim := NewSimulator(7)
+		var got []int
+		var victims []*Timer
+		for i := 0; i < 200; i++ {
+			i := i
+			tm := sim.Schedule(time.Duration(200-i)*time.Millisecond, func() { got = append(got, i) })
+			if i%2 == 0 {
+				victims = append(victims, tm)
+			}
+		}
+		for _, tm := range victims[:cancelN] {
+			tm.Stop()
+		}
+		// Cancel the rest too, after any compaction has happened.
+		for _, tm := range victims[cancelN:] {
+			tm.Stop()
+		}
+		sim.Run(0)
+		return got
+	}
+	a, b := run(0), run(90)
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStopAfterCompactionIsNoop(t *testing.T) {
+	sim := NewSimulator(1)
+	var timers []*Timer
+	for i := 0; i < 100; i++ {
+		timers = append(timers, sim.Schedule(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	for _, tm := range timers[:80] {
+		tm.Stop()
+	}
+	// Stopping an already-cancelled timer (now evicted from the heap)
+	// must report false and not corrupt the tombstone accounting.
+	for _, tm := range timers[:80] {
+		if tm.Stop() {
+			t.Fatal("double Stop reported true")
+		}
+	}
+	n := 0
+	for sim.Step() {
+		n++
+	}
+	if n != 20 {
+		t.Errorf("executed %d events, want 20", n)
 	}
 }

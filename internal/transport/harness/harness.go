@@ -1,9 +1,10 @@
 // Package harness adapts the two TCP implementations — sublayered
 // (internal/transport/sublayered, optionally behind the §3.1 shim) and
-// monolithic (internal/transport/monolithic) — behind one endpoint
-// interface, so the interop matrix (E4), the performance comparison
-// (E7) and the examples can drive either implementation with the same
-// code.
+// monolithic (internal/transport/monolithic) — behind the uniform
+// transport.Stack / transport.Conn interfaces, so the interop matrix
+// (E4), the performance comparison (E7), the chaos soak (E10), the
+// many-flow workload engine (E11) and the examples can drive either
+// implementation with the same code.
 package harness
 
 import (
@@ -13,37 +14,19 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
+	"repro/internal/transport"
 	"repro/internal/transport/monolithic"
 	"repro/internal/transport/sublayered"
 	"repro/internal/verify"
 )
 
-// Endpoint is the byte-stream surface both TCPs expose.
-type Endpoint interface {
-	// Write queues bytes, returning how many were accepted.
-	Write(p []byte) int
-	// ReadAll drains everything received in order.
-	ReadAll() []byte
-	// EOF reports the peer finished and everything was read.
-	EOF() bool
-	// Close ends the outgoing stream.
-	Close()
-	// State names the connection state.
-	State() string
-	// Callbacks registers the application's event hooks.
-	Callbacks(onConnected, onReadable, onWritable func(), onClosed func(error))
-}
+// Endpoint is the byte-stream surface both TCPs expose — the
+// transport.Conn interface under its historical harness name.
+type Endpoint = transport.Conn
 
-// Transport creates endpoints on one host.
-type Transport interface {
-	// Name identifies the implementation ("sublayered", "monolithic",
-	// "sublayered+shim").
-	Name() string
-	// Listen binds a port; onAccept fires per inbound connection.
-	Listen(port uint16, onAccept func(Endpoint)) error
-	// Dial opens a connection.
-	Dial(dst network.Addr, port uint16) (Endpoint, error)
-}
+// Transport creates endpoints on one host — the transport.Stack
+// interface under its historical harness name.
+type Transport = transport.Stack
 
 // --- sublayered adapter ---
 
@@ -54,6 +37,9 @@ func (e subEndpoint) ReadAll() []byte    { return e.c.ReadAll() }
 func (e subEndpoint) EOF() bool          { return e.c.EOF() }
 func (e subEndpoint) Close()             { e.c.Close() }
 func (e subEndpoint) State() string      { return e.c.State() }
+func (e subEndpoint) Err() error         { return e.c.Err() }
+func (e subEndpoint) LocalPort() uint16  { return e.c.LocalPort() }
+func (e subEndpoint) RemotePort() uint16 { return e.c.RemotePort() }
 func (e subEndpoint) Callbacks(onC, onR, onW func(), onX func(error)) {
 	e.c.OnConnected, e.c.OnReadable, e.c.OnWritable, e.c.OnClosed = onC, onR, onW, onX
 }
@@ -71,7 +57,7 @@ type SubConnAccess interface{ Conn() *sublayered.Conn }
 // MonoConnAccess is implemented by monolithic endpoints.
 type MonoConnAccess interface{ PCB() *monolithic.PCB }
 
-// Sublayered wraps a sublayered stack as a Transport.
+// Sublayered wraps a sublayered stack as a transport.Stack.
 type Sublayered struct {
 	Stack *sublayered.Stack
 	label string
@@ -108,6 +94,15 @@ func (t *Sublayered) Dial(dst network.Addr, port uint16) (Endpoint, error) {
 	return subEndpoint{c}, nil
 }
 
+// Addr implements Transport.
+func (t *Sublayered) Addr() network.Addr { return t.Stack.Addr() }
+
+// Close implements Transport.
+func (t *Sublayered) Close() error { return t.Stack.Close() }
+
+// BindMetrics implements Transport.
+func (t *Sublayered) BindMetrics(sc *metrics.Scope) { t.Stack.BindMetrics(sc) }
+
 // --- monolithic adapter ---
 
 type monoEndpoint struct{ p *monolithic.PCB }
@@ -117,6 +112,9 @@ func (e monoEndpoint) ReadAll() []byte    { return e.p.ReadAll() }
 func (e monoEndpoint) EOF() bool          { return e.p.EOF() }
 func (e monoEndpoint) Close()             { e.p.Close() }
 func (e monoEndpoint) State() string      { return e.p.State() }
+func (e monoEndpoint) Err() error         { return e.p.Err() }
+func (e monoEndpoint) LocalPort() uint16  { return e.p.LocalPort() }
+func (e monoEndpoint) RemotePort() uint16 { return e.p.RemotePort() }
 func (e monoEndpoint) Callbacks(onC, onR, onW func(), onX func(error)) {
 	e.p.OnConnected, e.p.OnReadable, e.p.OnWritable, e.p.OnClosed = onC, onR, onW, onX
 }
@@ -155,6 +153,15 @@ func (t *Monolithic) Dial(dst network.Addr, port uint16) (Endpoint, error) {
 	}
 	return monoEndpoint{p}, nil
 }
+
+// Addr implements Transport.
+func (t *Monolithic) Addr() network.Addr { return t.Stack.Addr() }
+
+// Close implements Transport.
+func (t *Monolithic) Close() error { return t.Stack.Close() }
+
+// BindMetrics implements Transport.
+func (t *Monolithic) BindMetrics(sc *metrics.Scope) { t.Stack.BindMetrics(sc) }
 
 // --- world construction ---
 

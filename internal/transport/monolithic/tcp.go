@@ -178,9 +178,34 @@ func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack 
 		nextPort:  49152,
 	}
 	s.m.rttMs = metrics.NewHistogram(rttBoundsMs...)
-	s.m.bind(cfg.Metrics.Sub("tcp"))
 	router.Handle(network.ProtoTCP, s.tcpInput)
+	s.BindMetrics(cfg.Metrics)
 	return s
+}
+
+// BindMetrics adopts the stack's instruments under sc as "tcp/...".
+// Equivalent to constructing with Config.Metrics; call at most once
+// with a non-nil scope. A nil scope is a no-op.
+func (s *Stack) BindMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	s.cfg.Metrics = sc
+	s.m.bind(sc.Sub("tcp"))
+}
+
+// Close aborts every open PCB (RST to the peer, ErrReset locally) and
+// releases every listener.
+func (s *Stack) Close() error {
+	pcbs := make([]*PCB, 0, len(s.pcbs))
+	for _, p := range s.pcbs {
+		pcbs = append(pcbs, p)
+	}
+	for _, p := range pcbs {
+		p.Abort()
+	}
+	s.listeners = make(map[uint16]*Listener)
+	return nil
 }
 
 // Stats returns a snapshot of stack counters.

@@ -166,15 +166,45 @@ func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack 
 		conns:     make(map[connID]*Conn),
 		nextPort:  49152,
 	}
-	s.dm.m.bind(s.cfg.Metrics.Sub("dm"))
 	if s.cfg.UseShim {
 		s.shim = tcpwire.NewShim(uint16(s.cfg.MSS))
-		s.shim.BindMetrics(s.cfg.Metrics.Sub("shim"))
 		router.Handle(network.ProtoTCP, s.dm.receive)
 	} else {
 		router.Handle(network.ProtoSubTCP, s.dm.receive)
 	}
+	s.BindMetrics(s.cfg.Metrics)
 	return s
+}
+
+// BindMetrics adopts the stack's instruments under sc ("dm/...",
+// "shim/..." and "conn<n>/..." for subsequently created connections).
+// Equivalent to constructing with Config.Metrics; call at most once
+// with a non-nil scope, before any connection exists.
+func (s *Stack) BindMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	s.cfg.Metrics = sc
+	s.dm.m.bind(sc.Sub("dm"))
+	if s.shim != nil {
+		s.shim.BindMetrics(sc.Sub("shim"))
+	}
+}
+
+// Close aborts every open connection (RST to the peer, ErrReset
+// locally) and releases every listener. The stack keeps its router
+// handler but accepts no new work: dials fail to find state and
+// inbound segments to freed ports draw RSTs.
+func (s *Stack) Close() error {
+	conns := make([]*Conn, 0, len(s.dm.conns))
+	for _, c := range s.dm.conns {
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		c.Abort()
+	}
+	s.dm.listeners = make(map[uint16]*Listener)
+	return nil
 }
 
 // Addr returns the host's network address.

@@ -1,0 +1,357 @@
+// Package workload is the many-flow traffic engine: it opens N
+// concurrent connections (E11 targets 1,000+) with mixed transfer
+// sizes and an on/off arrival schedule over one shared simulated
+// topology, and reports aggregate goodput, the flow-completion-time
+// distribution and Jain fairness. The engine drives both TCP
+// implementations through the transport.Stack interface only — after
+// harness.BuildWorld hands back the two stacks, nothing here knows
+// which implementation is underneath, so the sublayered and monolithic
+// stacks run the identical workload code path.
+//
+// Everything runs inside one deterministic simulator: the same Config
+// (seed included) produces a byte-identical Report. RunSeeds fans
+// independent simulations across goroutines — simulators share no
+// state, so parallel and serial execution return identical reports.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/transport/harness"
+)
+
+// Config describes one many-flow run.
+type Config struct {
+	// Seed drives the world and every per-flow choice.
+	Seed int64
+	// Flows is the number of connections to open (default 100).
+	Flows int
+	// Client and Server select the stack implementations.
+	Client, Server harness.Kind
+	// Hops is the line-topology length (harness default 4).
+	Hops int
+	// Link overrides the shared path; the zero value means a
+	// rate-limited 20 Mb/s, 1 ms/hop, 256-packet-queue bottleneck so
+	// 1,000 flows actually contend (the completion-time tail visibly
+	// stretches as the flow count scales 100×).
+	Link netsim.LinkConfig
+	// MinSize and MaxSize bound the per-flow transfer, drawn
+	// log-uniformly (defaults 2 KiB and 32 KiB).
+	MinSize, MaxSize int
+	// OnPeriod/OffPeriod shape the arrival schedule: flows arrive
+	// uniformly inside ON windows separated by silent OFF gaps
+	// (defaults 2s on, 1s off), spread over Cycles windows (default 4).
+	OnPeriod, OffPeriod time.Duration
+	Cycles              int
+	// Budget bounds virtual time (default 10 min).
+	Budget time.Duration
+	// KeepPerFlow retains the per-flow table in the Report (dropped by
+	// default above a few hundred flows to keep reports small).
+	KeepPerFlow bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Flows <= 0 {
+		c.Flows = 100
+	}
+	if c.Link == (netsim.LinkConfig{}) {
+		c.Link = netsim.LinkConfig{Delay: time.Millisecond, RateBps: 20_000_000, QueueLimit: 256}
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 2 * 1024
+	}
+	if c.MaxSize < c.MinSize {
+		c.MaxSize = 32 * 1024
+		if c.MaxSize < c.MinSize {
+			c.MaxSize = c.MinSize
+		}
+	}
+	if c.OnPeriod <= 0 {
+		c.OnPeriod = 2 * time.Second
+	}
+	if c.OffPeriod <= 0 {
+		c.OffPeriod = time.Second
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = 4
+	}
+	if c.Budget <= 0 {
+		c.Budget = 10 * time.Minute
+	}
+	return c
+}
+
+// FlowStat is one flow's outcome.
+type FlowStat struct {
+	ID    int           `json:"id"`
+	Size  int           `json:"size"`
+	Start time.Duration `json:"start"` // virtual, from run start
+	FCT   time.Duration `json:"fct"`   // dial to server EOF; 0 if unfinished
+	Done  bool          `json:"done"`
+	Err   string        `json:"err,omitempty"`
+}
+
+// Report is the deterministic outcome of one Run.
+type Report struct {
+	Seed           int64  `json:"seed"`
+	Stack          string `json:"stack"` // client stack name
+	Flows          int    `json:"flows"`
+	Completed      int    `json:"completed"`
+	Failed         int    `json:"failed"`
+	BytesSent      uint64 `json:"bytes_sent"`
+	BytesDelivered uint64 `json:"bytes_delivered"`
+	// Makespan is first dial to last completion, virtual time.
+	Makespan time.Duration `json:"makespan"`
+	// GoodputBps is aggregate delivered bits over the makespan.
+	GoodputBps uint64 `json:"goodput_bps"`
+	// FCT percentiles over finished flows (nearest-rank).
+	FCTp50 time.Duration `json:"fct_p50"`
+	FCTp90 time.Duration `json:"fct_p90"`
+	FCTp99 time.Duration `json:"fct_p99"`
+	// Fairness is the Jain index over per-flow goodput, in [1/n, 1].
+	Fairness float64 `json:"fairness"`
+	// Violations are invariant-watchdog failures (must be empty: every
+	// delivered stream equals the sent stream, byte for byte).
+	Violations []string `json:"violations,omitempty"`
+	// Events is the simulator's executed-event count — the denominator
+	// for ns/event and events/sec in the perf report.
+	Events  uint64           `json:"events"`
+	PerFlow []FlowStat       `json:"per_flow,omitempty"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// flow is the engine's in-run state for one connection.
+type flow struct {
+	id      int
+	payload []byte
+	startAt netsim.Time // scheduled dial time
+	start   netsim.Time // actual dial time
+	end     netsim.Time
+	got     []byte
+	done    bool
+	err     error
+}
+
+// Run executes one many-flow simulation and reports it.
+func Run(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	reg := metrics.New()
+	w := harness.BuildWorld(harness.WorldConfig{
+		Seed: cfg.Seed, Link: cfg.Link, Hops: cfg.Hops,
+		Client: cfg.Client, Server: cfg.Server,
+		Metrics: reg,
+	})
+	// From here on the engine sees only the interface: either stack,
+	// same code path.
+	var client, server transport.Stack = w.Client, w.Server
+
+	wsc := reg.Scope("workload")
+	started := wsc.Counter("flows_started")
+	completedC := wsc.Counter("flows_completed")
+	failedC := wsc.Counter("flows_failed")
+	fctMs := wsc.Histogram("fct_ms",
+		10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000)
+	wd := faults.NewWatchdog()
+	wd.BindMetrics(wsc.Sub("watchdog"))
+
+	// Per-flow plans: payload from a per-flow seed, start time from the
+	// on/off schedule. One planning RNG, consumed in flow order, keeps
+	// the whole plan a pure function of cfg.Seed.
+	plan := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	flows := make([]*flow, cfg.Flows)
+	cycle := cfg.OnPeriod + cfg.OffPeriod
+	lnMin, lnMax := math.Log(float64(cfg.MinSize)), math.Log(float64(cfg.MaxSize))
+	base := w.Sim.Now()
+	for i := range flows {
+		size := int(math.Exp(lnMin + plan.Float64()*(lnMax-lnMin)))
+		payload := make([]byte, size)
+		rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9 + 7)).Read(payload)
+		at := time.Duration(i%cfg.Cycles)*cycle +
+			time.Duration(plan.Int63n(int64(cfg.OnPeriod)))
+		flows[i] = &flow{id: i, payload: payload, startAt: base + netsim.Time(at)}
+	}
+
+	// The server drains every inbound connection; an accepted conn's
+	// remote port is the dialling flow's local port, which the dial
+	// event records in byPort before the SYN can arrive.
+	byPort := make(map[uint16]*flow, cfg.Flows)
+	if err := server.Listen(80, func(sc transport.Conn) {
+		f := byPort[sc.RemotePort()]
+		if f == nil {
+			return // stray accept; the flow side will show as unfinished
+		}
+		sc.Callbacks(nil, func() {
+			f.got = append(f.got, sc.ReadAll()...)
+			if sc.EOF() && !f.done {
+				f.done = true
+				f.end = w.Sim.Now()
+				completedC.Inc()
+				fctMs.Observe(int64(time.Duration(f.end-f.start) / time.Millisecond))
+			}
+		}, nil, func(err error) {
+			if err != nil && f.err == nil {
+				f.err = err
+			}
+		})
+	}); err != nil {
+		panic(fmt.Sprintf("workload: listen: %v", err))
+	}
+
+	// Dial events: each flow opens its connection at its scheduled
+	// arrival and pushes its payload as buffer space opens up.
+	for _, f := range flows {
+		f := f
+		w.Sim.ScheduleAt(f.startAt, func() {
+			f.start = w.Sim.Now()
+			cc, err := client.Dial(server.Addr(), 80)
+			if err != nil {
+				f.err = err
+				failedC.Inc()
+				return
+			}
+			started.Inc()
+			byPort[cc.LocalPort()] = f
+			toSend := f.payload
+			push := func() {
+				for len(toSend) > 0 {
+					n := cc.Write(toSend)
+					if n == 0 {
+						return
+					}
+					toSend = toSend[n:]
+				}
+				cc.Close()
+			}
+			cc.Callbacks(push, nil, push, func(err error) {
+				if err != nil && f.err == nil {
+					f.err = err
+					failedC.Inc()
+				}
+			})
+		})
+	}
+
+	// Drive the simulation in slices until every flow resolved or the
+	// virtual budget ran out.
+	deadline := base + netsim.Time(cfg.Budget)
+	for w.Sim.Now() < deadline {
+		settled := true
+		for _, f := range flows {
+			if !f.done && f.err == nil {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+		w.Sim.RunFor(500 * time.Millisecond)
+	}
+
+	return summarize(cfg, w, client, flows, wd, reg)
+}
+
+// summarize folds per-flow outcomes into the Report and runs the
+// watchdog over every delivered stream.
+func summarize(cfg Config, w *harness.World, client transport.Stack,
+	flows []*flow, wd *faults.Watchdog, reg *metrics.Registry) *Report {
+	rep := &Report{
+		Seed:  cfg.Seed,
+		Stack: client.Name(),
+		Flows: cfg.Flows,
+	}
+	var fcts []time.Duration
+	var goodputs []float64
+	var lastEnd netsim.Time
+	firstStart := netsim.Time(math.MaxInt64)
+	for _, f := range flows {
+		rep.BytesSent += uint64(len(f.payload))
+		rep.BytesDelivered += uint64(len(f.got))
+		name := fmt.Sprintf("flow%04d", f.id)
+		if f.done {
+			// Completed flows owe the exact byte stream.
+			wd.CheckComplete(name, f.payload, f.got)
+			fct := time.Duration(f.end - f.start)
+			fcts = append(fcts, fct)
+			if fct > 0 {
+				goodputs = append(goodputs, float64(len(f.got))/fct.Seconds())
+			}
+			if f.start < firstStart {
+				firstStart = f.start
+			}
+			if f.end > lastEnd {
+				lastEnd = f.end
+			}
+			rep.Completed++
+		} else {
+			// Unfinished flows still owe the prefix invariant.
+			wd.CheckPrefix(name, f.payload, f.got)
+			if f.err != nil {
+				rep.Failed++
+			}
+		}
+		if cfg.KeepPerFlow {
+			fs := FlowStat{ID: f.id, Size: len(f.payload),
+				Start: time.Duration(f.startAt), Done: f.done}
+			if f.done {
+				fs.FCT = time.Duration(f.end - f.start)
+			}
+			if f.err != nil {
+				fs.Err = f.err.Error()
+			}
+			rep.PerFlow = append(rep.PerFlow, fs)
+		}
+	}
+	if rep.Completed > 0 {
+		rep.Makespan = time.Duration(lastEnd - firstStart)
+		if rep.Makespan > 0 {
+			rep.GoodputBps = uint64(float64(rep.BytesDelivered*8) / rep.Makespan.Seconds())
+		}
+		sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+		rep.FCTp50 = percentile(fcts, 50)
+		rep.FCTp90 = percentile(fcts, 90)
+		rep.FCTp99 = percentile(fcts, 99)
+		rep.Fairness = jain(goodputs)
+	}
+	rep.Violations = wd.Violations()
+	rep.Events = w.Sim.Steps()
+	rep.Metrics = reg.Snapshot()
+	return rep
+}
+
+// percentile is nearest-rank over an ascending slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// jain is the Jain fairness index (Σx)²/(n·Σx²), 1.0 when all flows
+// got equal goodput.
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

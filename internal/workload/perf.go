@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"encoding/json"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/transport/harness"
+)
+
+// MatrixKinds is the E11 stack axis: both implementations, native
+// wire format each, driven through the identical engine code path.
+var MatrixKinds = []harness.Kind{harness.KindSublayeredNative, harness.KindMonolithic}
+
+// MatrixFlows is the E11 flow-scaling axis.
+var MatrixFlows = []int{10, 100, 1000}
+
+// Cell is one (flows × stack) matrix entry plus its wall-clock cost —
+// the only nondeterministic field, kept out of Report itself.
+type Cell struct {
+	Flows  int
+	Kind   harness.Kind
+	Report *Report
+	WallNs int64
+	Allocs uint64
+}
+
+// Matrix runs the flow-scaling sweep. Wall time and allocation counts
+// are measured around each cell for the perf report; everything in
+// Cell.Report stays a pure function of the seed.
+func Matrix(seed int64, flowCounts []int, kinds []harness.Kind) []Cell {
+	var cells []Cell
+	for _, flows := range flowCounts {
+		for _, kind := range kinds {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			rep := Run(Config{Seed: seed, Flows: flows, Client: kind, Server: kind})
+			wall := time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			cells = append(cells, Cell{
+				Flows: flows, Kind: kind, Report: rep,
+				WallNs: wall, Allocs: after.Mallocs - before.Mallocs,
+			})
+		}
+	}
+	return cells
+}
+
+// PerfRow is the deterministic slice of one cell: identical for a
+// fixed seed on every machine.
+type PerfRow struct {
+	Flows          int    `json:"flows"`
+	Stack          string `json:"stack"`
+	Completed      int    `json:"completed"`
+	Failed         int    `json:"failed"`
+	BytesDelivered uint64 `json:"bytes_delivered"`
+	GoodputBps     uint64 `json:"goodput_bps"`
+	FCTp50Ms       int64  `json:"fct_p50_ms"`
+	FCTp99Ms       int64  `json:"fct_p99_ms"`
+	Fairness       string `json:"fairness"` // %.4f, avoids float-noise diffs
+	Violations     int    `json:"violations"`
+	Events         uint64 `json:"events"`
+	VirtualMs      int64  `json:"virtual_ms"`
+}
+
+// PerfTiming carries the wall-clock measurements. These fields vary
+// run to run and machine to machine, so they are excluded from the
+// deterministic identity (DeterministicJSON).
+type PerfTiming struct {
+	WallNs         int64   `json:"wall_ns"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// RunSeeds speedup: the same 4-seed batch serial vs parallel.
+	SpeedupWorkers  int     `json:"speedup_workers"`
+	SerialNs        int64   `json:"serial_ns"`
+	ParallelNs      int64   `json:"parallel_ns"`
+	SpeedupParallel float64 `json:"speedup_parallel"`
+	NumCPU          int     `json:"num_cpu"`
+}
+
+// PerfReport is BENCH_perf.json: the E11 flow-scaling matrix plus
+// wall-clock throughput numbers.
+type PerfReport struct {
+	Seed   int64       `json:"seed"`
+	Rows   []PerfRow   `json:"rows"`
+	Timing *PerfTiming `json:"timing,omitempty"`
+}
+
+// Perf builds the full perf report at seed: the E11 matrix with
+// per-cell wall costs folded into aggregate timing, plus the RunSeeds
+// parallel-speedup measurement.
+func Perf(seed int64) *PerfReport {
+	return perfReport(seed, MatrixFlows, 100)
+}
+
+// perfReport lets tests shrink the matrix.
+func perfReport(seed int64, flowCounts []int, speedupFlows int) *PerfReport {
+	cells := Matrix(seed, flowCounts, MatrixKinds)
+	rep := &PerfReport{Seed: seed}
+	var wall int64
+	var events, allocs uint64
+	for _, c := range cells {
+		rep.Rows = append(rep.Rows, rowOf(c))
+		wall += c.WallNs
+		events += c.Report.Events
+		allocs += c.Allocs
+	}
+	timing := &PerfTiming{WallNs: wall, NumCPU: runtime.NumCPU()}
+	if events > 0 {
+		timing.NsPerEvent = float64(wall) / float64(events)
+		timing.AllocsPerEvent = float64(allocs) / float64(events)
+	}
+	if wall > 0 {
+		timing.EventsPerSec = float64(events) / (float64(wall) / 1e9)
+	}
+	timing.SpeedupWorkers, timing.SerialNs, timing.ParallelNs, timing.SpeedupParallel =
+		measureSpeedup(Config{Seed: seed, Flows: speedupFlows, Client: MatrixKinds[0], Server: MatrixKinds[0]})
+	rep.Timing = timing
+	return rep
+}
+
+// rowOf projects the deterministic fields out of a cell.
+func rowOf(c Cell) PerfRow {
+	r := c.Report
+	return PerfRow{
+		Flows: c.Flows, Stack: r.Stack,
+		Completed: r.Completed, Failed: r.Failed,
+		BytesDelivered: r.BytesDelivered, GoodputBps: r.GoodputBps,
+		FCTp50Ms: r.FCTp50.Milliseconds(), FCTp99Ms: r.FCTp99.Milliseconds(),
+		Fairness:   fmtFairness(r.Fairness),
+		Violations: len(r.Violations),
+		Events:     r.Events, VirtualMs: r.Makespan.Milliseconds(),
+	}
+}
+
+func fmtFairness(f float64) string {
+	return strconv.FormatFloat(f, 'f', 4, 64)
+}
+
+// measureSpeedup times the same 4-seed RunSeeds batch serially and
+// with 4 workers. On a single-core host the ratio hovers near 1; the
+// >1.5× acceptance check only applies with ≥4 CPUs (see tests).
+func measureSpeedup(cfg Config) (workers int, serialNs, parallelNs int64, speedup float64) {
+	workers = 4
+	seeds := []int64{cfg.Seed + 1, cfg.Seed + 2, cfg.Seed + 3, cfg.Seed + 4}
+	t0 := time.Now()
+	RunSeeds(cfg, seeds, 1)
+	serialNs = time.Since(t0).Nanoseconds()
+	t1 := time.Now()
+	RunSeeds(cfg, seeds, workers)
+	parallelNs = time.Since(t1).Nanoseconds()
+	if parallelNs > 0 {
+		speedup = float64(serialNs) / float64(parallelNs)
+	}
+	return workers, serialNs, parallelNs, speedup
+}
+
+// DeterministicJSON marshals the seed-determined part of the report —
+// everything except Timing. Two runs at the same seed must produce
+// byte-identical output; CI and the tests compare exactly this.
+func (p *PerfReport) DeterministicJSON() []byte {
+	d := PerfReport{Seed: p.Seed, Rows: p.Rows}
+	b, _ := json.MarshalIndent(&d, "", "  ")
+	return append(b, '\n')
+}
+
+// JSON marshals the full report, timing included.
+func (p *PerfReport) JSON() []byte {
+	b, _ := json.MarshalIndent(p, "", "  ")
+	return append(b, '\n')
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunSeeds fans independent simulations across a worker pool: one
+// full Run per seed, workers goroutines (default GOMAXPROCS). Each
+// simulation owns its simulator, registry and RNGs, so runs share no
+// state and the returned slice — index-aligned with seeds — is
+// byte-identical whether workers is 1 or 16. This is the paper repo's
+// only concurrency: parallelism across simulations, never within one.
+func RunSeeds(cfg Config, seeds []int64, workers int) []*Report {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	out := make([]*Report, len(seeds))
+	if workers <= 1 {
+		for i, s := range seeds {
+			c := cfg
+			c.Seed = s
+			out[i] = Run(c)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cfg
+				c.Seed = seeds[i]
+				out[i] = Run(c)
+			}
+		}()
+	}
+	for i := range seeds {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
