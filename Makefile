@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race vet fuzz bench verify report perf clean
+.PHONY: all build test race vet lint fuzz fuzz-pool bench verify report perf perfcheck determinism clean
 
 all: build
 
@@ -16,10 +17,25 @@ race:
 vet:
 	$(GO) vet ./...
 
+# lint runs staticcheck when it is on PATH (CI installs the pinned
+# $(STATICCHECK_VERSION)); locally it degrades to a notice instead of
+# failing, so offline checkouts still build.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+
 # fuzz gives the stuffing round-trip spec a brief randomized workout;
 # run with a longer -fuzztime for a real campaign.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzStuffRoundTrip -fuzztime 5s ./internal/stuffing
+
+# fuzz-pool asserts the pooled (reused-writer) stuffing path stays
+# byte-identical to the allocating one.
+fuzz-pool:
+	$(GO) test -run '^$$' -fuzz FuzzStuffPooledParity -fuzztime 5s ./internal/stuffing
 
 # bench runs every experiment benchmark exactly once — a full E1-E11
 # reproduction sweep through the same code path as cmd/benchreport.
@@ -27,9 +43,10 @@ bench:
 	$(GO) test -bench=E -benchtime=1x .
 
 # verify is the PR gate: static checks, the full suite under the race
-# detector, a short fuzz pass over the bit-stuffing spec, and one pass
-# of the experiment benchmarks.
-verify: vet race fuzz bench
+# detector, short fuzz passes over the bit-stuffing spec and the pooled
+# parity target, one pass of the experiment benchmarks, and the perf
+# gate against the checked-in baseline.
+verify: vet lint race fuzz fuzz-pool bench perfcheck
 
 # report regenerates BENCH_metrics.json, the machine-readable run
 # report over E1-E11 (deterministic: same seed, same bytes).
@@ -41,6 +58,21 @@ report:
 # repo's reports that legitimately varies between machines).
 perf:
 	$(GO) run ./cmd/benchreport -perf BENCH_perf.json
+
+# perfcheck is the perf-regression gate: rerun the E11 matrix and fail
+# if the deterministic rows drift from BENCH_baseline.json or if
+# allocs/event regresses beyond the tolerance (wall-clock fields are
+# never compared).
+perfcheck:
+	$(GO) run ./cmd/benchreport -check BENCH_baseline.json
+
+# determinism regenerates the run report twice and fails on any byte
+# drift from the committed BENCH_metrics.json — the same gate CI runs.
+determinism:
+	$(GO) run ./cmd/runreport
+	git diff --exit-code BENCH_metrics.json
+	$(GO) run ./cmd/runreport
+	git diff --exit-code BENCH_metrics.json
 
 clean:
 	rm -f BENCH_metrics.json BENCH_perf.json

@@ -1,19 +1,28 @@
 // Command benchreport regenerates the experiment tables of
 // EXPERIMENTS.md (E1–E11 from DESIGN.md) in one run.
 //
-//	benchreport                       # run everything
-//	benchreport -e e5                 # one experiment
-//	benchreport -seed 7               # different world seed
-//	benchreport -perf BENCH_perf.json # E11 perf report instead of tables
+//	benchreport                            # run everything
+//	benchreport -e e5                      # one experiment
+//	benchreport -seed 7                    # different world seed
+//	benchreport -perf BENCH_perf.json      # E11 perf report instead of tables
+//	benchreport -check BENCH_baseline.json # perf-regression gate
 //
 // Experiments come from the experiments.Registry, so the tool needs no
 // per-experiment wiring. All table numbers are deterministic functions
 // of the seed; -perf additionally measures wall-clock throughput
 // (events/sec, ns/event, allocs/event, RunSeeds speedup), kept in a
 // separate "timing" section excluded from the reproducibility check.
+//
+// -check reruns the perf matrix and compares it against a checked-in
+// baseline: the deterministic rows (completions, bytes, events, ...)
+// must match exactly, and allocs/event must not exceed the baseline by
+// more than -tol (relative; default 0.25). Wall-clock fields (ns/event,
+// events/sec, speedup) are never compared — they vary by machine.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +34,22 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("e", "", "comma-separated experiment ids; empty runs all")
-		seed = flag.Int64("seed", 1, "simulation seed")
-		perf = flag.String("perf", "", `write the E11 perf report to this path ("-" for stdout) and exit`)
+		exp   = flag.String("e", "", "comma-separated experiment ids; empty runs all")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		perf  = flag.String("perf", "", `write the E11 perf report to this path ("-" for stdout) and exit`)
+		check = flag.String("check", "", "compare a fresh perf run against this baseline JSON and exit nonzero on regression")
+		tol   = flag.Float64("tol", 0.25, "relative allocs/event tolerance for -check")
 	)
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkBaseline(*check, *seed, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf check against %s passed\n", *check)
+		return
+	}
 
 	if *perf != "" {
 		rep := workload.Perf(*seed)
@@ -61,4 +81,36 @@ func main() {
 		}
 		fmt.Println(r.Text())
 	}
+}
+
+// checkBaseline is the CI perf gate: rerun the matrix at seed and fail
+// on any drift in the deterministic rows or an allocs/event regression
+// beyond the relative tolerance.
+func checkBaseline(path string, seed int64, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	base := &workload.PerfReport{}
+	if err := json.Unmarshal(raw, base); err != nil {
+		return fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if base.Seed != seed {
+		return fmt.Errorf("baseline %s was recorded at seed %d, checking at seed %d", path, base.Seed, seed)
+	}
+	rep := workload.Perf(seed)
+	if got, want := rep.DeterministicJSON(), base.DeterministicJSON(); !bytes.Equal(got, want) {
+		return fmt.Errorf("deterministic rows drifted from %s:\n--- baseline\n%s--- current\n%s", path, want, got)
+	}
+	if base.Timing == nil || base.Timing.AllocsPerEvent <= 0 {
+		return fmt.Errorf("baseline %s has no allocs/event to compare against", path)
+	}
+	cur, limit := rep.Timing.AllocsPerEvent, base.Timing.AllocsPerEvent*(1+tol)
+	if cur > limit {
+		return fmt.Errorf("allocs/event regressed: %.3f > %.3f (baseline %.3f, tolerance %+.0f%%)",
+			cur, limit, base.Timing.AllocsPerEvent, tol*100)
+	}
+	fmt.Printf("allocs/event %.3f (baseline %.3f, limit %.3f); %d rows identical\n",
+		cur, base.Timing.AllocsPerEvent, limit, len(rep.Rows))
+	return nil
 }

@@ -291,6 +291,13 @@ func (w *Writer) WriteBytes(p []byte) {
 // Len returns the number of bits written so far.
 func (w *Writer) Len() int { return w.n }
 
+// Reset empties the writer while keeping its buffer, so one Writer can
+// encode a stream of frames without reallocating per frame.
+func (w *Writer) Reset() {
+	w.data = w.data[:0]
+	w.n = 0
+}
+
 // Bits returns the accumulated bit string. The Writer may continue to be
 // used afterwards; the returned value is a snapshot.
 func (w *Writer) Bits() Bits {

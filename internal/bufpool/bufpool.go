@@ -1,0 +1,229 @@
+// Package bufpool provides size-classed, recycled byte buffers for the
+// simulator's data path.
+//
+// The pool exists to kill the copy-per-sublayer allocation pattern: a
+// wire buffer is Get()'d once where bytes are produced (a transport
+// marshaling a segment, a link duplicating a packet) and handed down
+// the stack by ownership transfer, ending in exactly one Put() at the
+// point where the bytes die (a drop, a local delivery, a retired
+// retransmission buffer). Ownership rules at each crossing are written
+// down in DESIGN.md ("Buffer ownership at sublayer crossings").
+//
+// Contract:
+//
+//   - Get(n) returns a slice with len == n and undefined contents.
+//   - Put(b) recycles the buffer; b must be the exact slice returned
+//     by Get (same backing array start, same capacity). Passing any
+//     other slice is safe — buffers whose capacity matches no size
+//     class are left to the garbage collector and counted as Foreign.
+//   - After Put, the buffer must not be read or written.
+//   - Forgetting a Put never corrupts anything; the buffer is simply
+//     collected by the GC (the pool holds no reference to live
+//     buffers).
+//
+// The fast path stores raw backing-array pointers in per-class
+// sync.Pools, so Get and Put are allocation-free. SetDebug(true)
+// swaps in a deterministic, mutex-guarded freelist that poisons
+// released buffers and panics on double-release and write-after-
+// release — the bufpool tests and the netsim race test run with it
+// enabled.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// classes are the pooled capacities. Every Get is rounded up to the
+// smallest class that fits; requests beyond the largest class fall
+// back to plain make and are counted as Oversize.
+var classes = [...]int{64, 256, 1024, 4096, 16384, 65536}
+
+var pools [len(classes)]sync.Pool
+
+// counters (atomic; Snapshot reads them without stopping the world).
+var (
+	cGets     atomic.Uint64
+	cPuts     atomic.Uint64
+	cFresh    atomic.Uint64
+	cForeign  atomic.Uint64
+	cOversize atomic.Uint64
+)
+
+// Stats is a point-in-time snapshot of pool activity.
+type Stats struct {
+	Gets     uint64 // Get calls served from a size class
+	Puts     uint64 // Put calls accepted into a size class
+	Fresh    uint64 // Gets that had to allocate (pool was empty)
+	Foreign  uint64 // Puts of buffers matching no size class (dropped)
+	Oversize uint64 // Gets larger than the biggest class (plain make)
+}
+
+// Snapshot returns the current counter values.
+func Snapshot() Stats {
+	return Stats{
+		Gets:     cGets.Load(),
+		Puts:     cPuts.Load(),
+		Fresh:    cFresh.Load(),
+		Foreign:  cForeign.Load(),
+		Oversize: cOversize.Load(),
+	}
+}
+
+// classFor returns the index of the smallest class with capacity >= n,
+// or -1 if n exceeds the largest class.
+func classFor(n int) int {
+	for i, c := range classes {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// classOfCap returns the class index whose capacity is exactly c, or
+// -1. Only exact matches are poolable: a subslice or an append-grown
+// slice no longer identifies its backing array's true size.
+func classOfCap(c int) int {
+	for i, cc := range classes {
+		if c == cc {
+			return i
+		}
+		if c < cc {
+			break
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer with len == n and undefined contents. The
+// caller owns it until it is handed off or Put back.
+func Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	ci := classFor(n)
+	if ci < 0 {
+		cOversize.Add(1)
+		return make([]byte, n)
+	}
+	if debugOn.Load() {
+		return debugGet(ci, n)
+	}
+	cGets.Add(1)
+	if p, _ := pools[ci].Get().(unsafe.Pointer); p != nil {
+		return unsafe.Slice((*byte)(p), classes[ci])[:n]
+	}
+	cFresh.Add(1)
+	return make([]byte, n, classes[ci])
+}
+
+// Put recycles b. Safe on nil and on buffers that did not come from
+// the pool (they are dropped to the GC). The slice must not be used
+// again after Put.
+func Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	ci := classOfCap(cap(b))
+	if ci < 0 {
+		cForeign.Add(1)
+		return
+	}
+	if debugOn.Load() {
+		debugPut(ci, b)
+		return
+	}
+	cPuts.Add(1)
+	pools[ci].Put(unsafe.Pointer(unsafe.SliceData(b)))
+}
+
+// ---- debug mode -----------------------------------------------------
+
+// poison fills released buffers in debug mode; Get verifies it is
+// intact, so any write to a buffer after its Put is caught at the
+// next reuse.
+const poison = 0xDB
+
+var (
+	debugOn atomic.Bool
+	dbg     struct {
+		mu   sync.Mutex
+		free [len(classes)][]unsafe.Pointer
+		// live tracks checkout state per backing array: true while
+		// the buffer is held by a caller, false once released.
+		live map[unsafe.Pointer]bool
+	}
+)
+
+// SetDebug toggles the deterministic checking freelist. Toggling
+// resets the debug state (buffers held across the toggle are treated
+// as unknown, which is always safe).
+func SetDebug(on bool) {
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	for i := range dbg.free {
+		dbg.free[i] = nil
+	}
+	dbg.live = map[unsafe.Pointer]bool{}
+	debugOn.Store(on)
+}
+
+// DebugEnabled reports whether debug checking is active.
+func DebugEnabled() bool { return debugOn.Load() }
+
+// InUse returns the number of debug-tracked buffers currently checked
+// out (Get without a matching Put). Only meaningful while debug mode
+// is on; use it to assert leak-freedom in tests.
+func InUse() int {
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	n := 0
+	for _, held := range dbg.live {
+		if held {
+			n++
+		}
+	}
+	return n
+}
+
+func debugGet(ci, n int) []byte {
+	cGets.Add(1)
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	stack := dbg.free[ci]
+	if len(stack) == 0 {
+		cFresh.Add(1)
+		b := make([]byte, classes[ci])
+		dbg.live[unsafe.Pointer(unsafe.SliceData(b))] = true
+		return b[:n]
+	}
+	p := stack[len(stack)-1]
+	dbg.free[ci] = stack[:len(stack)-1]
+	b := unsafe.Slice((*byte)(p), classes[ci])
+	for i, c := range b {
+		if c != poison {
+			panic(fmt.Sprintf("bufpool: buffer %p written after release (offset %d: %#x)", p, i, c))
+		}
+	}
+	dbg.live[p] = true
+	return b[:n]
+}
+
+func debugPut(ci int, b []byte) {
+	cPuts.Add(1)
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if held, known := dbg.live[p]; known && !held {
+		panic(fmt.Sprintf("bufpool: double release of buffer %p", p))
+	}
+	dbg.live[p] = false
+	full := unsafe.Slice((*byte)(p), classes[ci])
+	for i := range full {
+		full[i] = poison
+	}
+	dbg.free[ci] = append(dbg.free[ci], p)
+}

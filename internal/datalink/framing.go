@@ -34,6 +34,9 @@ var ErrFrameTooLarge = errors.New("datalink: frame too large")
 // whole octets; the bit string on the line is generally not.
 type BitStuffFramer struct {
 	rule stuffing.Rule
+	// w is the scratch encoder, reused across frames; Frame snapshots
+	// its contents before returning, so nothing aliases it.
+	w *bitio.Writer
 }
 
 // NewBitStuffFramer returns a framer using the given (validated)
@@ -43,7 +46,7 @@ func NewBitStuffFramer(rule stuffing.Rule) *BitStuffFramer {
 	if err := rule.Validate(); err != nil {
 		panic(fmt.Sprintf("datalink: %v", err))
 	}
-	return &BitStuffFramer{rule: rule}
+	return &BitStuffFramer{rule: rule, w: bitio.NewWriter(256)}
 }
 
 // Name implements Framer.
@@ -54,7 +57,11 @@ func (f *BitStuffFramer) Rule() stuffing.Rule { return f.rule }
 
 // Frame implements Framer.
 func (f *BitStuffFramer) Frame(packet []byte) (bitio.Bits, error) {
-	return f.rule.Encode(bitio.FromBytes(packet))
+	f.w.Reset()
+	if err := f.rule.EncodeTo(bitio.FromBytes(packet), f.w); err != nil {
+		return bitio.Bits{}, err
+	}
+	return f.w.Bits(), nil
 }
 
 // Deframe implements Framer: hunts flags in the bit string, unstuffs

@@ -118,7 +118,7 @@ func TestGilbertElliottOverlayAndRestore(t *testing.T) {
 func TestRouterCrashRestartReconverges(t *testing.T) {
 	sim, topo := buildLine(t, 9, 3, netsim.LinkConfig{Delay: time.Millisecond})
 	var got []byte
-	topo.Routers[3].Handle(network.Proto(99), func(dg *network.Datagram) { got = dg.Payload })
+	topo.Routers[3].Handle(network.Proto(99), func(dg *network.Datagram) { got = append([]byte(nil), dg.Payload...) })
 
 	inj := New(sim, topo, 9)
 	inj.Apply(Script{Name: "crash", Steps: []Step{
@@ -152,7 +152,7 @@ func TestRouterCrashRestartReconverges(t *testing.T) {
 func TestBlackholeDropsDataKeepsControl(t *testing.T) {
 	sim, topo := buildLine(t, 11, 3, netsim.LinkConfig{Delay: time.Millisecond})
 	var got []byte
-	topo.Routers[3].Handle(network.Proto(99), func(dg *network.Datagram) { got = dg.Payload })
+	topo.Routers[3].Handle(network.Proto(99), func(dg *network.Datagram) { got = append([]byte(nil), dg.Payload...) })
 
 	inj := New(sim, topo, 11)
 	inj.Apply(Script{Name: "hole", Steps: []Step{

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/metrics"
 )
 
@@ -154,37 +155,53 @@ func (l *Link) Stats() metrics.View { return l.m.view() }
 func (l *Link) Config() LinkConfig { return l.cfg }
 
 // Send transmits data over the link, applying serialization, queueing,
-// ECN marking and the configured impairments. The data is copied.
+// ECN marking and the configured impairments. The data is copied (into
+// a pooled buffer that the receiving end owns).
 func (l *Link) Send(data []byte) {
-	l.SendPacket(&Packet{Data: data})
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	l.SendOwned(buf, false)
 }
 
 // SendPacket is Send for a packet that may already carry an ECN mark.
+// It takes ownership of pkt.Data (see SendOwned); the Packet struct
+// itself is not retained.
 func (l *Link) SendPacket(pkt *Packet) {
+	l.SendOwned(pkt.Data, pkt.ECN)
+}
+
+// SendOwned transmits data, transferring ownership of the buffer to
+// the link: the caller must not touch data afterwards. The link either
+// carries the buffer through to the destination handler (which then
+// owns it) or returns it to the bufpool on a drop. Impairments mutate
+// the buffer in place — there is no per-hop copy.
+func (l *Link) SendOwned(data []byte, ecn bool) {
 	l.m.sent.Inc()
 	if !l.up {
 		l.m.downDrop.Inc()
+		bufpool.Put(data)
 		return
 	}
 	rng := l.sim.rng
 	if chance(rng, l.cfg.LossProb) {
 		l.m.lost.Inc()
+		bufpool.Put(data)
 		return
 	}
-	p := pkt.Clone()
 
 	// Serialization and queueing.
 	depart := l.sim.Now()
 	if l.cfg.RateBps > 0 {
 		if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
 			l.m.queueDrop.Inc()
+			bufpool.Put(data)
 			return
 		}
 		if l.cfg.ECNThreshold > 0 && l.queued >= l.cfg.ECNThreshold {
-			p.ECN = true
+			ecn = true
 			l.m.ecnMarked.Inc()
 		}
-		txTime := Time(int64(len(p.Data)) * 8 * int64(time.Second) / l.cfg.RateBps)
+		txTime := Time(int64(len(data)) * 8 * int64(time.Second) / l.cfg.RateBps)
 		start := l.txFree
 		if start < l.sim.Now() {
 			start = l.sim.Now()
@@ -192,7 +209,9 @@ func (l *Link) SendPacket(pkt *Packet) {
 		l.txFree = start + txTime
 		depart = l.txFree
 		l.setQueued(l.queued + 1)
-		l.sim.ScheduleAt(depart, func() { l.setQueued(l.queued - 1) })
+		qe := l.sim.post(depart)
+		qe.kind = evQueueFree
+		qe.lnk = l
 	}
 
 	extra := Time(0)
@@ -207,17 +226,19 @@ func (l *Link) SendPacket(pkt *Packet) {
 		}
 		extra += Time(1 + rng.Int63n(span))
 	}
-	if chance(rng, l.cfg.CorruptProb) && len(p.Data) > 0 {
+	if chance(rng, l.cfg.CorruptProb) && len(data) > 0 {
 		l.m.corrupted.Inc()
-		bit := rng.Intn(len(p.Data) * 8)
-		p.Data[bit/8] ^= 1 << uint(7-bit%8)
+		bit := rng.Intn(len(data) * 8)
+		data[bit/8] ^= 1 << uint(7-bit%8)
 	}
 
 	arrive := depart + durTicks(l.cfg.Delay) + extra
-	l.deliverAt(arrive, p)
+	l.deliverAt(arrive, data, ecn)
 	if chance(rng, l.cfg.DupProb) {
 		l.m.duplicate.Inc()
-		l.deliverAt(arrive+durTicks(time.Microsecond), p.Clone())
+		dup := bufpool.Get(len(data))
+		copy(dup, data)
+		l.deliverAt(arrive+durTicks(time.Microsecond), dup, ecn)
 	}
 }
 
@@ -226,16 +247,28 @@ func (l *Link) setQueued(n int) {
 	l.m.queueDepth.Set(int64(n))
 }
 
-func (l *Link) deliverAt(at Time, p *Packet) {
-	l.sim.ScheduleAt(at, func() {
-		if !l.up {
-			l.m.downDrop.Inc()
-			return
-		}
-		l.m.delivered.Inc()
-		l.m.deliveredBytes.Add(uint64(len(p.Data)))
-		l.dst(p)
-	})
+// deliverAt schedules arrival as a tagged event: the Packet travels
+// inside the (recycled) event, so an in-flight packet costs no
+// allocation at all.
+func (l *Link) deliverAt(at Time, data []byte, ecn bool) {
+	e := l.sim.post(at)
+	e.kind = evDeliver
+	e.lnk = l
+	e.pkt = Packet{Data: data, ECN: ecn}
+}
+
+// deliver runs at arrival time. The *Packet points into the event and
+// is only valid for the duration of the handler call; the Data buffer,
+// however, is the handler's to keep (or Put back to the bufpool).
+func (l *Link) deliver(p *Packet) {
+	if !l.up {
+		l.m.downDrop.Inc()
+		bufpool.Put(p.Data)
+		return
+	}
+	l.m.delivered.Inc()
+	l.m.deliveredBytes.Add(uint64(len(p.Data)))
+	l.dst(p)
 }
 
 func chance(rng *rand.Rand, p float64) bool {

@@ -32,10 +32,24 @@ func durTicks(d time.Duration) Time { return Time(d.Nanoseconds()) }
 // String formats the time as a duration for traces.
 func (t Time) String() string { return time.Duration(t).String() }
 
+// Event kinds. The hot link paths (packet delivery, serializer queue
+// release) are tagged events carrying their operands in the event
+// itself instead of a fresh closure per packet, so a recycled event is
+// the only per-hop scheduling cost.
+const (
+	evFunc uint8 = iota // run fn
+	evDeliver           // deliver pkt on lnk
+	evQueueFree         // release one serializer queue slot on lnk
+)
+
 type event struct {
 	at   Time
 	seq  uint64 // FIFO tiebreak for simultaneous events: determinism
+	gen  uint32 // bumped on recycle; detached Timers compare it
+	kind uint8
 	fn   func()
+	lnk  *Link
+	pkt  Packet
 	dead bool
 	idx  int
 	sim  *Simulator // owner, so Timer.Stop can account the cancellation
@@ -77,6 +91,11 @@ type Simulator struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+
+	// free recycles executed and compacted-away events. An event is
+	// only recycled once it is out of the heap, and its gen counter is
+	// bumped so a stale Timer can never cancel the reincarnation.
+	free []*event
 
 	scheduled metrics.Counter
 	executed  metrics.Counter
@@ -124,15 +143,21 @@ func (s *Simulator) Now() Time { return s.now }
 // use this (never the global source) to stay deterministic.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// Timer is a handle to a scheduled callback.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled callback. It remembers the event's
+// generation at scheduling time: once the event fires (or is stopped)
+// and gets recycled for an unrelated callback, the stale handle goes
+// inert instead of cancelling the new occupant.
+type Timer struct {
+	ev  *event
+	gen uint32
+}
 
 // Stop cancels the timer if it has not fired. It reports whether the
 // cancellation prevented a pending firing. The event stays in the heap
 // as a tombstone; once tombstones exceed half the heap the simulator
 // compacts it, so cancelled timers cannot leak.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -145,7 +170,9 @@ func (t *Timer) Stop() bool {
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.dead }
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
+}
 
 // Schedule runs fn after virtual delay d (clamped to ≥ 0).
 func (s *Simulator) Schedule(d time.Duration, fn func()) *Timer {
@@ -158,14 +185,56 @@ func (s *Simulator) Schedule(d time.Duration, fn func()) *Timer {
 
 // ScheduleAt runs fn at absolute virtual time at (clamped to ≥ now).
 func (s *Simulator) ScheduleAt(at Time, fn func()) *Timer {
+	e := s.post(at)
+	e.fn = fn
+	return &Timer{ev: e, gen: e.gen}
+}
+
+// ScheduleTimer is Schedule returning the Timer by value, for callers
+// that hold the handle in a long-lived struct (Repeater, the
+// transports' retransmission state) and should not allocate one per
+// re-arm. A zero Timer is inert: Stop and Active are safe on it.
+func (s *Simulator) ScheduleTimer(d time.Duration, fn func()) Timer {
+	t := s.now + durTicks(d)
+	if t < s.now {
+		t = s.now
+	}
+	e := s.post(t)
+	e.fn = fn
+	return Timer{ev: e, gen: e.gen}
+}
+
+// post pushes a recycled (or fresh) event onto the heap at time at,
+// clamped to ≥ now. The caller fills in the kind-specific fields.
+func (s *Simulator) post(at Time) *event {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
 	s.scheduled.Inc()
-	e := &event{at: at, seq: s.seq, fn: fn, sim: s}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at = at
+		e.seq = s.seq
+		e.dead = false
+	} else {
+		e = &event{at: at, seq: s.seq, sim: s}
+	}
 	heap.Push(&s.events, e)
-	return &Timer{ev: e}
+	return e
+}
+
+// recycle returns an event that left the heap to the freelist.
+func (s *Simulator) recycle(e *event) {
+	e.gen++
+	e.kind = evFunc
+	e.fn = nil
+	e.lnk = nil
+	e.pkt = Packet{}
+	s.free = append(s.free, e)
 }
 
 // Pending returns the number of events in the heap, tombstones
@@ -183,6 +252,8 @@ func (s *Simulator) maybeCompact() {
 	for _, e := range s.events {
 		if !e.dead {
 			live = append(live, e)
+		} else {
+			s.recycle(e)
 		}
 	}
 	for i, e := range live {
@@ -200,15 +271,30 @@ func (s *Simulator) Step() bool {
 		e := heap.Pop(&s.events).(*event)
 		if e.dead {
 			s.deadPending--
+			s.recycle(e)
 			continue
 		}
 		e.dead = true // a fired timer is no longer Active
 		s.now = e.at
 		s.executed.Inc()
-		e.fn()
+		s.dispatch(e)
+		s.recycle(e)
 		return true
 	}
 	return false
+}
+
+// dispatch runs one live event. Tagged kinds keep the per-packet link
+// events closure-free; everything else goes through fn.
+func (s *Simulator) dispatch(e *event) {
+	switch e.kind {
+	case evDeliver:
+		e.lnk.deliver(&e.pkt)
+	case evQueueFree:
+		e.lnk.setQueued(e.lnk.queued - 1)
+	default:
+		e.fn()
+	}
 }
 
 // Run executes events until the queue drains or the step limit is hit;
@@ -238,6 +324,7 @@ func (s *Simulator) RunUntil(t Time) {
 		if e.dead {
 			heap.Pop(&s.events)
 			s.deadPending--
+			s.recycle(e)
 			continue
 		}
 		if e.at > t {
@@ -259,6 +346,15 @@ func (s *Simulator) Steps() uint64 { return s.executed.Value() }
 // is stopped. The first firing is after one interval.
 func (s *Simulator) Every(interval time.Duration, fn func()) *Repeater {
 	r := &Repeater{sim: s, interval: interval, fn: fn}
+	r.tick = func() {
+		if r.stopped {
+			return
+		}
+		r.fn()
+		if !r.stopped {
+			r.arm()
+		}
+	}
 	r.arm()
 	return r
 }
@@ -268,28 +364,19 @@ type Repeater struct {
 	sim      *Simulator
 	interval time.Duration
 	fn       func()
-	t        *Timer
+	tick     func() // built once; re-arming allocates nothing
+	t        Timer
 	stopped  bool
 }
 
 func (r *Repeater) arm() {
-	r.t = r.sim.Schedule(r.interval, func() {
-		if r.stopped {
-			return
-		}
-		r.fn()
-		if !r.stopped {
-			r.arm()
-		}
-	})
+	r.t = r.sim.ScheduleTimer(r.interval, r.tick)
 }
 
 // Stop cancels future firings.
 func (r *Repeater) Stop() {
 	r.stopped = true
-	if r.t != nil {
-		r.t.Stop()
-	}
+	r.t.Stop()
 }
 
 func (s *Simulator) String() string {

@@ -19,6 +19,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/bufpool"
 )
 
 // Addr is a node address — the network layer's namespace (the paper's
@@ -57,6 +59,16 @@ const DefaultTTL = 32
 // ttl(1) proto(1).
 const HeaderLen = 7
 
+// Headroom is the number of writable bytes a caller of Router.SendOwned
+// must reserve at the front of its buffer for the datagram header, so a
+// transport can marshal segment + network header into one pooled buffer
+// with zero further copies.
+const Headroom = HeaderLen
+
+// ttlOffset is the TTL byte's position in the wire header; forwarding
+// decrements it in place instead of re-marshaling per hop.
+const ttlOffset = 5
+
 // Datagram is the network-layer data PDU.
 type Datagram struct {
 	Src, Dst Addr
@@ -81,29 +93,53 @@ func (d *Datagram) Marshal() []byte {
 	return out
 }
 
-// UnmarshalDatagram decodes a class-data packet.
+// UnmarshalDatagram decodes a class-data packet. The payload is
+// copied, so the result is independent of data.
 func UnmarshalDatagram(data []byte) (*Datagram, error) {
+	dg, err := parseDatagram(data)
+	if err != nil {
+		return nil, err
+	}
+	dg.Payload = append([]byte(nil), dg.Payload...)
+	return &dg, nil
+}
+
+// parseDatagram decodes a class-data packet in place: the returned
+// value's Payload aliases data, valid only while the caller holds the
+// wire buffer. The router's hot path uses this; anything that retains
+// the payload must copy it first.
+func parseDatagram(data []byte) (Datagram, error) {
 	if len(data) < HeaderLen {
-		return nil, errTruncated
+		return Datagram{}, errTruncated
 	}
 	if data[0] != classData {
-		return nil, fmt.Errorf("network: packet class %d is not data", data[0])
+		return Datagram{}, fmt.Errorf("network: packet class %d is not data", data[0])
 	}
-	return &Datagram{
+	return Datagram{
 		Src:     Addr(binary.BigEndian.Uint16(data[1:3])),
 		Dst:     Addr(binary.BigEndian.Uint16(data[3:5])),
-		TTL:     data[5],
+		TTL:     data[ttlOffset],
 		Proto:   Proto(data[6]),
-		Payload: append([]byte(nil), data[HeaderLen:]...),
+		Payload: data[HeaderLen:],
 	}, nil
+}
+
+// stampHeader writes the datagram wire header into buf[:HeaderLen].
+func stampHeader(buf []byte, src, dst Addr, ttl uint8, proto Proto) {
+	buf[0] = classData
+	binary.BigEndian.PutUint16(buf[1:3], uint16(src))
+	binary.BigEndian.PutUint16(buf[3:5], uint16(dst))
+	buf[ttlOffset] = ttl
+	buf[6] = byte(proto)
 }
 
 // helloLen is the hello packet size: class(1) sender(2) cost(1).
 const helloLen = 4
 
-// marshalHello encodes a neighbor-determination hello.
+// marshalHello encodes a neighbor-determination hello into a pooled
+// buffer; ownership passes to the Port it is sent on.
 func marshalHello(sender Addr, cost uint8) []byte {
-	out := make([]byte, helloLen)
+	out := bufpool.Get(helloLen)
 	out[0] = classHello
 	binary.BigEndian.PutUint16(out[1:3], uint16(sender))
 	out[3] = cost
@@ -118,9 +154,9 @@ func unmarshalHello(data []byte) (sender Addr, cost uint8, err error) {
 }
 
 // marshalRouting wraps a route-computation payload: class(1) sender(2)
-// body.
+// body. The buffer is pooled; ownership passes to the Port.
 func marshalRouting(sender Addr, body []byte) []byte {
-	out := make([]byte, 3+len(body))
+	out := bufpool.Get(3 + len(body))
 	out[0] = classRouting
 	binary.BigEndian.PutUint16(out[1:3], uint16(sender))
 	copy(out[3:], body)

@@ -154,7 +154,7 @@ func TestEndToEndDelivery(t *testing.T) {
 			topo := BuildTopology(sim, lineEdges(), quickLink(), fastNeighborCfg(), mk)
 			converge(topo, 8*time.Second)
 			var got []byte
-			topo.Routers[4].Handle(ProtoUDP, func(dg *Datagram) { got = dg.Payload })
+			topo.Routers[4].Handle(ProtoUDP, func(dg *Datagram) { got = append([]byte(nil), dg.Payload...) })
 			if err := topo.Routers[1].Send(4, ProtoUDP, []byte("across")); err != nil {
 				t.Fatal(err)
 			}
@@ -269,7 +269,7 @@ func TestTTLExpiry(t *testing.T) {
 	topo.Routers[4].Handle(ProtoUDP, func(*Datagram) { delivered = true })
 	route, _ := topo.Routers[1].Forwarder().Lookup(4)
 	_ = route
-	topo.Routers[1].forward(dg) // TTL 3→2 at r1, 2→1 at r2, expires at r3
+	topo.Routers[1].forward(dg, dg.Marshal()) // TTL 3→2 at r1, 2→1 at r2, expires at r3
 	sim.RunFor(time.Second)
 	if delivered {
 		t.Error("TTL did not expire")
@@ -296,7 +296,7 @@ func TestLocalLoopback(t *testing.T) {
 	sim := netsim.NewSimulator(4)
 	r := NewRouter(sim, 1, NewDistanceVector(DVConfig{}), fastNeighborCfg())
 	var got []byte
-	r.Handle(ProtoUDP, func(dg *Datagram) { got = dg.Payload })
+	r.Handle(ProtoUDP, func(dg *Datagram) { got = append([]byte(nil), dg.Payload...) })
 	if err := r.Send(1, ProtoUDP, []byte("self")); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"repro/internal/bufpool"
 	"repro/internal/netsim"
 	"repro/internal/sublayer"
 )
@@ -9,10 +10,17 @@ import (
 // what is underneath: a bare simulated link, or a full Fig. 2 data-link
 // sublayer stack — the layering boundary the paper's Fig. 3 draws
 // between the network sublayers and "Data Link".
+//
+// Buffer ownership crosses the Port in both directions: Send takes
+// ownership of data (the caller must not touch it afterwards), and the
+// receiver callback is handed ownership of each delivered buffer (the
+// router releases it to the bufpool once the packet is consumed).
 type Port interface {
-	// Send transmits one packet, carrying the ECN mark.
+	// Send transmits one packet, carrying the ECN mark. Ownership of
+	// data transfers to the port.
 	Send(data []byte, ecn bool)
-	// SetReceiver registers the upcall for received packets.
+	// SetReceiver registers the upcall for received packets; each call
+	// transfers ownership of data to the receiver.
 	SetReceiver(fn func(data []byte, ecn bool))
 }
 
@@ -26,9 +34,10 @@ type linkPort struct {
 // direction's delivery to the returned port's Deliver.
 func NewLinkPort(out *netsim.Link) *linkPort { return &linkPort{out: out} }
 
-// Send implements Port.
+// Send implements Port, passing the buffer to the link by ownership
+// transfer (no copy).
 func (p *linkPort) Send(data []byte, ecn bool) {
-	p.out.SendPacket(&netsim.Packet{Data: data, ECN: ecn})
+	p.out.SendOwned(data, ecn)
 }
 
 // SetReceiver implements Port.
@@ -54,7 +63,12 @@ func NewStackPort(stack *sublayer.Stack) Port {
 	p := &stackPort{stack: stack}
 	stack.SetApp(func(pdu *sublayer.PDU) {
 		if p.recv != nil {
-			p.recv(pdu.Data, pdu.Meta.ECN)
+			// Deframed PDUs may alias a shared receive buffer inside the
+			// data-link stack (several frames can share one raw read), so
+			// re-home the bytes into a pooled buffer the receiver owns.
+			buf := bufpool.Get(len(pdu.Data))
+			copy(buf, pdu.Data)
+			p.recv(buf, pdu.Meta.ECN)
 		}
 	})
 	return p

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
@@ -123,30 +124,43 @@ func (r *Router) bindComputer() {
 // has names and a complete service).
 func (r *Router) Handle(p Proto, fn func(*Datagram)) { r.handlers[p] = fn }
 
-// Send originates a datagram toward dst.
+// Send originates a datagram toward dst. The payload is copied.
 func (r *Router) Send(dst Addr, proto Proto, payload []byte) error {
 	return r.SendECN(dst, proto, payload, false)
 }
 
 // SendECN originates a datagram carrying an ECN mark (used by
-// transports that echo congestion signals).
+// transports that echo congestion signals). The payload is copied.
 func (r *Router) SendECN(dst Addr, proto Proto, payload []byte, ecn bool) error {
-	dg := &Datagram{Src: r.addr, Dst: dst, TTL: DefaultTTL, Proto: proto, ECN: ecn, Payload: payload}
-	r.fwd.m.originated.Inc()
-	if dst == r.addr {
-		r.deliverLocal(dg)
-		return nil
-	}
-	return r.transmit(dg)
+	buf := bufpool.Get(HeaderLen + len(payload))
+	copy(buf[HeaderLen:], payload)
+	return r.SendOwned(dst, proto, buf, ecn)
 }
 
-func (r *Router) transmit(dg *Datagram) error {
-	route, ok := r.fwd.Lookup(dg.Dst)
+// SendOwned originates a datagram from a caller-owned wire buffer:
+// buf[:Headroom] is writable scratch the router stamps its header
+// into, buf[Headroom:] is the payload. Ownership of buf transfers to
+// the router — transports marshal a segment once into a pooled buffer
+// and the same bytes ride every hop to the destination.
+func (r *Router) SendOwned(dst Addr, proto Proto, buf []byte, ecn bool) error {
+	stampHeader(buf, r.addr, dst, DefaultTTL, proto)
+	r.fwd.m.originated.Inc()
+	if dst == r.addr {
+		dg, err := parseDatagram(buf)
+		if err == nil {
+			dg.ECN = ecn
+			r.deliverLocal(&dg)
+		}
+		bufpool.Put(buf)
+		return err
+	}
+	route, ok := r.fwd.Lookup(dst)
 	if !ok || route.If < 0 {
 		r.fwd.m.noRoute.Inc()
-		return fmt.Errorf("network: %v has no route to %v", r.addr, dg.Dst)
+		bufpool.Put(buf)
+		return fmt.Errorf("network: %v has no route to %v", r.addr, dst)
 	}
-	r.ports[route.If].Send(dg.Marshal(), dg.ECN)
+	r.ports[route.If].Send(buf, ecn)
 	return nil
 }
 
@@ -164,8 +178,14 @@ func (r *Router) SetDropFilter(fn func(*Datagram) bool) { r.drop = fn }
 // receive demultiplexes a wire packet by class: hello to the neighbor
 // sublayer, routing to the route computer, data to the forwarder. The
 // three sublayers literally use different packets (T3).
+//
+// The router owns data: control packets and locally consumed datagrams
+// are returned to the bufpool here (the sublayers above parse into
+// their own structures and never retain wire views), while forwarded
+// datagrams hand the same buffer to the next hop's port.
 func (r *Router) receive(ifi int, data []byte, ecn bool) {
 	if len(data) == 0 {
+		bufpool.Put(data)
 		return
 	}
 	if r.tap != nil {
@@ -175,43 +195,57 @@ func (r *Router) receive(ifi int, data []byte, ecn bool) {
 	case classHello:
 		r.nt.onHello(ifi, data)
 	case classRouting:
-		sender, body, err := unmarshalRouting(data)
-		if err != nil {
-			return
+		if sender, body, err := unmarshalRouting(data); err == nil {
+			r.rc.OnPacket(ifi, sender, body)
 		}
-		r.rc.OnPacket(ifi, sender, body)
 	case classData:
-		dg, err := UnmarshalDatagram(data)
+		dg, err := parseDatagram(data)
 		if err != nil {
 			r.fwd.m.malformed.Inc()
-			return
+			break
 		}
 		dg.ECN = dg.ECN || ecn
-		if r.drop != nil && r.drop(dg) {
+		if r.drop != nil && r.drop(&dg) {
 			r.fwd.m.blackholed.Inc()
-			return
+			break
 		}
-		r.forward(dg)
+		r.forward(&dg, data)
+		return // forward settles ownership itself
 	}
+	bufpool.Put(data)
 }
 
-// forward moves a datagram toward its destination or delivers it.
-func (r *Router) forward(dg *Datagram) {
+// forward moves a datagram toward its destination or delivers it. wire
+// is the received buffer dg parses; on the forwarding path the TTL is
+// decremented in place and the very same buffer goes out the next-hop
+// port — zero per-hop allocation.
+func (r *Router) forward(dg *Datagram, wire []byte) {
 	if dg.Dst == r.addr {
 		r.deliverLocal(dg)
+		bufpool.Put(wire)
 		return
 	}
 	if dg.TTL <= 1 {
 		r.fwd.m.ttlExpired.Inc()
+		bufpool.Put(wire)
 		return
 	}
 	dg.TTL--
-	if err := r.transmit(dg); err != nil {
-		return // NoRoute already counted
+	wire[ttlOffset] = dg.TTL
+	route, ok := r.fwd.Lookup(dg.Dst)
+	if !ok || route.If < 0 {
+		r.fwd.m.noRoute.Inc()
+		bufpool.Put(wire)
+		return
 	}
+	r.ports[route.If].Send(wire, dg.ECN)
 	r.fwd.m.forwarded.Inc()
 }
 
+// deliverLocal hands a datagram to the bound protocol handler. The
+// datagram (and its payload, which may alias a pooled wire buffer) is
+// only valid for the duration of the call; handlers that keep payload
+// bytes must copy them.
 func (r *Router) deliverLocal(dg *Datagram) {
 	r.fwd.m.localDelivered.Inc()
 	if h, ok := r.handlers[dg.Proto]; ok {

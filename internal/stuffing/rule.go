@@ -90,26 +90,45 @@ var ErrInfiniteRule = errors.New("stuffing: rule stuffs forever")
 // stuff bit participates in subsequent matches exactly as a data bit
 // does; this is what makes Unstuff its exact inverse.
 func (r Rule) Stuff(data bitio.Bits) (bitio.Bits, error) {
-	m := bitio.NewMatcher(r.Watch)
 	w := bitio.NewWriter(data.Len() + data.Len()/8 + 8)
+	if err := r.StuffTo(data, w); err != nil {
+		return bitio.Bits{}, err
+	}
+	return w.Bits(), nil
+}
+
+// StuffTo is Stuff streaming into a caller-supplied Writer, producing
+// bit-identical output without allocating. Callers reusing one Writer
+// across frames Reset it between them.
+func (r Rule) StuffTo(data bitio.Bits, w *bitio.Writer) error {
+	m := bitio.NewMatcher(r.Watch)
 	for i := 0; i < data.Len(); i++ {
 		w.WriteBit(data.At(i))
 		if m.Feed(data.At(i)) {
 			w.WriteBit(r.Insert)
 			if m.Feed(r.Insert) {
-				return bitio.Bits{}, ErrInfiniteRule
+				return ErrInfiniteRule
 			}
 		}
 	}
-	return w.Bits(), nil
+	return nil
 }
 
 // Unstuff inverts Stuff: it scans the stuffed stream with the same
 // automaton and deletes the bit following each Watch occurrence,
 // verifying that the deleted bit is the Stuff bit.
 func (r Rule) Unstuff(stuffed bitio.Bits) (bitio.Bits, error) {
-	m := bitio.NewMatcher(r.Watch)
 	w := bitio.NewWriter(stuffed.Len())
+	if err := r.UnstuffTo(stuffed, w); err != nil {
+		return bitio.Bits{}, err
+	}
+	return w.Bits(), nil
+}
+
+// UnstuffTo is Unstuff streaming into a caller-supplied Writer. On
+// error the Writer holds a partial prefix the caller should discard.
+func (r Rule) UnstuffTo(stuffed bitio.Bits, w *bitio.Writer) error {
+	m := bitio.NewMatcher(r.Watch)
 	i := 0
 	for i < stuffed.Len() {
 		b := stuffed.At(i)
@@ -118,19 +137,19 @@ func (r Rule) Unstuff(stuffed bitio.Bits) (bitio.Bits, error) {
 		i++
 		if matched {
 			if i >= stuffed.Len() {
-				return bitio.Bits{}, fmt.Errorf("%w: truncated after watch pattern", ErrMalformed)
+				return fmt.Errorf("%w: truncated after watch pattern", ErrMalformed)
 			}
 			s := stuffed.At(i)
 			if s != r.Insert {
-				return bitio.Bits{}, fmt.Errorf("%w: expected stuff bit %d, found %d at bit %d", ErrMalformed, r.Insert, s, i)
+				return fmt.Errorf("%w: expected stuff bit %d, found %d at bit %d", ErrMalformed, r.Insert, s, i)
 			}
 			if m.Feed(s) {
-				return bitio.Bits{}, ErrInfiniteRule
+				return ErrInfiniteRule
 			}
 			i++ // drop the stuffed bit
 		}
 	}
-	return w.Bits(), nil
+	return nil
 }
 
 // AddFlags brackets an (already stuffed) payload with the opening and
@@ -159,11 +178,22 @@ func (r Rule) RemoveFlags(framed bitio.Bits) (bitio.Bits, error) {
 
 // Encode is the full sender pipeline: AddFlags(Stuff(data)).
 func (r Rule) Encode(data bitio.Bits) (bitio.Bits, error) {
-	s, err := r.Stuff(data)
-	if err != nil {
+	w := bitio.NewWriter(data.Len() + data.Len()/8 + 8 + 2*r.Flag.Len())
+	if err := r.EncodeTo(data, w); err != nil {
 		return bitio.Bits{}, err
 	}
-	return r.AddFlags(s), nil
+	return w.Bits(), nil
+}
+
+// EncodeTo is Encode streaming into a caller-supplied Writer: opening
+// flag, stuffed payload, closing flag, bit-identical to Encode.
+func (r Rule) EncodeTo(data bitio.Bits, w *bitio.Writer) error {
+	w.WriteBits(r.Flag)
+	if err := r.StuffTo(data, w); err != nil {
+		return err
+	}
+	w.WriteBits(r.Flag)
+	return nil
 }
 
 // Decode is the full receiver pipeline: Unstuff(RemoveFlags(framed)).

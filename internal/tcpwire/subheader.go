@@ -137,18 +137,27 @@ func (s RDSection) MarshalInto(buf []byte) {
 
 // UnmarshalRD decodes the section, returning its wire length.
 func UnmarshalRD(buf []byte) (RDSection, int, error) {
+	var s RDSection
+	n, err := unmarshalRDInto(&s, buf)
+	if err != nil {
+		return RDSection{}, 0, err
+	}
+	return s, n, nil
+}
+
+// unmarshalRDInto decodes into s, reusing s.SACK's storage.
+func unmarshalRDInto(s *RDSection, buf []byte) (int, error) {
 	if len(buf) < rdFixed {
-		return RDSection{}, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
-	s := RDSection{
-		AckValid: buf[0]&rdAckValid != 0,
-		Seq:      binary.BigEndian.Uint32(buf[1:5]),
-		Ack:      binary.BigEndian.Uint32(buf[5:9]),
-	}
+	s.AckValid = buf[0]&rdAckValid != 0
+	s.Seq = binary.BigEndian.Uint32(buf[1:5])
+	s.Ack = binary.BigEndian.Uint32(buf[5:9])
 	n := int(buf[9])
 	if len(buf) < rdFixed+8*n {
-		return RDSection{}, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
+	s.SACK = s.SACK[:0]
 	at := rdFixed
 	for i := 0; i < n; i++ {
 		s.SACK = append(s.SACK, [2]uint32{
@@ -157,7 +166,7 @@ func UnmarshalRD(buf []byte) (RDSection, int, error) {
 		})
 		at += 8
 	}
-	return s, at, nil
+	return at, nil
 }
 
 // MarshalInto writes the section at buf (osrLen bytes).
@@ -184,49 +193,74 @@ func UnmarshalOSR(buf []byte) OSRSection {
 	}
 }
 
+// WireLen returns Marshal's output size for a payload of payloadLen
+// bytes, so callers can size a pooled buffer and use MarshalTo.
+func (h *SubHeader) WireLen(payloadLen int) int {
+	return subFixed + 8*len(h.RD.SACK) + payloadLen
+}
+
+// MarshalTo encodes the full sublayered header followed by the payload
+// into buf, which must be at least h.WireLen(len(payload)) bytes.
+// DataLen is filled from the payload. The output bytes are identical
+// to Marshal's.
+func (h *SubHeader) MarshalTo(buf []byte, payload []byte) {
+	h.OSR.DataLen = uint16(len(payload))
+	at := 0
+	h.DM.MarshalInto(buf[at : at+dmLen])
+	at += dmLen
+	h.CM.MarshalInto(buf[at : at+cmLen])
+	at += cmLen
+	h.RD.MarshalInto(buf[at : at+h.RD.wireLen()])
+	at += h.RD.wireLen()
+	h.OSR.MarshalInto(buf[at : at+osrLen])
+	at += osrLen
+	copy(buf[at:], payload)
+}
+
 // Marshal encodes the full sublayered header followed by the payload.
 // DataLen is filled from the payload.
 func (h *SubHeader) Marshal(payload []byte) []byte {
-	h.OSR.DataLen = uint16(len(payload))
-	out := make([]byte, subFixed+8*len(h.RD.SACK)+len(payload))
-	at := 0
-	h.DM.MarshalInto(out[at : at+dmLen])
-	at += dmLen
-	h.CM.MarshalInto(out[at : at+cmLen])
-	at += cmLen
-	h.RD.MarshalInto(out[at : at+h.RD.wireLen()])
-	at += h.RD.wireLen()
-	h.OSR.MarshalInto(out[at : at+osrLen])
-	at += osrLen
-	copy(out[at:], payload)
+	out := make([]byte, h.WireLen(len(payload)))
+	h.MarshalTo(out, payload)
 	return out
 }
 
 // UnmarshalSub decodes a sublayered segment.
 func UnmarshalSub(data []byte) (*SubHeader, []byte, error) {
-	if len(data) < subFixed {
-		return nil, nil, ErrTruncated
-	}
 	h := &SubHeader{}
+	payload, err := UnmarshalSubInto(h, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
+}
+
+// UnmarshalSubInto decodes a sublayered segment into h, reusing h's
+// SACK storage — the receive path parses every arriving segment into
+// one scratch header with zero allocations. The returned payload
+// aliases data.
+func UnmarshalSubInto(h *SubHeader, data []byte) ([]byte, error) {
+	if len(data) < subFixed {
+		return nil, ErrTruncated
+	}
 	at := 0
 	h.DM = UnmarshalDM(data[at : at+dmLen])
 	at += dmLen
 	h.CM = UnmarshalCM(data[at : at+cmLen])
 	at += cmLen
-	rd, n, err := UnmarshalRD(data[at:])
+	n, err := unmarshalRDInto(&h.RD, data[at:])
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	h.RD = rd
 	at += n
 	if len(data) < at+osrLen {
-		return nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	h.OSR = UnmarshalOSR(data[at : at+osrLen])
 	at += osrLen
 	payload := data[at:]
 	if int(h.OSR.DataLen) != len(payload) {
-		return nil, nil, fmt.Errorf("%w: DataLen %d but %d payload bytes", ErrTruncated, h.OSR.DataLen, len(payload))
+		return nil, fmt.Errorf("%w: DataLen %d but %d payload bytes", ErrTruncated, h.OSR.DataLen, len(payload))
 	}
-	return h, payload, nil
+	return payload, nil
 }

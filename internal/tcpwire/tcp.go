@@ -67,12 +67,37 @@ var ErrBadChecksum = errors.New("tcpwire: bad checksum")
 // ErrTruncated reports a short or internally inconsistent packet.
 var ErrTruncated = errors.New("tcpwire: truncated segment")
 
-// Marshal encodes the header and payload, computing the checksum over
-// the pseudo-header (source and destination network addresses).
-func (h *TCPHeader) Marshal(payload []byte, srcAddr, dstAddr uint16) []byte {
-	opts := h.marshalOptions()
-	hlen := baseHeaderLen + len(opts)
-	out := make([]byte, hlen+len(payload))
+// optLen returns the encoded options size including NOP padding to a
+// 32-bit boundary.
+func (h *TCPHeader) optLen() int {
+	n := 0
+	if h.MSS != 0 {
+		n += 4
+	}
+	if h.WScale >= 0 {
+		n += 3
+	}
+	if h.SACKPermitted {
+		n += 2
+	}
+	if len(h.SACKBlocks) > 0 {
+		n += 2 + 8*len(h.SACKBlocks)
+	}
+	return (n + 3) &^ 3
+}
+
+// WireLen returns Marshal's output size for a payload of payloadLen
+// bytes, so callers can size a pooled buffer and use MarshalTo.
+func (h *TCPHeader) WireLen(payloadLen int) int {
+	return baseHeaderLen + h.optLen() + payloadLen
+}
+
+// MarshalTo encodes the header and payload into buf, which must be at
+// least h.WireLen(len(payload)) bytes, computing the checksum over the
+// pseudo-header. The output bytes are identical to Marshal's.
+func (h *TCPHeader) MarshalTo(buf []byte, payload []byte, srcAddr, dstAddr uint16) {
+	hlen := baseHeaderLen + h.optLen()
+	out := buf[:hlen+len(payload)]
 	binary.BigEndian.PutUint16(out[0:2], h.SrcPort)
 	binary.BigEndian.PutUint16(out[2:4], h.DstPort)
 	binary.BigEndian.PutUint32(out[4:8], h.Seq)
@@ -80,71 +105,91 @@ func (h *TCPHeader) Marshal(payload []byte, srcAddr, dstAddr uint16) []byte {
 	out[12] = byte(hlen/4) << 4
 	out[13] = h.Flags
 	binary.BigEndian.PutUint16(out[14:16], h.Window)
-	// checksum at [16:18] filled below
+	out[16], out[17] = 0, 0 // checksum field must be zero while summing
 	binary.BigEndian.PutUint16(out[18:20], h.Urgent)
-	copy(out[baseHeaderLen:], opts)
+	at := baseHeaderLen
+	if h.MSS != 0 {
+		out[at], out[at+1], out[at+2], out[at+3] = optMSS, 4, byte(h.MSS>>8), byte(h.MSS)
+		at += 4
+	}
+	if h.WScale >= 0 {
+		out[at], out[at+1], out[at+2] = optWScale, 3, byte(h.WScale)
+		at += 3
+	}
+	if h.SACKPermitted {
+		out[at], out[at+1] = optSACKPermitted, 2
+		at += 2
+	}
+	if len(h.SACKBlocks) > 0 {
+		out[at], out[at+1] = optSACK, byte(2+8*len(h.SACKBlocks))
+		at += 2
+		for _, b := range h.SACKBlocks {
+			binary.BigEndian.PutUint32(out[at:at+4], b[0])
+			binary.BigEndian.PutUint32(out[at+4:at+8], b[1])
+			at += 8
+		}
+	}
+	for at < hlen {
+		out[at] = optNOP
+		at++
+	}
 	copy(out[hlen:], payload)
 	ck := Checksum(out, srcAddr, dstAddr)
 	if ck == 0 {
 		ck = 0xFFFF // transmit-side zero avoidance; equivalent in ones' complement
 	}
 	binary.BigEndian.PutUint16(out[16:18], ck)
-	return out
 }
 
-func (h *TCPHeader) marshalOptions() []byte {
-	var opts []byte
-	if h.MSS != 0 {
-		opts = append(opts, optMSS, 4, byte(h.MSS>>8), byte(h.MSS))
-	}
-	if h.WScale >= 0 {
-		opts = append(opts, optWScale, 3, byte(h.WScale))
-	}
-	if h.SACKPermitted {
-		opts = append(opts, optSACKPermitted, 2)
-	}
-	if len(h.SACKBlocks) > 0 {
-		opts = append(opts, optSACK, byte(2+8*len(h.SACKBlocks)))
-		for _, b := range h.SACKBlocks {
-			var rec [8]byte
-			binary.BigEndian.PutUint32(rec[0:4], b[0])
-			binary.BigEndian.PutUint32(rec[4:8], b[1])
-			opts = append(opts, rec[:]...)
-		}
-	}
-	for len(opts)%4 != 0 {
-		opts = append(opts, optNOP)
-	}
-	return opts
+// Marshal encodes the header and payload, computing the checksum over
+// the pseudo-header (source and destination network addresses).
+func (h *TCPHeader) Marshal(payload []byte, srcAddr, dstAddr uint16) []byte {
+	out := make([]byte, h.WireLen(len(payload)))
+	h.MarshalTo(out, payload, srcAddr, dstAddr)
+	return out
 }
 
 // UnmarshalTCP decodes a segment and verifies its checksum against the
 // pseudo-header.
 func UnmarshalTCP(data []byte, srcAddr, dstAddr uint16) (*TCPHeader, []byte, error) {
+	h := &TCPHeader{}
+	payload, err := UnmarshalTCPInto(h, data, srcAddr, dstAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
+}
+
+// UnmarshalTCPInto decodes a segment into h, reusing h's SACKBlocks
+// storage — the receive path parses every arriving segment into one
+// scratch header with zero allocations. The returned payload aliases
+// data.
+func UnmarshalTCPInto(h *TCPHeader, data []byte, srcAddr, dstAddr uint16) ([]byte, error) {
 	if len(data) < baseHeaderLen {
-		return nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	hlen := int(data[12]>>4) * 4
 	if hlen < baseHeaderLen || hlen > len(data) {
-		return nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if Checksum(data, srcAddr, dstAddr) != 0 {
-		return nil, nil, ErrBadChecksum
+		return nil, ErrBadChecksum
 	}
-	h := &TCPHeader{
-		SrcPort: binary.BigEndian.Uint16(data[0:2]),
-		DstPort: binary.BigEndian.Uint16(data[2:4]),
-		Seq:     binary.BigEndian.Uint32(data[4:8]),
-		Ack:     binary.BigEndian.Uint32(data[8:12]),
-		Flags:   data[13],
-		Window:  binary.BigEndian.Uint16(data[14:16]),
-		Urgent:  binary.BigEndian.Uint16(data[18:20]),
-		WScale:  -1,
+	*h = TCPHeader{
+		SrcPort:    binary.BigEndian.Uint16(data[0:2]),
+		DstPort:    binary.BigEndian.Uint16(data[2:4]),
+		Seq:        binary.BigEndian.Uint32(data[4:8]),
+		Ack:        binary.BigEndian.Uint32(data[8:12]),
+		Flags:      data[13],
+		Window:     binary.BigEndian.Uint16(data[14:16]),
+		Urgent:     binary.BigEndian.Uint16(data[18:20]),
+		WScale:     -1,
+		SACKBlocks: h.SACKBlocks[:0],
 	}
 	if err := h.parseOptions(data[baseHeaderLen:hlen]); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return h, data[hlen:], nil
+	return data[hlen:], nil
 }
 
 func (h *TCPHeader) parseOptions(opts []byte) error {

@@ -3,6 +3,7 @@ package monolithic
 import (
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -14,7 +15,8 @@ import (
 func (s *Stack) tcpInput(dg *network.Datagram) {
 	s.track("tcp_input")
 	s.m.segmentsIn.Inc()
-	h, payload, err := tcpwire.UnmarshalTCP(dg.Payload, uint16(dg.Src), uint16(dg.Dst))
+	h := &s.rxHdr
+	payload, err := tcpwire.UnmarshalTCPInto(h, dg.Payload, uint16(dg.Src), uint16(dg.Dst))
 	if err != nil {
 		s.m.checksumErrors.Inc()
 		return
@@ -49,14 +51,16 @@ func (s *Stack) tcpInput(dg *network.Datagram) {
 	// Stray segment: answer with RST (unless it is itself a RST).
 	if h.Flags&tcpwire.FlagRST == 0 {
 		s.m.rstsSent.Inc()
-		rst := &tcpwire.TCPHeader{
+		s.txHdr = tcpwire.TCPHeader{
 			SrcPort: h.DstPort, DstPort: h.SrcPort,
 			Seq: h.Ack, Ack: h.Seq + uint32(len(payload)),
 			Flags: tcpwire.FlagRST | tcpwire.FlagACK, WScale: -1,
 		}
-		wire := rst.Marshal(nil, uint16(s.router.Addr()), uint16(dg.Src))
+		rst := &s.txHdr
+		buf := bufpool.Get(network.Headroom + rst.WireLen(0))
+		rst.MarshalTo(buf[network.Headroom:], nil, uint16(s.router.Addr()), uint16(dg.Src))
 		s.m.segmentsOut.Inc()
-		_ = s.router.Send(dg.Src, network.ProtoTCP, wire)
+		_ = s.router.SendOwned(dg.Src, network.ProtoTCP, buf, false)
 	}
 }
 

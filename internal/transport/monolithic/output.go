@@ -3,6 +3,7 @@ package monolithic
 import (
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/seg"
@@ -96,7 +97,7 @@ func (p *PCB) tcpOutput() {
 		if n > room {
 			n = room
 		}
-		data := p.sndBuf.Slice(p.nextSend, n)
+		data := p.sndBuf.View(p.nextSend, n)
 		sq := p.iss.Add(1).Add(int(uint32(p.nextSend)))
 		p.nextSend += uint64(n)
 		s.tw("pcb.next_send")
@@ -199,21 +200,15 @@ func (p *PCB) inflight() int {
 // armRexmit (re)arms the retransmission timer when something is
 // outstanding.
 func (p *PCB) armRexmit() {
-	if p.rexmit != nil {
-		p.rexmit.Stop()
-		p.rexmit = nil
-	}
+	p.rexmit.Stop()
 	if p.state == stSynSent || p.state == stSynRcvd ||
 		p.inflight() > 0 || p.finSent && !p.finAcked {
-		p.rexmit = p.stack.sim.Schedule(p.rtt.RTO(), p.onRexmitTimer)
+		p.rexmit = p.stack.sim.ScheduleTimer(p.rtt.RTO(), p.rexmitFn)
 	}
 }
 
 func (p *PCB) stopRexmit() {
-	if p.rexmit != nil {
-		p.rexmit.Stop()
-		p.rexmit = nil
-	}
+	p.rexmit.Stop()
 	p.nrexmit = 0
 }
 
@@ -223,23 +218,26 @@ func (p *PCB) armPersist() {
 	if p.sndWnd > 0 || p.inflight() > 0 {
 		return
 	}
-	p.stack.sim.Schedule(500*time.Millisecond, func() {
-		if p.dead || p.sndWnd > 0 {
-			p.tcpOutput()
-			return
+	p.stack.sim.ScheduleTimer(500*time.Millisecond, p.persistFn)
+}
+
+// onPersistTimer fires the zero-window probe.
+func (p *PCB) onPersistTimer() {
+	if p.dead || p.sndWnd > 0 {
+		p.tcpOutput()
+		return
+	}
+	if p.sndBuf.End() > p.nextSend {
+		data := p.sndBuf.View(p.nextSend, 1)
+		sq := p.iss.Add(1).Add(int(uint32(p.nextSend)))
+		p.nextSend++
+		if p.sndNxt.Less(sq.Add(1)) {
+			p.sndNxt = sq.Add(1)
 		}
-		if p.sndBuf.End() > p.nextSend {
-			data := p.sndBuf.Slice(p.nextSend, 1)
-			sq := p.iss.Add(1).Add(int(uint32(p.nextSend)))
-			p.nextSend++
-			if p.sndNxt.Less(sq.Add(1)) {
-				p.sndNxt = sq.Add(1)
-			}
-			p.sendSegment(tcpwire.FlagACK, sq, p.rcvNxt, data)
-			p.armRexmit()
-		}
-		p.armPersist()
-	})
+		p.sendSegment(tcpwire.FlagACK, sq, p.rcvNxt, data)
+		p.armRexmit()
+	}
+	p.armPersist()
 }
 
 // enterTimeWait starts the 2MSL timer.
@@ -263,10 +261,12 @@ func (p *PCB) sendFlags(flags uint8, sq, ack seg.Seq) {
 	p.sendSegment(flags, sq, ack, nil)
 }
 
-// sendSegment marshals and transmits one RFC 793 segment.
+// sendSegment marshals and transmits one RFC 793 segment. The header
+// is composed in the stack's scratch txHdr and marshaled once, with
+// network headroom, into a pooled buffer the router takes ownership of.
 func (p *PCB) sendSegment(flags uint8, sq, ack seg.Seq, payload []byte) {
 	s := p.stack
-	h := &tcpwire.TCPHeader{
+	s.txHdr = tcpwire.TCPHeader{
 		SrcPort: p.id.localPort,
 		DstPort: p.id.remotePort,
 		Seq:     uint32(sq),
@@ -274,15 +274,17 @@ func (p *PCB) sendSegment(flags uint8, sq, ack seg.Seq, payload []byte) {
 		Window:  p.advertisedWindow(),
 		WScale:  -1,
 	}
+	h := &s.txHdr
 	if flags&tcpwire.FlagACK != 0 {
 		h.Ack = uint32(ack)
 	}
 	if flags&tcpwire.FlagSYN != 0 {
 		h.MSS = uint16(s.cfg.MSS)
 	}
-	wire := h.Marshal(payload, uint16(s.router.Addr()), uint16(p.id.remoteAddr))
+	buf := bufpool.Get(network.Headroom + h.WireLen(len(payload)))
+	h.MarshalTo(buf[network.Headroom:], payload, uint16(s.router.Addr()), uint16(p.id.remoteAddr))
 	s.m.segmentsOut.Inc()
-	_ = s.router.Send(p.id.remoteAddr, network.ProtoTCP, wire)
+	_ = s.router.SendOwned(p.id.remoteAddr, network.ProtoTCP, buf, false)
 }
 
 // advertisedWindow is free receive buffer minus unread bytes.

@@ -155,6 +155,14 @@ type Stack struct {
 	listeners map[uint16]*Listener
 	nextPort  uint16
 	m         tcpMetrics
+
+	// rxHdr and txHdr are scratch headers. The receive path is
+	// single-threaded and parses every arriving segment into rxHdr;
+	// every outgoing segment is composed in txHdr and marshaled into
+	// the wire buffer before the send returns. Neither survives past
+	// the call that fills it.
+	rxHdr tcpwire.TCPHeader
+	txHdr tcpwire.TCPHeader
 }
 
 // Listener accepts passive opens.
@@ -249,9 +257,11 @@ type PCB struct {
 	readBuf  []byte
 
 	// Retransmission.
-	rtt      *seg.RTTEstimator
-	rexmit   *netsim.Timer
-	nrexmit  int
+	rtt       *seg.RTTEstimator
+	rexmit    netsim.Timer
+	rexmitFn  func() // cached callbacks; re-arming allocates nothing
+	persistFn func()
+	nrexmit   int
 	timing   bool
 	timedEnd seg.Seq
 	timedAt  netsim.Time
@@ -357,7 +367,7 @@ func (s *Stack) allocPort() uint16 {
 }
 
 func (s *Stack) newPCB(id connID) *PCB {
-	return &PCB{
+	p := &PCB{
 		stack:    s,
 		id:       id,
 		state:    stClosed,
@@ -368,4 +378,7 @@ func (s *Stack) newPCB(id connID) *PCB {
 		reasm:    seg.NewReassembly(s.cfg.RecvBuf),
 		rtt:      seg.NewRTTEstimator(time.Second, 200*time.Millisecond, 60*time.Second),
 	}
+	p.rexmitFn = p.onRexmitTimer
+	p.persistFn = p.onPersistTimer
+	return p
 }

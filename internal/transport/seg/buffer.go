@@ -47,8 +47,19 @@ func (b *SendBuffer) Base() uint64 { return b.base }
 
 // Slice copies out stream bytes [off, off+n), clipped to what exists.
 func (b *SendBuffer) Slice(off uint64, n int) []byte {
+	v := b.View(off, n)
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// View returns stream bytes [off, off+n) without copying, clipped to
+// what exists. The slice aliases the buffer and is valid only until the
+// next Write or Release; callers that retain the bytes must copy first.
+func (b *SendBuffer) View(off uint64, n int) []byte {
 	if off < b.base {
-		panic("seg: SendBuffer.Slice before base (already released)")
+		panic("seg: SendBuffer.View before base (already released)")
 	}
 	start := int(off - b.base)
 	if start >= len(b.data) {
@@ -58,13 +69,13 @@ func (b *SendBuffer) Slice(off uint64, n int) []byte {
 	if end > len(b.data) {
 		end = len(b.data)
 	}
-	out := make([]byte, end-start)
-	copy(out, b.data[start:end])
-	return out
+	return b.data[start:end:end]
 }
 
 // Release discards bytes below stream offset upTo (they are
-// acknowledged end to end).
+// acknowledged end to end). The survivors shift down in place, so the
+// buffer's backing array is allocated once and reused for the whole
+// stream. Views handed out earlier go stale here.
 func (b *SendBuffer) Release(upTo uint64) {
 	if upTo <= b.base {
 		return
@@ -73,7 +84,8 @@ func (b *SendBuffer) Release(upTo uint64) {
 	if n > uint64(len(b.data)) {
 		n = uint64(len(b.data))
 	}
-	b.data = append(b.data[:0:0], b.data[n:]...)
+	m := copy(b.data, b.data[n:])
+	b.data = b.data[:m]
 	b.base += n
 }
 
@@ -118,8 +130,16 @@ func (r *Reassembly) Free() int {
 // Insert adds a segment at the given offset. Overlaps with already
 // consumed or duplicate data are trimmed. It returns any newly
 // contiguous bytes, ready for the application, which are consumed from
-// the buffer.
+// the buffer. When the segment arrives exactly in order with nothing
+// buffered — the overwhelmingly common case — the returned slice
+// aliases data, so callers must consume it before the underlying
+// buffer is reused.
 func (r *Reassembly) Insert(off uint64, data []byte) []byte {
+	// Fast path: in-order arrival, nothing out of order pending.
+	if off == r.next && len(r.segments) == 0 && len(data) > 0 {
+		r.next += uint64(len(data))
+		return data
+	}
 	// Trim the part below next (already delivered).
 	if off < r.next {
 		skip := r.next - off

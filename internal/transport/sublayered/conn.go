@@ -28,6 +28,11 @@ type Conn struct {
 	dead    bool
 	err     error
 
+	// txHdr is the scratch header every outgoing segment is composed
+	// in: transmit marshals it into the wire buffer before returning,
+	// so nothing retains it and one instance per connection suffices.
+	txHdr tcpwire.SubHeader
+
 	// crossings counts traffic over each inter-sublayer boundary —
 	// the raw material of the E9 hardware-offload analysis: a
 	// partition at a boundary turns these into bus transactions.
@@ -146,11 +151,11 @@ func (c *Conn) Abort() {
 	if c.dead {
 		return
 	}
-	h := &tcpwire.SubHeader{
+	c.txHdr = tcpwire.SubHeader{
 		CM: tcpwire.CMSection{RST: true},
 		RD: tcpwire.RDSection{Seq: uint32(c.rd.NextSeq())},
 	}
-	c.transmit(h, nil)
+	c.transmit(&c.txHdr, nil)
 	c.destroy(ErrReset)
 }
 
@@ -233,12 +238,12 @@ func (c *Conn) onSegment(h *tcpwire.SubHeader, payload []byte, ecnMarked bool) {
 
 // xmitData sends a data-bearing segment on RD's behalf.
 func (c *Conn) xmitData(seqNum seg.Seq, payload []byte) {
-	h := &tcpwire.SubHeader{
+	c.txHdr = tcpwire.SubHeader{
 		CM:  c.cm.section(),
 		RD:  c.rd.Section(seqNum),
 		OSR: c.osr.Section(),
 	}
-	c.transmit(h, payload)
+	c.transmit(&c.txHdr, payload)
 }
 
 // xmitAck sends a pure acknowledgement on RD's behalf.
@@ -252,17 +257,17 @@ func (c *Conn) xmitAck() {
 // explicit override during the handshake (§3.1: CM's bootstrap
 // reliability replicates a little of RD, by design).
 func (c *Conn) xmitCM(cm tcpwire.CMSection, seqNum seg.Seq, overrideAck seg.Seq, hasOverride bool) {
-	h := &tcpwire.SubHeader{
+	c.txHdr = tcpwire.SubHeader{
 		CM:  cm,
 		RD:  c.rd.Section(seqNum),
 		OSR: c.osr.Section(),
 	}
 	if hasOverride {
-		h.RD.AckValid = true
-		h.RD.Ack = uint32(overrideAck)
-		h.RD.SACK = nil
+		c.txHdr.RD.AckValid = true
+		c.txHdr.RD.Ack = uint32(overrideAck)
+		c.txHdr.RD.SACK = nil
 	}
-	c.transmit(h, nil)
+	c.transmit(&c.txHdr, nil)
 }
 
 // transmit hands the composed segment to DM for port stamping and

@@ -3,6 +3,7 @@ package sublayered
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
@@ -126,7 +127,12 @@ type DM struct {
 	listeners map[uint16]*Listener
 	conns     map[connID]*Conn
 	nextPort  uint16
-	m         dmMetrics
+	// rxHdr is the scratch header every native-mode segment is parsed
+	// into: the receive path is single-threaded (one event at a time)
+	// and nothing below retains the header across events, so one
+	// instance per stack suffices and parsing allocates nothing.
+	rxHdr tcpwire.SubHeader
+	m     dmMetrics
 }
 
 // Listener accepts passive opens on a port.
@@ -321,7 +327,8 @@ func (d *DM) receive(dg *network.Datagram) {
 		// addresses via the pseudo-header.
 		h, payload, err = d.stack.shim.Inbound(dg.Payload, inKey)
 	} else {
-		h, payload, err = tcpwire.UnmarshalSub(dg.Payload)
+		h = &d.rxHdr
+		payload, err = tcpwire.UnmarshalSubInto(h, dg.Payload)
 	}
 	if err != nil {
 		d.m.malformed.Inc()
@@ -396,17 +403,23 @@ func (d *DM) send(c *Conn, h *tcpwire.SubHeader, payload []byte) {
 }
 
 func (d *DM) transmit(to network.Addr, key tcpwire.FlowKey, h *tcpwire.SubHeader, payload []byte) {
-	var wire []byte
+	// Marshal straight into a pooled buffer with network-header
+	// headroom: the segment is written exactly once and the same bytes
+	// travel every hop (SendOwned transfers the buffer down the stack).
+	var buf []byte
 	proto := network.ProtoSubTCP
 	if d.stack.shim != nil {
-		wire = d.stack.shim.Outbound(h, payload, key)
+		wire := d.stack.shim.Outbound(h, payload, key)
 		proto = network.ProtoTCP
+		buf = bufpool.Get(network.Headroom + len(wire))
+		copy(buf[network.Headroom:], wire)
 	} else {
-		wire = h.Marshal(payload)
+		buf = bufpool.Get(network.Headroom + h.WireLen(len(payload)))
+		h.MarshalTo(buf[network.Headroom:], payload)
 	}
 	// Errors (no route yet) are dropped; retransmission recovers once
 	// routing converges.
-	_ = d.stack.router.Send(to, proto, wire)
+	_ = d.stack.router.SendOwned(to, proto, buf, false)
 }
 
 // remove deletes a dead connection from the demux table.

@@ -33,7 +33,8 @@ type OSR struct {
 	closed     bool
 	closeAt    uint64
 	finAsked   bool
-	probe      *netsim.Timer
+	probe      netsim.Timer
+	probeFn    func() // cached callback; re-arming allocates nothing
 	cwrPending bool
 	lastECNCut netsim.Time
 
@@ -78,7 +79,7 @@ func (m *osrMetrics) view() metrics.View {
 }
 
 func newOSR(c *Conn, cc CongestionControl, mss, sendBuf, recvBuf int) *OSR {
-	return &OSR{
+	o := &OSR{
 		conn:    c,
 		cc:      cc,
 		mss:     mss,
@@ -86,6 +87,25 @@ func newOSR(c *Conn, cc CongestionControl, mss, sendBuf, recvBuf int) *OSR {
 		ra:      seg.NewReassembly(recvBuf),
 		peerWnd: 65535,
 	}
+	o.probeFn = func() {
+		if c.dead {
+			return
+		}
+		if o.peerWnd > 0 || o.sb.End() == o.nextSeg {
+			o.pump()
+			return
+		}
+		// Send one byte beyond the window as a probe.
+		if o.sb.End() > o.nextSeg {
+			o.m.zeroWindowProbes.Inc()
+			data := o.sb.View(o.nextSeg, 1)
+			off := o.nextSeg
+			o.nextSeg++
+			o.conn.rd.Send(off, data)
+		}
+		o.armProbe(0)
+	}
+	return o
 }
 
 // Stats returns a snapshot of the OSR counters.
@@ -164,7 +184,7 @@ func (o *OSR) pump() {
 			o.peerWnd-inflight < o.mss && o.cc.Window()-inflight >= o.mss {
 			break
 		}
-		data := o.sb.Slice(o.nextSeg, n)
+		data := o.sb.View(o.nextSeg, n)
 		o.m.segmentsReady.Inc()
 		o.m.bytesSegmented.Add(uint64(n))
 		off := o.nextSeg
@@ -179,27 +199,13 @@ func (o *OSR) pump() {
 // its window and nothing is in flight to elicit an update, probe with
 // one byte after a persist interval.
 func (o *OSR) armProbe(inflight int) {
-	if inflight > 0 || o.probe != nil && o.probe.Active() {
+	if inflight > 0 || o.probe.Active() {
 		return
 	}
 	if o.peerWnd > 0 {
 		return // stalled on cwnd; acks will reopen it
 	}
-	o.probe = o.conn.schedule(500*time.Millisecond, func() {
-		if o.peerWnd > 0 || o.sb.End() == o.nextSeg {
-			o.pump()
-			return
-		}
-		// Send one byte beyond the window as a probe.
-		if o.sb.End() > o.nextSeg {
-			o.m.zeroWindowProbes.Inc()
-			data := o.sb.Slice(o.nextSeg, 1)
-			off := o.nextSeg
-			o.nextSeg++
-			o.conn.rd.Send(off, data)
-		}
-		o.armProbe(0)
-	})
+	o.probe = o.conn.stack.sim.ScheduleTimer(500*time.Millisecond, o.probeFn)
 }
 
 // maybeFinish notifies CM when the outgoing stream is fully segmented.
@@ -321,7 +327,5 @@ func (o *OSR) window() uint16 {
 
 // stop cancels timers.
 func (o *OSR) stop() {
-	if o.probe != nil {
-		o.probe.Stop()
-	}
+	o.probe.Stop()
 }

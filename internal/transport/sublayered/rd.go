@@ -3,6 +3,7 @@ package sublayered
 import (
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
@@ -43,7 +44,8 @@ type RD struct {
 	inRecovery  bool
 	recover     seg.Seq
 	rtt         *seg.RTTEstimator
-	rtoTimer    *netsim.Timer
+	rtoTimer    netsim.Timer
+	rtoFn       func() // cached callback; re-arming allocates nothing
 	// BSD-style single-segment RTT timing: one fresh segment is timed
 	// at a time; the sample is discarded if anything is retransmitted
 	// meanwhile (Karn's rule). Sampling arbitrary segments would poison
@@ -68,13 +70,17 @@ type RD struct {
 	// retransmit still sees duplicate acks promptly.
 	delayedAcks bool
 	ackPending  int
-	ackTimer    *netsim.Timer
+	ackTimer    netsim.Timer
+	ackFn       func() // cached callback; re-arming allocates nothing
 	established bool
 	// ackable gates the Ack fields: timer-based CM establishes the
 	// send direction before the peer's ISN is known, during which acks
 	// would be meaningless.
 	ackable     bool
 	sackEnabled bool
+	// sackScratch backs Section's SACK list between calls; the header
+	// is marshaled before Section runs again, so reuse is safe.
+	sackScratch [][2]uint32
 
 	m rdMetrics
 }
@@ -144,6 +150,16 @@ func newRD(c *Conn, sackEnabled, delayedAcks bool) *RD {
 		rtt:         seg.NewRTTEstimator(time.Second, 200*time.Millisecond, 60*time.Second),
 	}
 	r.m.rttMs = metrics.NewHistogram(rttBoundsMs...)
+	r.rtoFn = func() {
+		if !c.dead {
+			r.onRTO()
+		}
+	}
+	r.ackFn = func() {
+		if !c.dead && r.ackPending > 0 {
+			r.AckNow()
+		}
+	}
 	return r
 }
 
@@ -204,7 +220,12 @@ func (r *RD) Send(off uint64, data []byte) {
 	// Offsets above 2^32 wrap; Seq arithmetic keeps working because
 	// windows are far below 2^31.
 	s := r.isn.Add(1).Add(int(uint32(off)))
-	o := &outSeg{seq: s, payload: append([]byte(nil), data...), sentAt: r.conn.now()}
+	// The retransmission copy lives in a pooled buffer, recycled when
+	// the segment is cumulatively acknowledged (onAck) or the
+	// connection dies (stop).
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	o := &outSeg{seq: s, payload: buf, sentAt: r.conn.now()}
 	r.outstanding = append(r.outstanding, o)
 	if !r.timing {
 		r.timing = true
@@ -274,12 +295,8 @@ func (r *RD) onData(s seg.Seq, payload []byte) {
 		r.AckNow()
 		return
 	}
-	if r.ackTimer == nil || !r.ackTimer.Active() {
-		r.ackTimer = r.conn.schedule(50*time.Millisecond, func() {
-			if r.ackPending > 0 {
-				r.AckNow()
-			}
-		})
+	if !r.ackTimer.Active() {
+		r.ackTimer = r.conn.stack.sim.ScheduleTimer(50*time.Millisecond, r.ackFn)
 	}
 }
 
@@ -314,9 +331,14 @@ func (r *RD) onAck(ack seg.Seq, sack [][2]uint32, hadPayload bool) {
 			end := o.seq.Add(len(o.payload))
 			if end.Leq(ack) {
 				newly += len(o.payload)
+				bufpool.Put(o.payload) // segment retired: recycle its buffer
+				o.payload = nil
 			} else {
 				keep = append(keep, o)
 			}
+		}
+		for i := len(keep); i < len(r.outstanding); i++ {
+			r.outstanding[i] = nil
 		}
 		r.outstanding = keep
 		if r.timing && r.timedEnd.Leq(ack) {
@@ -400,14 +422,11 @@ func (r *RD) retransmitFirst() {
 }
 
 func (r *RD) armRTO() {
-	if r.rtoTimer != nil {
-		r.rtoTimer.Stop()
-		r.rtoTimer = nil
-	}
+	r.rtoTimer.Stop()
 	if len(r.outstanding) == 0 {
 		return
 	}
-	r.rtoTimer = r.conn.schedule(r.rtt.RTO(), r.onRTO)
+	r.rtoTimer = r.conn.stack.sim.ScheduleTimer(r.rtt.RTO(), r.rtoFn)
 }
 
 func (r *RD) onRTO() {
@@ -443,10 +462,7 @@ func (r *RD) onRTO() {
 // AckNow emits a pure acknowledgement reflecting everything received.
 func (r *RD) AckNow() {
 	r.ackPending = 0
-	if r.ackTimer != nil {
-		r.ackTimer.Stop()
-		r.ackTimer = nil
-	}
+	r.ackTimer.Stop()
 	r.m.acksSent.Inc()
 	r.conn.xmitAck()
 }
@@ -459,11 +475,16 @@ func (r *RD) Section(seqNum seg.Seq) tcpwire.RDSection {
 		s.Ack = uint32(r.currentAck())
 		if r.sackEnabled {
 			cum := r.ranges.ContiguousFrom(0)
+			sb := r.sackScratch[:0]
 			for _, b := range r.ranges.BlocksAbove(cum, 3) {
-				s.SACK = append(s.SACK, [2]uint32{
+				sb = append(sb, [2]uint32{
 					uint32(r.peerISN.Add(1 + int(uint32(b[0])))),
 					uint32(r.peerISN.Add(1 + int(uint32(b[1])))),
 				})
+			}
+			r.sackScratch = sb
+			if len(sb) > 0 {
+				s.SACK = sb
 			}
 		}
 	}
@@ -517,14 +538,17 @@ func (r *RD) rcvOffsetChecked(s seg.Seq) (uint64, bool) {
 	return uint64(o), true
 }
 
-// stop cancels timers when the connection dies.
+// stop cancels timers and recycles unacknowledged segment buffers when
+// the connection dies.
 func (r *RD) stop() {
-	if r.rtoTimer != nil {
-		r.rtoTimer.Stop()
+	r.rtoTimer.Stop()
+	r.ackTimer.Stop()
+	for i, o := range r.outstanding {
+		bufpool.Put(o.payload)
+		o.payload = nil
+		r.outstanding[i] = nil
 	}
-	if r.ackTimer != nil {
-		r.ackTimer.Stop()
-	}
+	r.outstanding = nil
 }
 
 func (r *RD) track(h string) { r.conn.stack.track(h) }

@@ -176,7 +176,9 @@ func Run(cfg Config) *Report {
 		rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9 + 7)).Read(payload)
 		at := time.Duration(i%cfg.Cycles)*cycle +
 			time.Duration(plan.Int63n(int64(cfg.OnPeriod)))
-		flows[i] = &flow{id: i, payload: payload, startAt: base + netsim.Time(at)}
+		// The receive side accumulates exactly size bytes; reserving
+		// them up front avoids regrowing got on every delivery burst.
+		flows[i] = &flow{id: i, payload: payload, startAt: base + netsim.Time(at), got: make([]byte, 0, size)}
 	}
 
 	// The server drains every inbound connection; an accepted conn's

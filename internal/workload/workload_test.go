@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -38,6 +39,31 @@ func TestSmallWorkloadCompletes(t *testing.T) {
 		}
 		if got := r.Metrics.Value("workload/flows_completed"); got != 25 {
 			t.Errorf("%s: workload/flows_completed = %d", k, got)
+		}
+	}
+}
+
+// TestConcurrentSimulatorsShareBufpool runs independent simulations in
+// parallel goroutines. Every stack draws wire buffers from the shared
+// size-classed pool, so under -race this is the check that concurrent
+// simulators cannot corrupt each other through buffer recycling.
+func TestConcurrentSimulatorsShareBufpool(t *testing.T) {
+	kinds := []harness.Kind{harness.KindSublayeredNative, harness.KindMonolithic,
+		harness.KindSublayeredShim, harness.KindSublayeredNative}
+	done := make(chan error, len(kinds))
+	for i, k := range kinds {
+		go func(seed int64, k harness.Kind) {
+			r := Run(Config{Seed: seed, Flows: 40, Client: k, Server: k})
+			if r.Completed != 40 || r.Failed != 0 {
+				done <- fmt.Errorf("%s seed %d: completed=%d failed=%d", k, seed, r.Completed, r.Failed)
+				return
+			}
+			done <- nil
+		}(int64(i+1), k)
+	}
+	for range kinds {
+		if err := <-done; err != nil {
+			t.Error(err)
 		}
 	}
 }
