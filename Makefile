@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race vet lint fuzz fuzz-pool bench verify report perf perfcheck determinism clean
+.PHONY: all build test race vet lint docs fuzz fuzz-pool bench verify report perf perfcheck determinism clean
 
 all: build
 
@@ -19,13 +19,20 @@ vet:
 
 # lint runs staticcheck when it is on PATH (CI installs the pinned
 # $(STATICCHECK_VERSION)); locally it degrades to a notice instead of
-# failing, so offline checkouts still build.
+# failing, so offline checkouts still build. staticcheck.conf layers
+# the documentation rules (ST1000 package comments, ST1020 exported
+# doc style) on top of the default checks.
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
 	fi
+
+# docs is the documentation gate: an offline markdown link check
+# (cmd/docscheck, no network) over the user-facing docs.
+docs:
+	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md
 
 # fuzz gives the stuffing round-trip spec a brief randomized workout;
 # run with a longer -fuzztime for a real campaign.
@@ -46,7 +53,7 @@ bench:
 # detector, short fuzz passes over the bit-stuffing spec and the pooled
 # parity target, one pass of the experiment benchmarks, and the perf
 # gate against the checked-in baseline.
-verify: vet lint race fuzz fuzz-pool bench perfcheck
+verify: vet lint docs race fuzz fuzz-pool bench perfcheck
 
 # report regenerates BENCH_metrics.json, the machine-readable run
 # report over E1-E11 (deterministic: same seed, same bytes).

@@ -4,6 +4,7 @@
 //	benchreport                            # run everything
 //	benchreport -e e5                      # one experiment
 //	benchreport -seed 7                    # different world seed
+//	benchreport -e e10 -trace tracedir     # chaos soak + flight dumps
 //	benchreport -perf BENCH_perf.json      # E11 perf report instead of tables
 //	benchreport -check BENCH_baseline.json # perf-regression gate
 //
@@ -18,6 +19,10 @@
 // must match exactly, and allocs/event must not exceed the baseline by
 // more than -tol (relative; default 0.25). Wall-clock fields (ns/event,
 // events/sec, speedup) are never compared — they vary by machine.
+//
+// Exit codes follow the shared policy in internal/experiments/cli:
+// 0 success, 1 failed experiment / regression / write error, 2 usage
+// error.
 package main
 
 import (
@@ -28,14 +33,13 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/experiments"
+	"repro/internal/experiments/cli"
 	"repro/internal/workload"
 )
 
 func main() {
+	common := cli.AddCommon(flag.CommandLine)
 	var (
-		exp   = flag.String("e", "", "comma-separated experiment ids; empty runs all")
-		seed  = flag.Int64("seed", 1, "simulation seed")
 		perf  = flag.String("perf", "", `write the E11 perf report to this path ("-" for stdout) and exit`)
 		check = flag.String("check", "", "compare a fresh perf run against this baseline JSON and exit nonzero on regression")
 		tol   = flag.Float64("tol", 0.25, "relative allocs/event tolerance for -check")
@@ -43,43 +47,37 @@ func main() {
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkBaseline(*check, *seed, *tol); err != nil {
+		if err := checkBaseline(*check, common.Seed, *tol); err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-			os.Exit(1)
+			os.Exit(cli.ExitFail)
 		}
 		fmt.Printf("perf check against %s passed\n", *check)
 		return
 	}
 
 	if *perf != "" {
-		rep := workload.Perf(*seed)
-		if *perf == "-" {
-			os.Stdout.Write(rep.JSON())
-			return
-		}
-		if err := os.WriteFile(*perf, rep.JSON(), 0o644); err != nil {
+		rep := workload.Perf(common.Seed)
+		if err := cli.WriteOutput(*perf, rep.JSON()); err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
-			os.Exit(1)
+			os.Exit(cli.ExitFail)
 		}
-		fmt.Printf("wrote %s (%d rows, %.0f events/sec)\n", *perf, len(rep.Rows), rep.Timing.EventsPerSec)
+		if *perf != "-" {
+			fmt.Printf("wrote %s (%d rows, %.0f events/sec)\n", *perf, len(rep.Rows), rep.Timing.EventsPerSec)
+		}
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed}
-	if *exp == "" {
-		for _, r := range experiments.RunAll(cfg) {
-			fmt.Println(r.Text())
-		}
-		return
+	results, err := common.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(cli.ExitUsage)
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		r := experiments.Run(strings.TrimSpace(id), cfg)
-		if r == nil {
-			fmt.Fprintf(os.Stderr, "benchreport: unknown experiment %q (want one of %s)\n",
-				id, strings.Join(experiments.IDs(), ","))
-			os.Exit(2)
-		}
+	for _, r := range results {
 		fmt.Println(r.Text())
+	}
+	if failed := cli.Failed(results); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: experiments with failed scenarios: %s\n", strings.Join(failed, ","))
+		os.Exit(cli.ExitFail)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Command docscheck is the repository's offline markdown link checker:
+// it validates every link in the given markdown files without touching
+// the network, so CI's docs job stays deterministic.
+//
+//	go run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md
+//
+// Checked per file, outside fenced code blocks:
+//
+//   - relative links must point at a file or directory that exists
+//     (resolved against the markdown file's own directory);
+//   - fragment links — `#anchor` alone or `file.md#anchor` — must match
+//     a heading in the target file, using GitHub's anchor derivation
+//     (lowercase, spaces to hyphens, punctuation dropped);
+//   - absolute URLs (http/https/mailto) are counted but not fetched.
+//
+// Exit status 1 lists every broken link; 0 means all links resolve.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	linkRe  = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	fenceRe = regexp.MustCompile("^(```|~~~)")
+	headRe  = regexp.MustCompile(`^#{1,6}\s+(.+?)\s*$`)
+	// anchorDropRe removes everything GitHub drops when slugging a
+	// heading: anything that is not a letter, digit, space, or hyphen.
+	anchorDropRe = regexp.MustCompile(`[^\p{L}\p{N} \-]`)
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	broken, checked := 0, 0
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			broken++
+			continue
+		}
+		for _, l := range linksOf(string(raw)) {
+			checked++
+			if err := checkLink(path, l.target); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q: %v\n", path, l.line, l.target, err)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken of %d links\n", broken, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d links ok across %d files\n", checked, len(os.Args)-1)
+}
+
+type link struct {
+	line   int
+	target string
+}
+
+// linksOf extracts link targets with their line numbers, skipping
+// fenced code blocks (trace excerpts are full of bracket-and-paren
+// text that is not a link).
+func linksOf(doc string) []link {
+	var out []link
+	inFence := false
+	for i, line := range strings.Split(doc, "\n") {
+		if fenceRe.MatchString(strings.TrimSpace(line)) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			out = append(out, link{line: i + 1, target: m[1]})
+		}
+	}
+	return out
+}
+
+// checkLink validates one target relative to the markdown file at from.
+func checkLink(from, target string) error {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return nil // external; not fetched offline
+	case strings.HasPrefix(target, "#"):
+		return checkAnchor(from, target[1:])
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := filepath.Join(filepath.Dir(from), file)
+	if _, err := os.Stat(resolved); err != nil {
+		return fmt.Errorf("no such file %s", resolved)
+	}
+	if frag != "" {
+		return checkAnchor(resolved, frag)
+	}
+	return nil
+}
+
+// checkAnchor verifies a #fragment against the headings of a markdown
+// file, using GitHub's slug rules.
+func checkAnchor(path, frag string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	inFence := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if fenceRe.MatchString(strings.TrimSpace(line)) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headRe.FindStringSubmatch(line); m != nil && slug(m[1]) == frag {
+			return nil
+		}
+	}
+	return fmt.Errorf("no heading for #%s in %s", frag, path)
+}
+
+// slug is GitHub's heading-to-anchor derivation: strip markdown
+// emphasis and code ticks, lowercase, drop punctuation, hyphenate
+// spaces.
+func slug(heading string) string {
+	s := strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	s = strings.ToLower(s)
+	s = anchorDropRe.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}

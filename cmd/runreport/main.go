@@ -1,4 +1,4 @@
-// Command runreport runs every experiment (E1–E10) and writes one
+// Command runreport runs every experiment (E1–E11) and writes one
 // machine-readable run report: per-experiment tables plus the merged
 // metrics snapshot of every simulated world — simulator and link
 // counters, datalink ARQ/MAC, routing and forwarding, and both
@@ -7,9 +7,15 @@
 //	go run ./cmd/runreport                 # writes BENCH_metrics.json
 //	go run ./cmd/runreport -o - -format text
 //	go run ./cmd/runreport -seed 7
+//	go run ./cmd/runreport -trace tracedir # also dump causal traces
 //
 // The report carries virtual time only — no wall clock, no hostnames —
-// so the same seed produces a byte-identical file on every run.
+// so the same seed produces a byte-identical file on every run, with
+// or without -trace (trace artifacts are separate files and never
+// alter the report).
+//
+// Exit codes follow the shared policy in internal/experiments/cli:
+// 0 success, 1 failed experiment or write error, 2 usage error.
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/cli"
 )
 
 // runReport is the file's top-level shape. Every field marshals in
@@ -31,18 +39,23 @@ type runReport struct {
 }
 
 func main() {
+	common := cli.AddCommon(flag.CommandLine)
 	var (
-		seed   = flag.Int64("seed", 1, "simulation seed")
 		out    = flag.String("o", "BENCH_metrics.json", `output path ("-" for stdout)`)
 		format = flag.String("format", "json", "json or text")
 	)
 	flag.Parse()
 	if *format != "json" && *format != "text" {
 		fmt.Fprintf(os.Stderr, "runreport: unknown format %q (want json or text)\n", *format)
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 
-	rep := runReport{Seed: *seed, Experiments: experiments.RunAll(experiments.Config{Seed: *seed})}
+	results, err := common.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runreport: %v\n", err)
+		os.Exit(cli.ExitUsage)
+	}
+	rep := runReport{Seed: common.Seed, Experiments: results}
 
 	var buf bytes.Buffer
 	switch *format {
@@ -51,7 +64,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "runreport: %v\n", err)
-			os.Exit(1)
+			os.Exit(cli.ExitFail)
 		}
 	case "text":
 		fmt.Fprintf(&buf, "run report (seed %d)\n\n", rep.Seed)
@@ -64,13 +77,15 @@ func main() {
 		}
 	}
 
-	if *out == "-" {
-		os.Stdout.Write(buf.Bytes())
-		return
-	}
-	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+	if err := cli.WriteOutput(*out, buf.Bytes()); err != nil {
 		fmt.Fprintf(os.Stderr, "runreport: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitFail)
 	}
-	fmt.Printf("wrote %s (%d experiments, %d bytes)\n", *out, len(rep.Experiments), buf.Len())
+	if *out != "-" {
+		fmt.Printf("wrote %s (%d experiments, %d bytes)\n", *out, len(rep.Experiments), buf.Len())
+	}
+	if failed := cli.Failed(results); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "runreport: experiments with failed scenarios: %s\n", strings.Join(failed, ","))
+		os.Exit(cli.ExitFail)
+	}
 }

@@ -1,0 +1,109 @@
+// Package cli is the scaffolding cmd/runreport and cmd/benchreport
+// share: experiment selection flags, registry resolution, output
+// writing, and one consistent exit-code policy. Both tools used to
+// duplicate this boilerplate and disagreed about failure exits —
+// benchreport exited 2 on an unknown id but 0 when an experiment
+// actually errored mid-run; runreport exited 1 on a write failure but
+// also 0 on error rows. The policy now, for both tools:
+//
+//	0 — success, every requested experiment ran cleanly
+//	1 — operational failure: an experiment reported error rows, or
+//	    output could not be written
+//	2 — usage error: unknown experiment id or bad flag value
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// Exit codes of the shared policy.
+const (
+	ExitOK    = 0
+	ExitFail  = 1
+	ExitUsage = 2
+)
+
+// Common carries the flags both report tools accept.
+type Common struct {
+	Seed     int64
+	Exp      string
+	TraceDir string
+}
+
+// AddCommon registers the shared flags on fs and returns the struct
+// they populate after fs.Parse.
+func AddCommon(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", 1, "simulation seed")
+	fs.StringVar(&c.Exp, "e", "", "comma-separated experiment ids; empty runs all")
+	fs.StringVar(&c.TraceDir, "trace", "",
+		"directory for causal-trace artifacts (flight-recorder dumps, pcapng captures); empty disables tracing")
+	return c
+}
+
+// Config projects the flags into an experiments.Config.
+func (c *Common) Config() experiments.Config {
+	return experiments.Config{Seed: c.Seed, TraceDir: c.TraceDir}
+}
+
+// Run resolves -e against the registry and executes the selection (or
+// everything when empty), in registry order. An unknown id is a usage
+// error: the caller should exit ExitUsage.
+func (c *Common) Run() ([]*experiments.Result, error) {
+	cfg := c.Config()
+	if strings.TrimSpace(c.Exp) == "" {
+		return experiments.RunAll(cfg), nil
+	}
+	var results []*experiments.Result
+	for _, id := range strings.Split(c.Exp, ",") {
+		r := experiments.Run(strings.TrimSpace(id), cfg)
+		if r == nil {
+			return nil, fmt.Errorf("unknown experiment %q (want one of %s)",
+				id, strings.Join(experiments.IDs(), ","))
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Failed lists the experiments whose tables contain error rows — a
+// world that failed to build or a transfer that returned an error —
+// so partial failures surface in the exit code instead of hiding in
+// the middle of a table.
+func Failed(results []*experiments.Result) []string {
+	var bad []string
+	for _, r := range results {
+		for _, row := range r.Rows {
+			if rowFailed(row) {
+				bad = append(bad, r.ID)
+				break
+			}
+		}
+	}
+	return bad
+}
+
+// rowFailed recognizes the "error:..." cells experiments emit when a
+// scenario dies.
+func rowFailed(row []string) bool {
+	for _, cell := range row {
+		if strings.HasPrefix(cell, "error:") {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteOutput writes data to path, with "-" meaning stdout.
+func WriteOutput(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -9,6 +9,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
+	"repro/internal/pcap"
+	"repro/internal/trace"
 	"repro/internal/transport/harness"
 	"repro/internal/verify"
 )
@@ -96,7 +98,18 @@ func sumSuffix(snap metrics.Snapshot, leaf string) uint64 {
 // user timeout. An invariant watchdog asserts the delivered stream is
 // an exact prefix of the sent stream in every scenario and re-checks
 // the per-sublayer contracts under chaos.
-func E10ChaosSoak(seed int64) *Result {
+func E10ChaosSoak(seed int64) *Result { return E10ChaosSoakCfg(Config{Seed: seed}) }
+
+// E10ChaosSoakCfg is E10ChaosSoak plus the optional trace mode: with
+// cfg.TraceDir set, every cell of the matrix runs with a causal-trace
+// collector attached, watchdog violations trigger flight-recorder
+// snapshots, and each cell's dump lands in the directory as
+// deterministic JSON ("e10-<scenario>-<stack>.trace.json"). The
+// aborting hard-partition cells additionally export their link frames
+// as pcapng. The returned Result is byte-identical with tracing on or
+// off — collectors are observational and never touch the registry.
+func E10ChaosSoakCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:    "E10",
 		Title: "chaos soak: fault matrix vs transport invariants",
@@ -127,8 +140,24 @@ func E10ChaosSoak(seed int64) *Result {
 			wd := faults.NewWatchdog()
 			c2s := randPayload(120_000, seed+idx)
 			s2c := randPayload(60_000, seed+idx+500)
+			var col *trace.Collector
+			var capture *bytes.Buffer
+			if cfg.TraceDir != "" {
+				col = trace.NewCollector(trace.Options{RingCap: 1024, DoneCap: 128})
+				if !sc.expectComplete {
+					// The aborting scenario is the one worth opening in
+					// Wireshark: capture its frames alongside the dump.
+					capture = &bytes.Buffer{}
+					if pw, err := pcap.NewWriter(capture); err == nil {
+						col.CaptureTo(pw)
+					}
+				}
+			}
 			out := runWorld(wcfg, c2s, s2c, 15*time.Minute,
 				func(w *harness.World, reg *metrics.Registry) {
+					if col != nil {
+						w.Sim.SetTracer(col)
+					}
 					inj = faults.New(w.Sim, w.Topo, seed+100+idx)
 					inj.BindMetrics(reg.Scope("faults"))
 					inj.Apply(sc.script())
@@ -154,6 +183,18 @@ func E10ChaosSoak(seed int64) *Result {
 				}
 			}
 			totalViolations += len(wd.Violations())
+			if col != nil {
+				// Watchdog findings become flight-recorder snapshots, then
+				// the cell's whole recording lands on disk.
+				for _, v := range wd.Violations() {
+					col.NoteViolation(out.W.Sim.Now(), "watchdog", v, 0)
+				}
+				name := fmt.Sprintf("e10-%s-%s", sc.name, kind)
+				writeTraceDump(cfg.TraceDir, name+".trace.json", col)
+				if capture != nil && capture.Len() > 0 {
+					writeTraceFile(cfg.TraceDir, name+".pcapng", capture.Bytes())
+				}
+			}
 
 			snap := out.Reg.Snapshot()
 			aborts := sumSuffix(snap, "aborts")

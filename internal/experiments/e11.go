@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // E11 self-registers: with the registry in place, a new experiment is
 // this one call — no switch in either cmd tool to extend.
 func init() {
-	Register("e11", func(c Config) *Result { return E11FlowScaling(c.Seed) })
+	Register("e11", E11FlowScalingCfg)
 }
 
 // E11FlowScaling is the many-flow scaling sweep: 10, 100 and 1,000
@@ -20,7 +21,16 @@ func init() {
 // the identical arrival schedule, transfer sizes and invariant checks;
 // the table compares aggregate goodput, the completion-time tail and
 // Jain fairness as the flow count scales 100×.
-func E11FlowScaling(seed int64) *Result {
+func E11FlowScaling(seed int64) *Result { return E11FlowScalingCfg(Config{Seed: seed}) }
+
+// E11FlowScalingCfg is E11FlowScaling plus the optional trace mode:
+// with cfg.TraceDir set, one extra small traced cell (10 flows) runs
+// per stack after the matrix and its flight-recorder dump lands in the
+// directory ("e11-flows10-<stack>.trace.json") — a worked example of
+// many concurrent causal chains interleaving through one bottleneck.
+// The returned Result never changes with tracing.
+func E11FlowScalingCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:    "E11",
 		Title: "flow scaling: 10/100/1000 concurrent flows through either stack",
@@ -43,6 +53,15 @@ func E11FlowScaling(seed int64) *Result {
 			r.Makespan.Truncate(time.Millisecond).String(),
 		})
 		res.fold(fmt.Sprintf("flows%04d/%s", cell.Flows, r.Stack), r.Metrics)
+	}
+	if cfg.TraceDir != "" {
+		for _, kind := range workload.MatrixKinds {
+			col := trace.NewCollector(trace.Options{RingCap: 1024, DoneCap: 128})
+			workload.Run(workload.Config{
+				Seed: seed, Flows: 10, Client: kind, Server: kind, Tracer: col,
+			})
+			writeTraceDump(cfg.TraceDir, fmt.Sprintf("e11-flows10-%s.trace.json", kind), col)
+		}
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("invariant watchdog: %d violations across the matrix — every delivered stream equals the sent stream at every scale on both stacks", totalViolations),

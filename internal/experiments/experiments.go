@@ -77,7 +77,7 @@ func init() {
 	Register("e7", func(c Config) *Result { return E7Performance(c.Seed) })
 	Register("e8", func(c Config) *Result { return E8Replace(c.Seed) })
 	Register("e9", func(c Config) *Result { return E9Offload(c.Seed) })
-	Register("e10", func(c Config) *Result { return E10ChaosSoak(c.Seed) })
+	Register("e10", E10ChaosSoakCfg)
 }
 
 // All runs every registered experiment with the given seed.

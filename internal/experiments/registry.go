@@ -18,6 +18,13 @@ type Config struct {
 	// Result.Metrics — so a caller can aggregate several experiments
 	// into one live registry. Nil skips publication.
 	Scope *metrics.Scope
+	// TraceDir, when non-empty, turns on causal tracing for the
+	// experiments that support it (E10, E11): each traced world gets a
+	// flight-recorder dump written as deterministic JSON under this
+	// directory, plus a pcapng capture for the aborting chaos
+	// scenario. Tracing is observational — the Result is byte-identical
+	// with or without it.
+	TraceDir string
 }
 
 // Runner generates one experiment's Result from a Config.

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// writeTraceDump serializes a collector's flight-recorder report into
+// dir. Trace output is a side artifact, deliberately kept out of the
+// Result so tables and metrics stay byte-identical with tracing on or
+// off; failures are warnings on stderr, never experiment errors.
+func writeTraceDump(dir, name string, col *trace.Collector) {
+	var b bytes.Buffer
+	if err := col.WriteJSON(&b); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: trace dump %s: %v\n", name, err)
+		return
+	}
+	writeTraceFile(dir, name, b.Bytes())
+}
+
+// writeTraceFile drops one trace artifact (dump or capture) into dir,
+// creating the directory on first use.
+func writeTraceFile(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: trace dir %s: %v\n", dir, err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: trace artifact %s: %v\n", name, err)
+	}
+}

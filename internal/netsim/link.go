@@ -106,10 +106,11 @@ func (m *linkMetrics) view() metrics.View {
 // Simulator.NewLink; send with Send. Delivery invokes the destination
 // handler inside the event loop.
 type Link struct {
-	sim *Simulator
-	cfg LinkConfig
-	dst Handler
-	m   linkMetrics
+	sim  *Simulator
+	cfg  LinkConfig
+	dst  Handler
+	name string // "link<n>" in creation order; trace/metrics identity
+	m    linkMetrics
 	// serializer state: the time at which the transmitter frees up.
 	txFree Time
 	queued int
@@ -126,12 +127,26 @@ func (s *Simulator) NewLink(cfg LinkConfig, dst Handler) *Link {
 	if dst == nil {
 		panic("netsim: NewLink with nil destination")
 	}
-	l := &Link{sim: s, cfg: cfg, dst: dst, up: true}
+	l := &Link{sim: s, cfg: cfg, dst: dst, up: true,
+		name: fmt.Sprintf("link%d", s.linkSeq)}
 	if s.msc != nil {
-		l.m.bind(s.msc.Sub(fmt.Sprintf("link%d", s.linkSeq)))
+		l.m.bind(s.msc.Sub(l.name))
 	}
 	s.linkSeq++
 	return l
+}
+
+// Name returns the link's creation-order identity ("link0", "link1",
+// ...), matching its metrics scope and its trace/pcap interface name.
+func (l *Link) Name() string { return l.name }
+
+// trace emits one link-layer span event when tracing is on. frame
+// carries the wire bytes for packet capture (transmit events only).
+func (l *Link) trace(t Tracer, kind, verdict string, data []byte, end bool, frame []byte) {
+	t.Emit(TraceEvent{
+		At: l.sim.now, ID: t.ID(data), Len: len(data),
+		Node: l.name, Layer: LayerLink, Kind: kind, Verdict: verdict, End: end,
+	}, frame)
 }
 
 // SetUp raises or cuts the link. Packets sent (or already in flight)
@@ -160,6 +175,9 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 func (l *Link) Send(data []byte) {
 	buf := bufpool.Get(len(data))
 	copy(buf, data)
+	if t := l.sim.tracer; t != nil {
+		t.Stamp(buf) // fresh incarnation: the copy starts its own chain
+	}
 	l.SendOwned(buf, false)
 }
 
@@ -176,15 +194,22 @@ func (l *Link) SendPacket(pkt *Packet) {
 // owns it) or returns it to the bufpool on a drop. Impairments mutate
 // the buffer in place — there is no per-hop copy.
 func (l *Link) SendOwned(data []byte, ecn bool) {
+	tr := l.sim.tracer
 	l.m.sent.Inc()
 	if !l.up {
 		l.m.downDrop.Inc()
+		if tr != nil {
+			l.trace(tr, "drop", VerdictDownDrop, data, true, nil)
+		}
 		bufpool.Put(data)
 		return
 	}
 	rng := l.sim.rng
 	if chance(rng, l.cfg.LossProb) {
 		l.m.lost.Inc()
+		if tr != nil {
+			l.trace(tr, "drop", VerdictLost, data, true, nil)
+		}
 		bufpool.Put(data)
 		return
 	}
@@ -194,6 +219,9 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 	if l.cfg.RateBps > 0 {
 		if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
 			l.m.queueDrop.Inc()
+			if tr != nil {
+				l.trace(tr, "drop", VerdictQueueDrop, data, true, nil)
+			}
 			bufpool.Put(data)
 			return
 		}
@@ -230,14 +258,27 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 		l.m.corrupted.Inc()
 		bit := rng.Intn(len(data) * 8)
 		data[bit/8] ^= 1 << uint(7-bit%8)
+		if tr != nil {
+			l.trace(tr, "corrupt", "", data, false, nil)
+		}
 	}
 
 	arrive := depart + durTicks(l.cfg.Delay) + extra
+	if tr != nil {
+		// The capture point: these exact bytes (after any in-place
+		// corruption) are what travels the wire.
+		l.trace(tr, "transmit", "", data, false, data)
+	}
 	l.deliverAt(arrive, data, ecn)
 	if chance(rng, l.cfg.DupProb) {
 		l.m.duplicate.Inc()
 		dup := bufpool.Get(len(data))
 		copy(dup, data)
+		if tr != nil {
+			t := tr
+			t.Stamp(dup)
+			l.trace(t, "dup", "", dup, false, dup)
+		}
 		l.deliverAt(arrive+durTicks(time.Microsecond), dup, ecn)
 	}
 }
@@ -263,11 +304,17 @@ func (l *Link) deliverAt(at Time, data []byte, ecn bool) {
 func (l *Link) deliver(p *Packet) {
 	if !l.up {
 		l.m.downDrop.Inc()
+		if t := l.sim.tracer; t != nil {
+			l.trace(t, "drop", VerdictDownDrop, p.Data, true, nil)
+		}
 		bufpool.Put(p.Data)
 		return
 	}
 	l.m.delivered.Inc()
 	l.m.deliveredBytes.Add(uint64(len(p.Data)))
+	if t := l.sim.tracer; t != nil {
+		l.trace(t, "deliver", "", p.Data, false, nil)
+	}
 	l.dst(p)
 }
 

@@ -110,6 +110,9 @@ type Simulator struct {
 	msc     *metrics.Scope
 	linkSeq int
 	busSeq  int
+	// tracer, when non-nil, receives causal trace events (see trace.go).
+	// Nil by default; every emission site is a single nil check.
+	tracer Tracer
 }
 
 // Option configures a Simulator at construction.

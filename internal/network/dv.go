@@ -2,6 +2,7 @@ package network
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"repro/internal/metrics"
@@ -221,10 +222,21 @@ func (d *DistanceVector) Routes() map[Addr]Route {
 // advertise sends the (split-horizon, poison-reverse) vector on every
 // interface with a live neighbor.
 func (d *DistanceVector) advertise(triggered bool) {
+	// Advertise destinations in address order: the table is a map, and
+	// letting its iteration order leak into wire bytes would make
+	// same-seed runs diverge at the packet level (the byte-identity the
+	// capture and trace gates check), even though routing outcomes
+	// would not.
+	dsts := make([]Addr, 0, len(d.table))
+	for a := range d.table {
+		dsts = append(dsts, a)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 	for _, n := range d.env.Neighbors() {
 		body := make([]byte, 0, 1+3*len(d.table))
 		body = append(body, routingProtoDV)
-		for _, e := range d.table {
+		for _, a := range dsts {
+			e := d.table[a]
 			m := e.route.Metric
 			if e.route.If == n.If && e.route.Dst != d.env.Self() {
 				m = Infinity // poison reverse

@@ -29,6 +29,9 @@ type Router struct {
 	// binds so repeated same-algorithm computers get distinct names.
 	msc   *metrics.Scope
 	swaps int
+	// name caches Addr().String() so trace events don't re-format it on
+	// every hop.
+	name string
 }
 
 // NewRouter builds a router with the given route computer. Ports are
@@ -41,6 +44,7 @@ func NewRouter(sim *netsim.Simulator, addr Addr, rc RouteComputer, ncfg Neighbor
 		rc:       rc,
 		fwd:      newForwarder(addr),
 		handlers: make(map[Proto]func(*Datagram)),
+		name:     addr.String(),
 	}
 	r.nt.Subscribe(func() { r.rc.OnNeighborChange() })
 	rc.Attach((*routerEnv)(r))
@@ -145,11 +149,20 @@ func (r *Router) SendECN(dst Addr, proto Proto, payload []byte, ecn bool) error 
 func (r *Router) SendOwned(dst Addr, proto Proto, buf []byte, ecn bool) error {
 	stampHeader(buf, r.addr, dst, DefaultTTL, proto)
 	r.fwd.m.originated.Inc()
+	tr := r.sim.Tracer()
+	if tr != nil {
+		r.trace(tr, "originate", "", buf, DefaultTTL, false)
+	}
 	if dst == r.addr {
 		dg, err := parseDatagram(buf)
 		if err == nil {
 			dg.ECN = ecn
+			if tr != nil {
+				r.trace(tr, "recv", netsim.VerdictDelivered, buf, dg.TTL, true)
+			}
 			r.deliverLocal(&dg)
+		} else if tr != nil {
+			tr.Retire(buf)
 		}
 		bufpool.Put(buf)
 		return err
@@ -157,11 +170,23 @@ func (r *Router) SendOwned(dst Addr, proto Proto, buf []byte, ecn bool) error {
 	route, ok := r.fwd.Lookup(dst)
 	if !ok || route.If < 0 {
 		r.fwd.m.noRoute.Inc()
+		if tr != nil {
+			r.trace(tr, "drop", netsim.VerdictNoRoute, buf, DefaultTTL, true)
+		}
 		bufpool.Put(buf)
 		return fmt.Errorf("network: %v has no route to %v", r.addr, dst)
 	}
 	r.ports[route.If].Send(buf, ecn)
 	return nil
+}
+
+// trace emits one network-layer span event about wire (callers check
+// the Tracer for nil first — the disabled path must stay branch-only).
+func (r *Router) trace(t netsim.Tracer, kind, verdict string, wire []byte, ttl uint8, end bool) {
+	t.Emit(netsim.TraceEvent{
+		At: r.sim.Now(), ID: t.ID(wire), Len: len(wire), TTL: ttl,
+		Node: r.name, Layer: netsim.LayerNet, Kind: kind, Verdict: verdict, End: end,
+	}, nil)
 }
 
 // Tap installs an observer invoked with every packet the router
@@ -194,23 +219,39 @@ func (r *Router) receive(ifi int, data []byte, ecn bool) {
 	switch data[0] {
 	case classHello:
 		r.nt.onHello(ifi, data)
+		if t := r.sim.Tracer(); t != nil {
+			t.Retire(data) // control traffic ends here, untraced
+		}
 	case classRouting:
 		if sender, body, err := unmarshalRouting(data); err == nil {
 			r.rc.OnPacket(ifi, sender, body)
+		}
+		if t := r.sim.Tracer(); t != nil {
+			t.Retire(data)
 		}
 	case classData:
 		dg, err := parseDatagram(data)
 		if err != nil {
 			r.fwd.m.malformed.Inc()
+			if t := r.sim.Tracer(); t != nil {
+				r.trace(t, "drop", netsim.VerdictMalformed, data, 0, true)
+			}
 			break
 		}
 		dg.ECN = dg.ECN || ecn
 		if r.drop != nil && r.drop(&dg) {
 			r.fwd.m.blackholed.Inc()
+			if t := r.sim.Tracer(); t != nil {
+				r.trace(t, "drop", netsim.VerdictBlackholed, data, dg.TTL, true)
+			}
 			break
 		}
 		r.forward(&dg, data)
 		return // forward settles ownership itself
+	default:
+		if t := r.sim.Tracer(); t != nil {
+			t.Retire(data)
+		}
 	}
 	bufpool.Put(data)
 }
@@ -220,13 +261,20 @@ func (r *Router) receive(ifi int, data []byte, ecn bool) {
 // decremented in place and the very same buffer goes out the next-hop
 // port — zero per-hop allocation.
 func (r *Router) forward(dg *Datagram, wire []byte) {
+	tr := r.sim.Tracer()
 	if dg.Dst == r.addr {
+		if tr != nil {
+			r.trace(tr, "recv", netsim.VerdictDelivered, wire, dg.TTL, true)
+		}
 		r.deliverLocal(dg)
 		bufpool.Put(wire)
 		return
 	}
 	if dg.TTL <= 1 {
 		r.fwd.m.ttlExpired.Inc()
+		if tr != nil {
+			r.trace(tr, "drop", netsim.VerdictTTLExpired, wire, dg.TTL, true)
+		}
 		bufpool.Put(wire)
 		return
 	}
@@ -235,8 +283,14 @@ func (r *Router) forward(dg *Datagram, wire []byte) {
 	route, ok := r.fwd.Lookup(dg.Dst)
 	if !ok || route.If < 0 {
 		r.fwd.m.noRoute.Inc()
+		if tr != nil {
+			r.trace(tr, "drop", netsim.VerdictNoRoute, wire, dg.TTL, true)
+		}
 		bufpool.Put(wire)
 		return
+	}
+	if tr != nil {
+		r.trace(tr, "hop", "", wire, dg.TTL, false)
 	}
 	r.ports[route.If].Send(wire, dg.ECN)
 	r.fwd.m.forwarded.Inc()

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/pcap"
+)
+
+// CaptureTo streams every link-level frame the collector observes into
+// a pcapng writer: one capture interface per simulated link, virtual
+// nanosecond timestamps, and a per-packet comment carrying the causal
+// trace ID plus the decoded per-sublayer summary (so Wireshark shows
+// "id=17 … SUBTCP dm=[…] cm=[…] rd=[…] osr=[…]" next to the raw
+// bytes). Call before traffic flows; passing nil detaches.
+func (c *Collector) CaptureTo(pw *pcap.Writer) {
+	if pw == nil {
+		c.OnFrame = nil
+		return
+	}
+	c.OnFrame = func(ev netsim.TraceEvent, frame []byte) {
+		comment := fmt.Sprintf("id=%d %s %s", ev.ID, ev.Kind, Summarize(frame))
+		_ = pw.WritePacket(ev.Node, int64(ev.At), comment, frame)
+	}
+}

@@ -59,6 +59,9 @@ func (s *Stack) tcpInput(dg *network.Datagram) {
 		rst := &s.txHdr
 		buf := bufpool.Get(network.Headroom + rst.WireLen(0))
 		rst.MarshalTo(buf[network.Headroom:], nil, uint16(s.router.Addr()), uint16(dg.Src))
+		if t := s.sim.Tracer(); t != nil {
+			t.Stamp(buf)
+		}
 		s.m.segmentsOut.Inc()
 		_ = s.router.SendOwned(dg.Src, network.ProtoTCP, buf, false)
 	}
@@ -146,6 +149,7 @@ func (s *Stack) tcpReceive(p *PCB, h *tcpwire.TCPHeader, payload []byte) {
 		case p.sndUna.Less(ack) && ack.Leq(p.sndNxt):
 			newly := ack.Diff(p.sndUna)
 			p.sndUna = ack
+			p.trace("cumack", "", 0, uint32(ack), int(newly))
 			p.dupAcks = 0
 			p.nrexmit = 0
 			s.tw("pcb.snd_una", "pcb.dup_acks")

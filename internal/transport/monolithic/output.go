@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
 	"repro/internal/transport/seg"
@@ -103,7 +104,9 @@ func (p *PCB) tcpOutput() {
 		s.tw("pcb.next_send")
 		if sq.Add(n).Leq(p.sndNxt) {
 			s.m.retransmits.Inc()
+			p.trace("rexmit", "", 0, uint32(sq), n)
 		} else {
+			p.trace("send", "", 0, uint32(sq), n)
 			p.sndNxt = sq.Add(n)
 			s.tw("pcb.snd_nxt")
 			if !p.timing {
@@ -167,6 +170,7 @@ func (p *PCB) onRexmitTimer() {
 	}
 	s.m.timeouts.Inc()
 	p.nrexmit++
+	p.trace("rto", "", 0, uint32(p.sndUna), p.nrexmit)
 	if p.nrexmit > s.cfg.MaxRexmit {
 		s.m.aborts.Inc()
 		p.kill(ErrTimeout)
@@ -283,6 +287,14 @@ func (p *PCB) sendSegment(flags uint8, sq, ack seg.Seq, payload []byte) {
 	}
 	buf := bufpool.Get(network.Headroom + h.WireLen(len(payload)))
 	h.MarshalTo(buf[network.Headroom:], payload, uint16(s.router.Addr()), uint16(p.id.remoteAddr))
+	if t := s.sim.Tracer(); t != nil {
+		id := t.Stamp(buf)
+		p.lastXmitID = id
+		t.Emit(netsim.TraceEvent{
+			At: s.sim.Now(), ID: id, Flow: p.flow(), Seq: uint32(sq), Len: len(payload),
+			Node: s.traceName, Layer: netsim.LayerTransport, Kind: "xmit",
+		}, nil)
+	}
 	s.m.segmentsOut.Inc()
 	_ = s.router.SendOwned(p.id.remoteAddr, network.ProtoTCP, buf, false)
 }
@@ -306,6 +318,15 @@ func (p *PCB) kill(err error) {
 	}
 	p.dead = true
 	p.err = err
+	if err != nil {
+		verdict := netsim.VerdictReset
+		if err == ErrTimeout {
+			verdict = netsim.VerdictTimeout
+		}
+		// The abort names the newest transmitted wire buffer: its causal
+		// chain is what the flight recorder dumps.
+		p.trace("abort", verdict, p.lastXmitID, uint32(p.sndUna), 0)
+	}
 	p.stopRexmit()
 	delete(p.stack.pcbs, p.id)
 	if p.OnClosed != nil {

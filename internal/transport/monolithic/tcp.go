@@ -155,6 +155,8 @@ type Stack struct {
 	listeners map[uint16]*Listener
 	nextPort  uint16
 	m         tcpMetrics
+	// traceName labels this stack's causal-trace events ("n1/mono").
+	traceName string
 
 	// rxHdr and txHdr are scratch headers. The receive path is
 	// single-threaded and parses every arriving segment into rxHdr;
@@ -184,6 +186,7 @@ func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack 
 		pcbs:      make(map[connID]*PCB),
 		listeners: make(map[uint16]*Listener),
 		nextPort:  49152,
+		traceName: router.Addr().String() + "/mono",
 	}
 	s.m.rttMs = metrics.NewHistogram(rttBoundsMs...)
 	router.Handle(network.ProtoTCP, s.tcpInput)
@@ -277,6 +280,11 @@ type PCB struct {
 	dead      bool
 	err       error
 
+	// lastXmitID is the trace ID of the newest wire buffer this PCB
+	// transmitted — the packet a flight-recorder dump chases when the
+	// connection aborts. Zero when untraced.
+	lastXmitID uint64
+
 	// Application callbacks.
 	OnConnected func()
 	OnReadable  func()
@@ -295,6 +303,26 @@ func (p *PCB) LocalPort() uint16 { return p.id.localPort }
 
 // RemotePort returns the remote port.
 func (p *PCB) RemotePort() uint16 { return p.id.remotePort }
+
+// flow packs this PCB's 4-tuple into the TraceEvent.Flow correlator.
+func (p *PCB) flow() uint64 {
+	return netsim.PackFlow(uint16(p.stack.router.Addr()), uint16(p.id.remoteAddr),
+		p.id.localPort, p.id.remotePort)
+}
+
+// trace emits one transport-layer span event for this PCB when tracing
+// is on; a no-op (single nil check) otherwise.
+func (p *PCB) trace(kind, verdict string, id uint64, seqNum uint32, n int) {
+	t := p.stack.sim.Tracer()
+	if t == nil {
+		return
+	}
+	t.Emit(netsim.TraceEvent{
+		At: p.stack.sim.Now(), ID: id, Flow: p.flow(), Seq: seqNum, Len: n,
+		Node: p.stack.traceName, Layer: netsim.LayerTransport,
+		Kind: kind, Verdict: verdict,
+	}, nil)
+}
 
 func (s *Stack) track(h string) {
 	if s.cfg.Tracker != nil {

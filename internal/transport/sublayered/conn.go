@@ -28,6 +28,11 @@ type Conn struct {
 	dead    bool
 	err     error
 
+	// lastXmitID is the trace ID of the newest wire buffer this
+	// connection transmitted — the "offending packet" a flight-recorder
+	// dump chases when the connection aborts. Zero when untraced.
+	lastXmitID uint64
+
 	// txHdr is the scratch header every outgoing segment is composed
 	// in: transmit marshals it into the wire buffer before returning,
 	// so nothing retains it and one instance per connection suffices.
@@ -277,6 +282,20 @@ func (c *Conn) transmit(h *tcpwire.SubHeader, payload []byte) {
 	c.stack.dm.send(c, h, payload)
 }
 
+// trace emits one transport-layer span event for this connection when
+// tracing is on; a no-op (single nil check) otherwise.
+func (c *Conn) trace(kind, verdict string, id uint64, seqNum uint32, n int) {
+	t := c.stack.sim.Tracer()
+	if t == nil {
+		return
+	}
+	t.Emit(netsim.TraceEvent{
+		At: c.now(), ID: id, Flow: packFlow(c.key), Seq: seqNum, Len: n,
+		Node: c.stack.traceName, Layer: netsim.LayerTransport,
+		Kind: kind, Verdict: verdict,
+	}, nil)
+}
+
 // destroy tears the connection down and informs the application.
 func (c *Conn) destroy(err error) {
 	if c.dead {
@@ -284,6 +303,15 @@ func (c *Conn) destroy(err error) {
 	}
 	c.dead = true
 	c.err = err
+	if err != nil {
+		verdict := netsim.VerdictReset
+		if err == ErrTimeout {
+			verdict = netsim.VerdictTimeout
+		}
+		// The abort names the newest transmitted wire buffer: its causal
+		// chain is what the flight recorder dumps.
+		c.trace("abort", verdict, c.lastXmitID, uint32(c.rd.sndUna), 0)
+	}
 	c.cm.stop()
 	c.rd.stop()
 	c.osr.stop()

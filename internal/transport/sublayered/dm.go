@@ -160,12 +160,15 @@ type Stack struct {
 	dm      *DM
 	shim    *tcpwire.Shim
 	connSeq int
+	// traceName labels this stack's causal-trace events ("n1/sub").
+	traceName string
 }
 
 // NewStack attaches a sublayered transport to a router. In shim mode
 // it claims the router's ProtoTCP handler; in native mode ProtoSubTCP.
 func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack {
-	s := &Stack{sim: sim, router: router, cfg: cfg.withDefaults()}
+	s := &Stack{sim: sim, router: router, cfg: cfg.withDefaults(),
+		traceName: router.Addr().String() + "/sub"}
 	s.dm = &DM{
 		stack:     s,
 		listeners: make(map[uint16]*Listener),
@@ -399,10 +402,15 @@ func (d *DM) sendRST(to network.Addr, in *tcpwire.SubHeader) {
 func (d *DM) send(c *Conn, h *tcpwire.SubHeader, payload []byte) {
 	d.stack.track("dm.send")
 	h.DM = tcpwire.DMSection{SrcPort: c.key.SrcPort, DstPort: c.key.DstPort}
-	d.transmit(network.Addr(c.key.DstAddr), c.key, h, payload)
+	id := d.transmit(network.Addr(c.key.DstAddr), c.key, h, payload)
+	if id != 0 {
+		// Remember the newest wire incarnation so a later abort can name
+		// the offending packet in the flight-recorder dump.
+		c.lastXmitID = id
+	}
 }
 
-func (d *DM) transmit(to network.Addr, key tcpwire.FlowKey, h *tcpwire.SubHeader, payload []byte) {
+func (d *DM) transmit(to network.Addr, key tcpwire.FlowKey, h *tcpwire.SubHeader, payload []byte) uint64 {
 	// Marshal straight into a pooled buffer with network-header
 	// headroom: the segment is written exactly once and the same bytes
 	// travel every hop (SendOwned transfers the buffer down the stack).
@@ -417,9 +425,27 @@ func (d *DM) transmit(to network.Addr, key tcpwire.FlowKey, h *tcpwire.SubHeader
 		buf = bufpool.Get(network.Headroom + h.WireLen(len(payload)))
 		h.MarshalTo(buf[network.Headroom:], payload)
 	}
+	var id uint64
+	if t := d.stack.sim.Tracer(); t != nil {
+		// Stamp at allocation: this wire-buffer incarnation gets a fresh
+		// generation-safe ID, and the xmit event ties it to (flow, seq)
+		// so retransmissions of the same segment correlate.
+		id = t.Stamp(buf)
+		t.Emit(netsim.TraceEvent{
+			At: d.stack.sim.Now(), ID: id, Flow: packFlow(key), Seq: h.RD.Seq,
+			Len: len(payload), Node: d.stack.traceName,
+			Layer: netsim.LayerTransport, Kind: "xmit",
+		}, nil)
+	}
 	// Errors (no route yet) are dropped; retransmission recovers once
 	// routing converges.
 	_ = d.stack.router.SendOwned(to, proto, buf, false)
+	return id
+}
+
+// packFlow folds the connection 4-tuple into the trace correlator.
+func packFlow(key tcpwire.FlowKey) uint64 {
+	return netsim.PackFlow(key.SrcAddr, key.DstAddr, key.SrcPort, key.DstPort)
 }
 
 // remove deletes a dead connection from the demux table.

@@ -1,0 +1,26 @@
+// Package sublayered is the paper's TCP: the transport decomposed into
+// the four §3 sublayers, each owning disjoint header bits and disjoint
+// state, composed only through the narrow interfaces of Fig. 5. Top to
+// bottom:
+//
+//   - OSR (osr.go) — Ordering, Segmenting and Rate control: breaks the
+//     application byte stream into segments, pastes out-of-order
+//     deliveries back together, and hides rate control (the pluggable
+//     congestion policies live in cc.go). OSR's window is deliberately
+//     distinct from RD's.
+//   - RD (rd.go) — Reliable Delivery: sequence numbers, cumulative
+//     acks, retransmission and its timers; summarizes loss signals
+//     (timeout vs fast-retransmit) upward to OSR.
+//   - CM (cm.go, timercm.go, isn.go) — Connection Management:
+//     establishing a pair of initial sequence numbers and tearing the
+//     connection down, with its own bootstrap reliability for SYN/FIN.
+//     Swappable (E8): the three-way handshake with pluggable ISN
+//     generators, or the Watson timer-based scheme.
+//   - DM (dm.go) — Demultiplexing: "essentially UDP" — ports, binding,
+//     listener dispatch; the bottom sublayer everything else rides on.
+//
+// Conn (conn.go) is only the wiring harness plus the byte-stream API;
+// it holds no protocol state of its own. contracts.go makes each
+// sublayer's interface contract runtime-checkable — the paper's
+// debugging claim, exercised by E6 and the E10 chaos soak.
+package sublayered

@@ -236,6 +236,7 @@ func (r *RD) Send(off uint64, data []byte) {
 		r.sndNxt = s.Add(len(data))
 	}
 	r.m.segmentsSent.Inc()
+	r.conn.trace("send", "", 0, uint32(s), len(data))
 	r.conn.xmitData(s, o.payload)
 	r.armRTO()
 	r.trackW("rd.outstanding", "rd.sndNxt")
@@ -387,6 +388,7 @@ func (r *RD) onAck(ack seg.Seq, sack [][2]uint32, hadPayload bool) {
 			}
 		}
 		r.trackW("rd.sndUna", "rd.outstanding")
+		r.conn.trace("cumack", "", 0, uint32(ack), newly)
 		r.conn.crossings.RDToOSRAck.Inc()
 		r.conn.osr.onAcked(cum, newly, rttSample)
 	case ack == r.sndUna && len(r.outstanding) > 0 && !hadPayload:
@@ -416,6 +418,7 @@ func (r *RD) retransmitFirst() {
 		o.pending = false
 		o.sentAt = r.conn.now()
 		r.m.retransmits.Inc()
+		r.conn.trace("rexmit", "", 0, uint32(o.seq), len(o.payload))
 		r.conn.xmitData(o.seq, o.payload)
 		return
 	}
@@ -436,6 +439,7 @@ func (r *RD) onRTO() {
 	}
 	r.m.timeouts.Inc()
 	r.rtoStreak++
+	r.conn.trace("rto", "", 0, uint32(r.sndUna), r.rtoStreak)
 	if r.maxRexmit >= 0 && r.rtoStreak > r.maxRexmit {
 		// User timeout: the data path has made no progress across
 		// maxRexmit consecutive RTOs. Give up and surface the abort —

@@ -56,6 +56,10 @@ type Config struct {
 	// KeepPerFlow retains the per-flow table in the Report (dropped by
 	// default above a few hundred flows to keep reports small).
 	KeepPerFlow bool
+	// Tracer, when non-nil, is attached to the run's simulator so every
+	// packet's causal chain is recorded (E11's -trace mode). Tracing is
+	// observational only: it never changes the Report.
+	Tracer netsim.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +153,9 @@ func Run(cfg Config) *Report {
 		Client: cfg.Client, Server: cfg.Server,
 		Metrics: reg,
 	})
+	if cfg.Tracer != nil {
+		w.Sim.SetTracer(cfg.Tracer)
+	}
 	// From here on the engine sees only the interface: either stack,
 	// same code path.
 	var client, server transport.Stack = w.Client, w.Server
