@@ -44,7 +44,7 @@ fuzz:
 fuzz-pool:
 	$(GO) test -run '^$$' -fuzz FuzzStuffPooledParity -fuzztime 5s ./internal/stuffing
 
-# bench runs every experiment benchmark exactly once — a full E1-E11
+# bench runs every experiment benchmark exactly once — a full E1-E12
 # reproduction sweep through the same code path as cmd/benchreport.
 bench:
 	$(GO) test -bench=E -benchtime=1x .
@@ -56,18 +56,20 @@ bench:
 verify: vet lint docs race fuzz fuzz-pool bench perfcheck
 
 # report regenerates BENCH_metrics.json, the machine-readable run
-# report over E1-E11 (deterministic: same seed, same bytes).
+# report over E1-E12 (deterministic: same seed, same bytes).
 report:
 	$(GO) run ./cmd/runreport
 
-# perf regenerates BENCH_perf.json: the E11 flow-scaling matrix plus
-# wall-clock throughput (its "timing" section is the one part of the
-# repo's reports that legitimately varies between machines).
+# perf regenerates BENCH_perf.json: the E11 flow-scaling matrix and
+# the E12 controller bake-off plus wall-clock throughput (its "timing"
+# section is the one part of the repo's reports that legitimately
+# varies between machines).
 perf:
 	$(GO) run ./cmd/benchreport -perf BENCH_perf.json
 
-# perfcheck is the perf-regression gate: rerun the E11 matrix and fail
-# if the deterministic rows drift from BENCH_baseline.json or if
+# perfcheck is the perf-regression gate: rerun the E11 matrix and the
+# E12 bake-off, failing if the deterministic rows drift from
+# BENCH_baseline.json or if
 # allocs/event regresses beyond the tolerance (wall-clock fields are
 # never compared).
 perfcheck:

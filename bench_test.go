@@ -128,6 +128,11 @@ func BenchmarkE11Workload1000(b *testing.B) {
 	}
 }
 
+// BenchmarkE12CCBakeoff regenerates the congestion-control bake-off:
+// both stacks × {newreno, cubic, bbrlite} × {clean, random-loss,
+// bursty} through the ccontrol registry.
+func BenchmarkE12CCBakeoff(b *testing.B) { benchExperiment(b, "e12") }
+
 // --- ablation benches for DESIGN.md's called-out choices ---
 
 // BenchmarkAblationDelayedAcks measures the challenge-3 tune: ack

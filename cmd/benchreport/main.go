@@ -1,11 +1,11 @@
 // Command benchreport regenerates the experiment tables of
-// EXPERIMENTS.md (E1–E11 from DESIGN.md) in one run.
+// EXPERIMENTS.md (E1–E12 from DESIGN.md) in one run.
 //
 //	benchreport                            # run everything
 //	benchreport -e e5                      # one experiment
 //	benchreport -seed 7                    # different world seed
 //	benchreport -e e10 -trace tracedir     # chaos soak + flight dumps
-//	benchreport -perf BENCH_perf.json      # E11 perf report instead of tables
+//	benchreport -perf BENCH_perf.json      # E11+E12 perf report instead of tables
 //	benchreport -check BENCH_baseline.json # perf-regression gate
 //
 // Experiments come from the experiments.Registry, so the tool needs no
@@ -40,7 +40,7 @@ import (
 func main() {
 	common := cli.AddCommon(flag.CommandLine)
 	var (
-		perf  = flag.String("perf", "", `write the E11 perf report to this path ("-" for stdout) and exit`)
+		perf  = flag.String("perf", "", `write the E11+E12 perf report to this path ("-" for stdout) and exit`)
 		check = flag.String("check", "", "compare a fresh perf run against this baseline JSON and exit nonzero on regression")
 		tol   = flag.Float64("tol", 0.25, "relative allocs/event tolerance for -check")
 	)
@@ -62,7 +62,8 @@ func main() {
 			os.Exit(cli.ExitFail)
 		}
 		if *perf != "-" {
-			fmt.Printf("wrote %s (%d rows, %.0f events/sec)\n", *perf, len(rep.Rows), rep.Timing.EventsPerSec)
+			fmt.Printf("wrote %s (%d rows, %d bakeoff cells, %.0f events/sec)\n",
+				*perf, len(rep.Rows), len(rep.Bakeoff), rep.Timing.EventsPerSec)
 		}
 		return
 	}

@@ -1,4 +1,4 @@
-// Command runreport runs every experiment (E1–E11) and writes one
+// Command runreport runs every experiment (E1–E12) and writes one
 // machine-readable run report: per-experiment tables plus the merged
 // metrics snapshot of every simulated world — simulator and link
 // counters, datalink ARQ/MAC, routing and forwarding, and both

@@ -1,31 +1,45 @@
 // Ccswap: the paper's §3 fungibility claim for the transport — swap
-// congestion control (window-based NewReno ⇄ a rate-based scheme ⇄ a
-// fixed window) and connection management (three-way handshake with
-// two ISN generators ⇄ Watson's timer-based scheme) without touching
-// DM, RD or each other. Each combination runs the same transfer over
-// the same lossy path.
+// congestion control and connection management (three-way handshake
+// with two ISN generators ⇄ Watson's timer-based scheme) without
+// touching DM, RD or each other. The congestion-control axis comes
+// straight from the ccontrol registry: every registered controller is
+// a candidate by name, selected through the shared transport.WithCC
+// option rather than a hand-rolled constructor table, so a controller
+// added anywhere in the tree shows up here with zero changes.
+//
+//	go run ./examples/ccswap            # every controller × every CM
+//	go run ./examples/ccswap -cc cubic  # one controller × every CM
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
+	"repro/internal/ccontrol"
 	"repro/internal/netsim"
+	"repro/internal/transport"
 	"repro/internal/transport/harness"
 	"repro/internal/transport/sublayered"
 )
 
 func main() {
-	ccs := []struct {
-		name string
-		mk   func(mss int) sublayered.CongestionControl
-	}{
-		{"newreno   ", func(mss int) sublayered.CongestionControl { return sublayered.NewNewReno(mss) }},
-		{"rate-based", func(mss int) sublayered.CongestionControl { return sublayered.NewRateBased(mss) }},
-		{"fixed-16k ", func(mss int) sublayered.CongestionControl { return sublayered.NewFixedWindow(16 << 10) }},
+	ccFlag := flag.String("cc", "all",
+		`congestion controller by registry name, or "all" for every registered one`)
+	flag.Parse()
+
+	ccs := ccontrol.Names()
+	if *ccFlag != "all" {
+		if _, err := ccontrol.New(*ccFlag, ccontrol.Config{}); err != nil {
+			fmt.Fprintf(os.Stderr, "ccswap: %v\n", err)
+			os.Exit(2)
+		}
+		ccs = []string{*ccFlag}
 	}
+
 	cms := []struct {
 		name string
 		mk   func() func() sublayered.ConnManager
@@ -49,7 +63,8 @@ func main() {
 	data := make([]byte, 150_000)
 	rand.New(rand.NewSource(1)).Read(data)
 
-	fmt.Println("same 150 KB transfer, same 4%-loss path, every CC × CM combination:")
+	fmt.Printf("same 150 KB transfer, same 4%%-loss path, every CC × CM combination\n")
+	fmt.Printf("(CC axis = ccontrol registry: %v):\n", ccontrol.Names())
 	fmt.Printf("%-12s %-19s %-8s %s\n", "congestion", "connection-mgmt", "intact", "virtual-time")
 	for _, cc := range ccs {
 		for _, cm := range cms {
@@ -57,17 +72,18 @@ func main() {
 				Seed:   11,
 				Link:   netsim.LinkConfig{Delay: 2 * time.Millisecond, LossProb: 0.04, ReorderProb: 0.04},
 				Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
-				SubCfg: sublayered.Config{NewCC: cc.mk, NewCM: cm.mk()},
+				SubCfg: sublayered.Config{NewCM: cm.mk()},
+				Opts:   []transport.Option{transport.WithCC(cc)},
 			})
 			res, err := harness.RunTransfer(w, data, nil, time.Hour)
 			if err != nil {
 				panic(err)
 			}
-			fmt.Printf("%-12s %-19s %-8v %v\n", cc.name, cm.name,
+			fmt.Printf("%-12s %-19s %-8v %v\n", cc, cm.name,
 				bytes.Equal(res.ServerGot, data),
 				res.Elapsed.Truncate(time.Millisecond))
 		}
 	}
-	fmt.Println("\nnine combinations, zero code changed outside the swapped sublayer (T3).")
+	fmt.Printf("\n%d combinations, zero code changed outside the swapped sublayer (T3).\n", len(ccs)*len(cms))
 	fmt.Println("timer-based rows start a round-trip sooner: no handshake to wait for.")
 }

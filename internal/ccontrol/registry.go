@@ -1,0 +1,63 @@
+package ccontrol
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Constructor builds one controller instance.
+type Constructor func(cfg Config) Controller
+
+// registry maps algorithm name → constructor. Entries self-register
+// from init functions in this package, mirroring experiments.Registry:
+// adding a controller is one Register call, and every consumer (both
+// stacks, the E12 bake-off, examples/ccswap) picks it up by name with
+// no further wiring.
+var registry = map[string]Constructor{}
+
+// DefaultName is the controller both stacks construct when no name is
+// configured.
+const DefaultName = "newreno"
+
+// Register adds a constructor under name. It panics on a duplicate
+// name — registration happens at init time, so a collision is a
+// programming error worth failing loudly on.
+func Register(name string, mk Constructor) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("ccontrol: duplicate controller %q", name))
+	}
+	registry[name] = mk
+}
+
+// New builds the named controller, or errors with the known names.
+func New(name string, cfg Config) (Controller, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ccontrol: unknown controller %q (have %v)", name, Names())
+	}
+	return mk(cfg.withDefaults()), nil
+}
+
+// MustNew is New for statically known names (stack construction,
+// tests); it panics on an unknown name.
+func MustNew(name string, cfg Config) Controller {
+	c, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names lists the registered controllers, sorted for deterministic
+// iteration in experiments and reports.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -88,9 +89,9 @@ func E6Entanglement(seed int64) *Result {
 	res := &Result{
 		ID:     "E6",
 		Title:  "§4.2 entanglement: monolithic PCB vs segregated sublayers",
-		Header: []string{"implementation", "handlers", "vars", "shared-vars", "multi-writer", "interaction-pairs", "of-max"},
+		Header: []string{"implementation", "handlers", "vars", "shared-vars", "multi-writer", "interaction-pairs", "of-max", "cc-handlers", "cc-blast"},
 	}
-	run := func(kind harness.Kind) verify.Entanglement {
+	run := func(kind harness.Kind) (verify.Entanglement, verify.Blast) {
 		tr := verify.NewTracker()
 		data := randPayload(120_000, seed)
 		out := runWorld(harness.WorldConfig{
@@ -101,10 +102,19 @@ func E6Entanglement(seed int64) *Result {
 			panic(fmt.Sprintf("E6 workload failed for %v", kind))
 		}
 		res.fold(kind.String(), out.Snap)
-		return tr.Analyze()
+		// The CC swap question: both stacks hold the controller behind
+		// one tracked variable; its blast radius is the state a reviewer
+		// re-examines when the controller changes.
+		ccVar := "osr.cc"
+		if kind == harness.KindMonolithic {
+			ccVar = "pcb.cc"
+		}
+		return tr.Analyze(), tr.Blast(ccVar)
 	}
+	blasts := make(map[harness.Kind]verify.Blast)
 	for _, k := range []harness.Kind{harness.KindMonolithic, harness.KindSublayeredNative} {
-		e := run(k)
+		e, b := run(k)
+		blasts[k] = b
 		res.Rows = append(res.Rows, []string{
 			k.String(),
 			fmt.Sprintf("%d", e.Handlers),
@@ -113,11 +123,29 @@ func E6Entanglement(seed int64) *Result {
 			fmt.Sprintf("%d", e.WriteShared),
 			fmt.Sprintf("%d", e.InteractionPairs),
 			fmt.Sprintf("%d", e.MaxPairs),
+			fmt.Sprintf("%d", len(b.Handlers)),
+			fmt.Sprintf("%d", len(b.CoTouched)),
 		})
 	}
+	mb, sb := blasts[harness.KindMonolithic], blasts[harness.KindSublayeredNative]
+	mreg := metrics.New()
+	bsc := mreg.Scope("blast")
+	var gmh, gmt, gsh, gst metrics.Gauge
+	gmh.Set(int64(len(mb.Handlers)))
+	gmt.Set(int64(len(mb.CoTouched)))
+	gsh.Set(int64(len(sb.Handlers)))
+	gst.Set(int64(len(sb.CoTouched)))
+	bsc.Register("mono_cc_handlers", &gmh)
+	bsc.Register("mono_cc_cotouched", &gmt)
+	bsc.Register("sub_cc_handlers", &gsh)
+	bsc.Register("sub_cc_cotouched", &gst)
+	res.Metrics = metrics.Merge(res.Metrics, mreg.Snapshot())
 	res.Notes = append(res.Notes,
-		"monolithic handlers share most PCB variables (tcp_receive alone touches snd_una, cwnd, reasm, fin state, ...): interaction pairs approach the O(N²) ceiling",
-		"sublayered handlers touch sublayer-prefixed state; cross-handler sharing is confined within each sublayer, so reasoning obligations stay near O(N) — the paper's conjecture, measured")
+		"monolithic handlers share most PCB variables (tcp_receive alone touches snd_una, the controller, reasm, fin state, ...): interaction pairs approach the O(N²) ceiling",
+		"sublayered handlers touch sublayer-prefixed state; cross-handler sharing is confined within each sublayer, so reasoning obligations stay near O(N) — the paper's conjecture, measured",
+		fmt.Sprintf("cc blast radius (state co-touched by every handler that touches the controller): monolithic pcb.cc → %d handlers, %d co-touched vars (%s); sublayered osr.cc → %d handlers, %d co-touched vars (%s) — the same ccontrol swap drags in strictly more monolithic state",
+			len(mb.Handlers), len(mb.CoTouched), strings.Join(mb.Handlers, " "),
+			len(sb.Handlers), len(sb.CoTouched), strings.Join(sb.Handlers, " ")))
 	return res
 }
 

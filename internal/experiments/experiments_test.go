@@ -115,6 +115,16 @@ func TestE6SublayeredLessEntangled(t *testing.T) {
 	if sDensity >= mDensity {
 		t.Errorf("interaction density: sublayered %.2f vs monolithic %.2f", sDensity, mDensity)
 	}
+	// The CC-swap asymmetry E12 leans on: the controller variable's
+	// blast radius is strictly larger in the monolithic stack.
+	mCCHandlers, sCCHandlers := parse(mono[7]), parse(sub[7])
+	mBlast, sBlast := parse(mono[8]), parse(sub[8])
+	if mCCHandlers == 0 || sCCHandlers == 0 {
+		t.Fatalf("cc variable untracked: mono %d handlers, sub %d", mCCHandlers, sCCHandlers)
+	}
+	if sBlast >= mBlast {
+		t.Errorf("cc blast radius: sublayered %d vs monolithic %d (expected strictly fewer)", sBlast, mBlast)
+	}
 }
 
 func TestE9SimpleCutWins(t *testing.T) {
@@ -178,6 +188,46 @@ func TestE11FlowScaling(t *testing.T) {
 		if row[7] != "0" {
 			t.Errorf("%s flows on %s: %s watchdog violations", row[0], row[1], row[7])
 		}
+	}
+}
+
+// TestE12ControllersFungibleButDistinct is the bake-off acceptance
+// check: all 18 cells of the {stack × controller × regime} matrix
+// complete every flow with zero violations (fungibility), yet within
+// at least one fixed (stack, regime) group the goodput/fairness
+// columns differ across controllers (the choice is visible).
+func TestE12ControllersFungibleButDistinct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("18-cell matrix")
+	}
+	r := E12CCBakeoff(12)
+	if len(r.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18 (2 stacks × 3 CCs × 3 regimes)", len(r.Rows))
+	}
+	type group struct{ stack, regime string }
+	outcomes := make(map[group]map[string]bool)
+	for _, row := range r.Rows {
+		if row[3] != "24/24" {
+			t.Errorf("%s/%s/%s: completed %s", row[0], row[1], row[2], row[3])
+		}
+		if row[8] != "0" {
+			t.Errorf("%s/%s/%s: %s watchdog violations", row[0], row[1], row[2], row[8])
+		}
+		g := group{row[0], row[2]}
+		if outcomes[g] == nil {
+			outcomes[g] = make(map[string]bool)
+		}
+		outcomes[g][row[4]+"|"+row[7]] = true
+	}
+	distinct := false
+	for _, set := range outcomes {
+		if len(set) > 1 {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Error("controller choice invisible: goodput and fairness identical across CCs in every cell group")
 	}
 }
 

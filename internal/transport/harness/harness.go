@@ -63,13 +63,14 @@ type Sublayered struct {
 	label string
 }
 
-// NewSublayered attaches a sublayered transport to a router.
-func NewSublayered(sim *netsim.Simulator, r *network.Router, cfg sublayered.Config) *Sublayered {
+// NewSublayered attaches a sublayered transport to a router. Trailing
+// transport.Options pass through to the stack constructor.
+func NewSublayered(sim *netsim.Simulator, r *network.Router, cfg sublayered.Config, opts ...transport.Option) *Sublayered {
 	label := "sublayered"
 	if cfg.UseShim {
 		label = "sublayered+shim"
 	}
-	return &Sublayered{Stack: sublayered.NewStack(sim, r, cfg), label: label}
+	return &Sublayered{Stack: sublayered.NewStack(sim, r, cfg, opts...), label: label}
 }
 
 // Name implements Transport.
@@ -127,9 +128,10 @@ type Monolithic struct {
 	Stack *monolithic.Stack
 }
 
-// NewMonolithic attaches a monolithic transport to a router.
-func NewMonolithic(sim *netsim.Simulator, r *network.Router, cfg monolithic.Config) *Monolithic {
-	return &Monolithic{Stack: monolithic.NewStack(sim, r, cfg)}
+// NewMonolithic attaches a monolithic transport to a router. Trailing
+// transport.Options pass through to the stack constructor.
+func NewMonolithic(sim *netsim.Simulator, r *network.Router, cfg monolithic.Config, opts ...transport.Option) *Monolithic {
+	return &Monolithic{Stack: monolithic.NewStack(sim, r, cfg, opts...)}
 }
 
 // Name implements Transport.
@@ -207,6 +209,9 @@ type WorldConfig struct {
 	Tracker *verify.Tracker // attached to both transports (E6)
 	SubCfg  sublayered.Config
 	MonoCfg monolithic.Config
+	// Opts apply to both end hosts' stacks regardless of Kind — the
+	// shared construction surface (transport.WithCC and friends).
+	Opts []transport.Option
 	// Metrics, when non-nil, adopts every instrument in the world: the
 	// simulator and links under "netsim/...", each router under
 	// "n<addr>/network/..." and each end host's transport under
@@ -259,18 +264,18 @@ func buildTransport(k Kind, sim *netsim.Simulator, r *network.Router, cfg WorldC
 		mc := cfg.MonoCfg
 		mc.Tracker = cfg.Tracker
 		mc.Metrics = msc
-		return NewMonolithic(sim, r, mc)
+		return NewMonolithic(sim, r, mc, cfg.Opts...)
 	case KindSublayeredShim:
 		sc := cfg.SubCfg
 		sc.UseShim = true
 		sc.Tracker = cfg.Tracker
 		sc.Metrics = msc
-		return NewSublayered(sim, r, sc)
+		return NewSublayered(sim, r, sc, cfg.Opts...)
 	default:
 		sc := cfg.SubCfg
 		sc.Tracker = cfg.Tracker
 		sc.Metrics = msc
-		return NewSublayered(sim, r, sc)
+		return NewSublayered(sim, r, sc, cfg.Opts...)
 	}
 }
 

@@ -22,8 +22,7 @@ func (p *PCB) checkInvariants(ck *verify.Checker) {
 		"next_send %d behind acked offset %d", p.nextSend, p.ackedOffset())
 	ck.Check(p.nextSend <= p.sndBuf.End(), "pcb/send-within-buffer",
 		"next_send %d beyond buffer end %d", p.nextSend, p.sndBuf.End())
-	ck.Check(p.cwnd > 0, "pcb/cwnd-positive", "cwnd = %d", p.cwnd)
-	ck.Check(p.ssthresh > 0, "pcb/ssthresh-positive", "ssthresh = %d", p.ssthresh)
+	ck.Check(p.cc.Window() > 0, "pcb/cc-window-positive", "cc window = %d", p.cc.Window())
 	if p.finSent {
 		ck.Check(p.closed, "pcb/fin-implies-closed", "FIN sent but not closed")
 	}

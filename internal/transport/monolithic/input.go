@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/ccontrol"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -165,42 +166,47 @@ func (s *Stack) tcpReceive(p *PCB, h *tcpwire.TCPHeader, payload []byte) {
 					}
 				}
 			}
+			// RTT timing resolves before the controller sees the ack so
+			// the sample rides in the same AckSample (0 when Karn's rule
+			// invalidates it).
+			var sample time.Duration
+			if p.timing && p.timedEnd.Leq(ack) {
+				sample = timeSince(s, p.timedAt)
+				p.rtt.Sample(sample)
+				s.m.rttMs.Observe(sample.Milliseconds())
+				p.timing = false
+				s.tw("pcb.rto")
+			}
 			if newly > 0 {
-				// Release the send buffer and grow cwnd — reliability
-				// and congestion control mutating shared state in the
-				// same block.
+				// Release the send buffer and feed the controller —
+				// reliability and congestion control mutating shared
+				// state in the same block.
 				acked := p.ackedOffset()
 				p.sndBuf.Release(acked)
 				if p.nextSend < acked {
 					p.nextSend = acked
 				}
-				if p.cwnd < p.ssthresh {
-					p.cwnd += newly // slow start
-				} else {
-					p.cwnd += maxi(s.cfg.MSS*newly/p.cwnd, 1) // cong. avoidance
-				}
-				s.tw("pcb.snd_buf", "pcb.next_send", "pcb.cwnd")
+				p.cc.OnAck(ccontrol.AckSample{
+					Acked:     int(newly),
+					RTT:       sample,
+					Delivered: acked,
+					InFlight:  p.inflight(),
+					Now:       time.Duration(s.sim.Now()),
+				})
+				s.tw("pcb.snd_buf", "pcb.next_send", "pcb.cc")
 				if p.OnWritable != nil {
 					p.OnWritable()
 				}
-			}
-			if p.timing && p.timedEnd.Leq(ack) {
-				sample := timeSince(s, p.timedAt)
-				p.rtt.Sample(sample)
-				s.m.rttMs.Observe(sample.Milliseconds())
-				p.timing = false
-				s.tw("pcb.rto")
 			}
 			p.armRexmit()
 		case ack == p.sndUna && p.inflight() > 0 && len(payload) == 0:
 			p.dupAcks++
 			s.tw("pcb.dup_acks")
 			if p.dupAcks == 3 {
-				// Fast retransmit: halve cwnd, roll back, resend one.
+				// Fast retransmit: cut the window, roll back, resend one.
 				s.m.fastRetransmits.Inc()
-				p.ssthresh = maxi(p.inflight()/2, 2*s.cfg.MSS)
-				p.cwnd = p.ssthresh
-				s.tw("pcb.ssthresh", "pcb.cwnd")
+				p.cc.OnLoss(ccontrol.LossEvent{Kind: ccontrol.LossFast})
+				s.tw("pcb.cc")
 				p.rollbackAndRetransmit()
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ccontrol"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -426,5 +427,27 @@ func TestPCBContractCannotLocalize(t *testing.T) {
 		if !strings.HasPrefix(v.Name, "pcb/") {
 			t.Errorf("violation %q not pcb-scoped", v.Name)
 		}
+	}
+}
+
+// TestCCSwapCompletesTransfer drives every registered controller
+// through the lossy link via Config.CC — the monolithic counterpart of
+// the sublayered registry-swap test. The swap works, but unlike the
+// sublayered stack it rides glue threaded through tcp_receive,
+// tcp_output and the retransmission timer (see E6's blast radius).
+func TestCCSwapCompletesTransfer(t *testing.T) {
+	for _, name := range ccontrol.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := newWorld(t, 42, nastyLink(), Config{CC: name}, Config{CC: name})
+			data := randBytes(120_000, 7)
+			res := runTransfer(t, w, data, nil, 10*time.Minute)
+			if !bytes.Equal(res.serverGot, data) {
+				t.Fatalf("transfer corrupt or incomplete: %d/%d bytes", len(res.serverGot), len(data))
+			}
+			if got := res.clientConn.cc.Name(); got != name {
+				t.Errorf("controller = %q, want %q", got, name)
+			}
+		})
 	}
 }

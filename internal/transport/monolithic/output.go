@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/ccontrol"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -74,11 +75,11 @@ func (p *PCB) tcpOutput() {
 		p.state != stFinWait1 && p.state != stClosing && p.state != stLastAck {
 		return
 	}
-	s.tr("pcb.cwnd", "pcb.snd_wnd", "pcb.next_send", "pcb.snd_buf")
+	s.tr("pcb.cc", "pcb.snd_wnd", "pcb.next_send", "pcb.snd_buf")
 	for {
 		acked := p.ackedOffset()
 		inflight := int(p.nextSend - acked)
-		wnd := p.cwnd
+		wnd := p.cc.Window()
 		if p.sndWnd < wnd {
 			wnd = p.sndWnd
 		}
@@ -178,9 +179,8 @@ func (p *PCB) onRexmitTimer() {
 	}
 	p.rtt.Backoff()
 	p.timing = false // Karn
-	p.ssthresh = maxi(p.inflight()/2, 2*s.cfg.MSS)
-	p.cwnd = s.cfg.MSS
-	s.tw("pcb.ssthresh", "pcb.cwnd", "pcb.rto")
+	p.cc.OnLoss(ccontrol.LossEvent{Kind: ccontrol.LossTimeout})
+	s.tw("pcb.cc", "pcb.rto")
 	p.rollbackAndRetransmit()
 }
 

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/ccontrol"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
+	"repro/internal/transport"
 	"repro/internal/transport/seg"
 	"repro/internal/verify"
 )
@@ -66,6 +68,13 @@ type Config struct {
 	MSS int
 	// SendBuf / RecvBuf are per-connection buffer sizes (default 64 KiB).
 	SendBuf, RecvBuf int
+	// CC selects the congestion controller by ccontrol registry name
+	// ("newreno", "cubic", "bbrlite", ...; default ccontrol.DefaultName).
+	// Unknown names panic at NewStack. Note the asymmetry E6/E12
+	// instrument: the sublayered stack confines the same swap to OSR's
+	// wiring, while here the controller's glue threads through
+	// tcp_receive, tcp_output and the retransmission timer.
+	CC string
 	// MaxRexmit bounds consecutive retransmissions (default 12).
 	MaxRexmit int
 	// TimeWait is the 2MSL quiet period (default 10s).
@@ -178,7 +187,20 @@ type Listener struct {
 func (l *Listener) Accepted() []*PCB { return l.accepted }
 
 // NewStack attaches a monolithic TCP to a router (claims ProtoTCP).
-func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack {
+// Trailing transport.Options (WithCC, WithMetrics, WithTracer) override
+// the corresponding Config fields — the construction surface shared
+// with the sublayered stack.
+func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config, opts ...transport.Option) *Stack {
+	o := transport.Collect(opts)
+	if o.CC != "" {
+		cfg.CC = o.CC
+	}
+	if o.Metrics != nil {
+		cfg.Metrics = o.Metrics
+	}
+	if o.Tracer != nil {
+		sim.SetTracer(o.Tracer)
+	}
 	s := &Stack{
 		sim:       sim,
 		router:    router,
@@ -247,11 +269,13 @@ type PCB struct {
 	rcvNxt         seg.Seq
 
 	// Windows — reliability, flow control and congestion control all
-	// read and write these (the paper's "entangled state" example).
-	sndWnd   int // peer's advertised window
-	cwnd     int
-	ssthresh int
-	dupAcks  int
+	// read and write these (the paper's "entangled state" example). The
+	// congestion policy itself now lives behind ccontrol.Controller, but
+	// its glue (ack accounting, dupack counting, window gating) still
+	// threads through every handler below.
+	sndWnd  int // peer's advertised window
+	cc      ccontrol.Controller
+	dupAcks int
 
 	// Buffers.
 	sndBuf   *seg.SendBuffer
@@ -294,6 +318,9 @@ type PCB struct {
 
 // State reports the FSM state name.
 func (p *PCB) State() string { return p.state.String() }
+
+// CC exposes the congestion controller (read-only use: stats, E12).
+func (p *PCB) CC() ccontrol.Controller { return p.cc }
 
 // Err returns the terminal error, if the PCB died.
 func (p *PCB) Err() error { return p.err }
@@ -399,8 +426,7 @@ func (s *Stack) newPCB(id connID) *PCB {
 		stack:    s,
 		id:       id,
 		state:    stClosed,
-		cwnd:     2 * s.cfg.MSS,
-		ssthresh: 64 * 1024,
+		cc:       ccontrol.MustNew(s.cfg.CC, ccontrol.Config{MSS: s.cfg.MSS}),
 		sndWnd:   s.cfg.MSS,
 		sndBuf:   seg.NewSendBuffer(s.cfg.SendBuf),
 		reasm:    seg.NewReassembly(s.cfg.RecvBuf),

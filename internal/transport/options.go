@@ -1,0 +1,51 @@
+package transport
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Options collects the construction settings shared by both stacks, so
+// callers configure either implementation — or both in one world — with
+// the same literals instead of stack-specific config fields. Stack
+// constructors accept them variadically:
+//
+//	sublayered.NewStack(sim, r, cfg, transport.WithCC("cubic"))
+//	monolithic.NewStack(sim, r, cfg, transport.WithCC("cubic"))
+//
+// Prefer WithMetrics over the per-stack BindMetrics methods (those
+// remain only because the Stack interface needs a post-construction
+// hook for adapters).
+type Options struct {
+	// CC selects a congestion controller by ccontrol registry name.
+	// Empty keeps the stack config's choice (or the registry default).
+	CC string
+	// Metrics adopts the stack's instruments under this scope.
+	Metrics *metrics.Scope
+	// Tracer installs a causal packet tracer on the stack's simulator.
+	Tracer netsim.Tracer
+}
+
+// Option mutates Options — the functional-options pattern shared by
+// both stack constructors.
+type Option func(*Options)
+
+// WithCC selects the congestion controller by ccontrol registry name.
+func WithCC(name string) Option { return func(o *Options) { o.CC = name } }
+
+// WithMetrics adopts the stack's instruments under sc.
+func WithMetrics(sc *metrics.Scope) Option { return func(o *Options) { o.Metrics = sc } }
+
+// WithTracer installs tr on the stack's simulator at construction.
+func WithTracer(tr netsim.Tracer) Option { return func(o *Options) { o.Tracer = tr } }
+
+// Collect folds opts into one Options value (for stack constructors).
+func Collect(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}

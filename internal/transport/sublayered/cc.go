@@ -1,192 +1,41 @@
 package sublayered
 
 import (
-	"time"
+	"repro/internal/ccontrol"
 )
 
-// LossKind distinguishes the congestion signals RD summarizes for OSR
-// — "congestion signals such as timeouts and loss information should
-// be summarized and passed by RD to OSR" (§3).
-type LossKind int
+// Rate control is hidden inside OSR, but the policy itself is no longer
+// this package's business: controllers live in internal/ccontrol behind
+// a stack-agnostic Controller interface, selected by name through
+// ccontrol.Registry (Config.CC) or injected via Config.NewCC. The
+// aliases below keep the sublayer vocabulary — "congestion signals such
+// as timeouts and loss information should be summarized and passed by
+// RD to OSR" (§3) — while the constructors remain for callers that
+// predate the registry.
+
+// CongestionControl is the rate-control policy hidden inside OSR. It
+// owns nothing but its window; swapping implementations (E8, E12)
+// touches no other sublayer. The contract is the paper's: "if the
+// network or receiver bottleneck rate changes and stays steady, the
+// sending OSR will eventually reach and stay at that bottleneck rate."
+type CongestionControl = ccontrol.Controller
+
+// LossKind distinguishes the congestion signals RD summarizes for OSR.
+type LossKind = ccontrol.LossKind
 
 // Loss kinds.
 const (
 	// LossFast is a fast-retransmit indication (3 duplicate acks).
-	LossFast LossKind = iota
+	LossFast = ccontrol.LossFast
 	// LossTimeout is a retransmission timeout.
-	LossTimeout
+	LossTimeout = ccontrol.LossTimeout
 )
 
-// CongestionControl is the rate-control policy hidden inside OSR. It
-// owns nothing but its window; swapping implementations (E8) touches
-// no other sublayer. The contract is the paper's: "if the network or
-// receiver bottleneck rate changes and stays steady, the sending OSR
-// will eventually reach and stay at that bottleneck rate."
-type CongestionControl interface {
-	// Name identifies the algorithm.
-	Name() string
-	// Window returns the bytes the sender may have in flight.
-	Window() int
-	// OnAck reports newly acknowledged bytes and an RTT sample (0 if
-	// the sample was invalid under Karn's rule).
-	OnAck(newlyAcked int, rtt time.Duration)
-	// OnLoss reports a loss event summarized by RD.
-	OnLoss(kind LossKind)
-	// OnECN reports an explicit congestion mark echoed by the peer.
-	OnECN()
-}
-
-// NewReno is slow start + congestion avoidance + multiplicative
-// decrease on loss (fast recovery simplified to a half-window cut).
-type NewReno struct {
-	mss      int
-	cwnd     int
-	ssthresh int
-	// accumulated bytes toward the next +1 MSS in congestion avoidance
-	caAccum int
-	// ecnGuard suppresses multiple reactions within one window.
-	lastCut time.Duration
-}
-
 // NewNewReno returns Reno-style congestion control for the given MSS.
-func NewNewReno(mss int) *NewReno {
-	return &NewReno{mss: mss, cwnd: 2 * mss, ssthresh: 64 * 1024}
-}
-
-// Name implements CongestionControl.
-func (c *NewReno) Name() string { return "newreno" }
-
-// Window implements CongestionControl.
-func (c *NewReno) Window() int { return c.cwnd }
-
-// OnAck implements CongestionControl.
-func (c *NewReno) OnAck(newlyAcked int, rtt time.Duration) {
-	if newlyAcked <= 0 {
-		return
-	}
-	if c.cwnd < c.ssthresh {
-		// Slow start: one MSS per MSS acked.
-		c.cwnd += newlyAcked
-		if c.cwnd > c.ssthresh {
-			c.cwnd = c.ssthresh
-		}
-		return
-	}
-	// Congestion avoidance: one MSS per window.
-	c.caAccum += newlyAcked
-	if c.caAccum >= c.cwnd {
-		c.caAccum -= c.cwnd
-		c.cwnd += c.mss
-	}
-}
-
-// OnLoss implements CongestionControl.
-func (c *NewReno) OnLoss(kind LossKind) {
-	switch kind {
-	case LossFast:
-		c.ssthresh = maxInt(c.cwnd/2, 2*c.mss)
-		c.cwnd = c.ssthresh
-	case LossTimeout:
-		c.ssthresh = maxInt(c.cwnd/2, 2*c.mss)
-		c.cwnd = c.mss
-	}
-	c.caAccum = 0
-}
-
-// OnECN implements CongestionControl: ECN reacts like a fast loss.
-func (c *NewReno) OnECN() { c.OnLoss(LossFast) }
-
-// FixedWindow is degenerate congestion control: a constant window. It
-// exists to show the interface is honest (the stack runs, just without
-// adaptation) and as the baseline in the E8 swap experiment.
-type FixedWindow struct {
-	bytes int
-}
+func NewNewReno(mss int) CongestionControl { return ccontrol.NewNewReno(mss) }
 
 // NewFixedWindow returns a fixed window of n bytes.
-func NewFixedWindow(n int) *FixedWindow { return &FixedWindow{bytes: n} }
-
-// Name implements CongestionControl.
-func (c *FixedWindow) Name() string { return "fixed" }
-
-// Window implements CongestionControl.
-func (c *FixedWindow) Window() int { return c.bytes }
-
-// OnAck implements CongestionControl.
-func (c *FixedWindow) OnAck(int, time.Duration) {}
-
-// OnLoss implements CongestionControl.
-func (c *FixedWindow) OnLoss(LossKind) {}
-
-// OnECN implements CongestionControl.
-func (c *FixedWindow) OnECN() {}
-
-// RateBased is an AIMD on *rate* rather than window — the "rate-based
-// protocol" the paper suggests could seamlessly replace window-based
-// congestion control (§3, T3 discussion). The permitted window is the
-// current rate times the smoothed RTT (bandwidth-delay product).
-type RateBased struct {
-	mss      int
-	rate     float64 // bytes/sec
-	minRate  float64
-	srtt     time.Duration
-	additive float64 // bytes/sec added per ack batch
-}
+func NewFixedWindow(n int) CongestionControl { return ccontrol.NewFixedWindow(n) }
 
 // NewRateBased returns rate-based congestion control.
-func NewRateBased(mss int) *RateBased {
-	start := float64(16 * mss)
-	return &RateBased{mss: mss, rate: start * 4, minRate: start, additive: float64(2 * mss)}
-}
-
-// Name implements CongestionControl.
-func (c *RateBased) Name() string { return "rate-based" }
-
-// Window implements CongestionControl.
-func (c *RateBased) Window() int {
-	rtt := c.srtt
-	if rtt <= 0 {
-		rtt = 100 * time.Millisecond
-	}
-	w := int(c.rate * rtt.Seconds())
-	if w < 2*c.mss {
-		w = 2 * c.mss
-	}
-	return w
-}
-
-// OnAck implements CongestionControl.
-func (c *RateBased) OnAck(newlyAcked int, rtt time.Duration) {
-	if rtt > 0 {
-		if c.srtt == 0 {
-			c.srtt = rtt
-		} else {
-			c.srtt = (7*c.srtt + rtt) / 8
-		}
-	}
-	if newlyAcked > 0 {
-		c.rate += c.additive * float64(newlyAcked) / float64(maxInt(c.Window(), c.mss))
-	}
-}
-
-// OnLoss implements CongestionControl.
-func (c *RateBased) OnLoss(kind LossKind) {
-	factor := 0.7
-	if kind == LossTimeout {
-		factor = 0.5
-	}
-	c.rate *= factor
-	if c.rate < c.minRate {
-		c.rate = c.minRate
-	}
-}
-
-// OnECN implements CongestionControl.
-func (c *RateBased) OnECN() { c.OnLoss(LossFast) }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
+func NewRateBased(mss int) CongestionControl { return ccontrol.NewRateBased(mss) }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"repro/internal/bufpool"
+	"repro/internal/ccontrol"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
+	"repro/internal/transport"
 	"repro/internal/transport/seg"
 	"repro/internal/verify"
 )
@@ -20,8 +22,12 @@ type Config struct {
 	MSS int
 	// SendBuf / RecvBuf are per-connection buffer sizes (default 64 KiB).
 	SendBuf, RecvBuf int
-	// NewCC constructs the congestion controller per connection
-	// (default NewReno).
+	// CC selects the congestion controller by ccontrol registry name
+	// ("newreno", "cubic", "bbrlite", ...; default ccontrol.DefaultName).
+	// Ignored when NewCC is set. Unknown names panic at NewStack.
+	CC string
+	// NewCC constructs the congestion controller per connection,
+	// overriding CC (default: resolve CC through the registry).
 	NewCC func(mss int) CongestionControl
 	// NewCM constructs the connection manager per connection (default
 	// three-way handshake with RFC 1948 crypto ISNs).
@@ -71,7 +77,10 @@ func (c Config) withDefaults() Config {
 		c.RecvBuf = 64 * 1024
 	}
 	if c.NewCC == nil {
-		c.NewCC = func(mss int) CongestionControl { return NewNewReno(mss) }
+		name := c.CC
+		c.NewCC = func(mss int) CongestionControl {
+			return ccontrol.MustNew(name, ccontrol.Config{MSS: mss})
+		}
 	}
 	if c.MaxDataRexmit == 0 {
 		c.MaxDataRexmit = 12
@@ -166,7 +175,21 @@ type Stack struct {
 
 // NewStack attaches a sublayered transport to a router. In shim mode
 // it claims the router's ProtoTCP handler; in native mode ProtoSubTCP.
-func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config) *Stack {
+// Trailing transport.Options (WithCC, WithMetrics, WithTracer) override
+// the corresponding Config fields — the construction surface shared
+// with the monolithic stack.
+func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config, opts ...transport.Option) *Stack {
+	o := transport.Collect(opts)
+	if o.CC != "" {
+		cfg.CC = o.CC
+		cfg.NewCC = nil
+	}
+	if o.Metrics != nil {
+		cfg.Metrics = o.Metrics
+	}
+	if o.Tracer != nil {
+		sim.SetTracer(o.Tracer)
+	}
 	s := &Stack{sim: sim, router: router, cfg: cfg.withDefaults(),
 		traceName: router.Addr().String() + "/sub"}
 	s.dm = &DM{
@@ -290,6 +313,14 @@ func (s *Stack) trackWrite(vars ...string) {
 	if s.cfg.Tracker != nil {
 		for _, v := range vars {
 			s.cfg.Tracker.Write(v)
+		}
+	}
+}
+
+func (s *Stack) trackRead(vars ...string) {
+	if s.cfg.Tracker != nil {
+		for _, v := range vars {
+			s.cfg.Tracker.Read(v)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package sublayered
 import (
 	"time"
 
+	"repro/internal/ccontrol"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tcpwire"
@@ -36,7 +37,13 @@ type OSR struct {
 	probe      netsim.Timer
 	probeFn    func() // cached callback; re-arming allocates nothing
 	cwrPending bool
-	lastECNCut netsim.Time
+
+	// Pacing: when the controller publishes a rate, pump spaces segment
+	// releases instead of bursting the whole window. nextRelease is the
+	// simulated instant the next segment may leave.
+	pace        netsim.Timer
+	paceFn      func()
+	nextRelease netsim.Time
 
 	// Receive half.
 	ra           *seg.Reassembly
@@ -105,6 +112,12 @@ func newOSR(c *Conn, cc CongestionControl, mss, sendBuf, recvBuf int) *OSR {
 		}
 		o.armProbe(0)
 	}
+	o.paceFn = func() {
+		if c.dead {
+			return
+		}
+		o.pump()
+	}
 	return o
 }
 
@@ -151,6 +164,8 @@ func (o *OSR) pump() {
 	if !o.conn.rd.established {
 		return // segments become "ready" only once CM delivers ISNs
 	}
+	o.conn.stack.trackRead("osr.cc")
+	rate := o.cc.PacingRate()
 	for {
 		avail := o.sb.End() - o.nextSeg
 		if avail == 0 {
@@ -184,6 +199,18 @@ func (o *OSR) pump() {
 			o.peerWnd-inflight < o.mss && o.cc.Window()-inflight >= o.mss {
 			break
 		}
+		// Pacing: a rate-publishing controller (bbrlite) spaces releases
+		// at n/rate instead of bursting the window; window-clocked
+		// controllers report 0 and skip this entirely.
+		if rate > 0 {
+			now := o.conn.now()
+			if now < o.nextRelease {
+				o.armPace(o.nextRelease - now)
+				break
+			}
+			gap := netsim.Time(float64(n) / rate * 1e9)
+			o.nextRelease = now + gap
+		}
 		data := o.sb.View(o.nextSeg, n)
 		o.m.segmentsReady.Inc()
 		o.m.bytesSegmented.Add(uint64(n))
@@ -193,6 +220,14 @@ func (o *OSR) pump() {
 		o.conn.rd.Send(off, data)
 	}
 	o.maybeFinish()
+}
+
+// armPace schedules the next pump when pacing defers a release.
+func (o *OSR) armPace(d netsim.Time) {
+	if o.pace.Active() {
+		return
+	}
+	o.pace = o.conn.stack.sim.ScheduleTimer(time.Duration(d), o.paceFn)
 }
 
 // armProbe guards against the zero-window deadlock: if the peer closed
@@ -222,7 +257,10 @@ func (o *OSR) maybeFinish() {
 // acked byte count, and an RTT sample (0 when invalid under Karn's
 // rule). OSR advances its windows — "the sending RD must tell the
 // sending OSR when segments are acked so the sending OSR can advance
-// the congestion and flow control windows."
+// the congestion and flow control windows" — and folds the delivery
+// bookkeeping it already owns into the controller's AckSample, so
+// rate-estimating controllers (bbrlite) get their samples without any
+// new sublayer crossing.
 func (o *OSR) onAcked(cum uint64, newly int, rtt time.Duration) {
 	o.conn.stack.track("osr.onAcked")
 	freed := false
@@ -232,7 +270,14 @@ func (o *OSR) onAcked(cum uint64, newly int, rtt time.Duration) {
 		o.conn.stack.trackWrite("osr.cumAcked", "osr.sendbuf")
 		freed = true
 	}
-	o.cc.OnAck(newly, rtt)
+	o.cc.OnAck(ccontrol.AckSample{
+		Acked:     newly,
+		RTT:       rtt,
+		Delivered: o.cumAcked,
+		InFlight:  int(o.nextSeg - o.cumAcked),
+		Now:       time.Duration(o.conn.now()),
+	})
+	o.conn.stack.trackWrite("osr.cc")
 	o.pump()
 	if freed {
 		o.conn.notifyWritable()
@@ -242,7 +287,7 @@ func (o *OSR) onAcked(cum uint64, newly int, rtt time.Duration) {
 // onLoss is RD's summarized congestion signal.
 func (o *OSR) onLoss(kind LossKind) {
 	o.conn.stack.track("osr.onLoss")
-	o.cc.OnLoss(kind)
+	o.cc.OnLoss(ccontrol.LossEvent{Kind: kind})
 	o.conn.stack.trackWrite("osr.cc")
 	o.pump()
 }
@@ -284,17 +329,17 @@ func (o *OSR) onPeerHeader(h tcpwire.OSRSection) {
 	o.peerWnd = int(h.Window)
 	o.conn.stack.trackWrite("osr.peerWnd")
 	if h.ECE {
-		now := o.conn.now()
-		srtt := o.conn.rd.SRTT()
-		if srtt <= 0 {
-			srtt = 200 * time.Millisecond
-		}
-		if now-o.lastECNCut > netsim.Time(2*srtt) {
-			o.lastECNCut = now
+		// The reaction guard (one cut per congested window) is the
+		// controller's own business now — OSR just forwards the mark and
+		// always acknowledges the echo with CWR. The reaction counter
+		// reflects what the controller actually did.
+		before := o.cc.Window()
+		o.cc.OnECN()
+		o.conn.stack.trackWrite("osr.cc")
+		if o.cc.Window() < before {
 			o.m.ecnReactions.Inc()
-			o.cc.OnECN()
-			o.cwrPending = true
 		}
+		o.cwrPending = true
 	}
 	o.pump()
 }
@@ -328,4 +373,5 @@ func (o *OSR) window() uint16 {
 // stop cancels timers.
 func (o *OSR) stop() {
 	o.probe.Stop()
+	o.pace.Stop()
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ccontrol"
 	"repro/internal/netsim"
 	"repro/internal/network"
 	"repro/internal/tcpwire"
@@ -497,28 +498,31 @@ func TestCMStateStrings(t *testing.T) {
 	}
 }
 
+// TestCongestionWindowGrowsAndShrinks smoke-tests the compat wrappers
+// over internal/ccontrol (detailed per-controller coverage lives
+// there).
 func TestCongestionWindowGrowsAndShrinks(t *testing.T) {
 	cc := NewNewReno(1000)
 	w0 := cc.Window()
 	// Slow start doubles per window.
-	cc.OnAck(1000, time.Millisecond)
+	cc.OnAck(ccontrol.AckSample{Acked: 1000, RTT: time.Millisecond})
 	if cc.Window() <= w0 {
 		t.Error("no slow-start growth")
 	}
 	grown := cc.Window()
-	cc.OnLoss(LossFast)
+	cc.OnLoss(ccontrol.LossEvent{Kind: LossFast})
 	if cc.Window() >= grown {
 		t.Error("no multiplicative decrease")
 	}
-	cc.OnLoss(LossTimeout)
+	cc.OnLoss(ccontrol.LossEvent{Kind: LossTimeout})
 	if cc.Window() != 1000 {
 		t.Errorf("timeout window = %d, want 1 MSS", cc.Window())
 	}
 	// Congestion avoidance: needs a window's worth of acks per MSS.
 	cc2 := NewNewReno(1000)
-	cc2.OnLoss(LossFast) // force ssthresh down to 2*mss → CA regime
+	cc2.OnLoss(ccontrol.LossEvent{Kind: LossFast}) // ssthresh → 2*mss → CA
 	w1 := cc2.Window()
-	cc2.OnAck(w1, time.Millisecond)
+	cc2.OnAck(ccontrol.AckSample{Acked: w1, RTT: time.Millisecond})
 	if cc2.Window() != w1+1000 {
 		t.Errorf("CA growth: %d → %d", w1, cc2.Window())
 	}
@@ -532,20 +536,42 @@ func TestRateBasedWindowTracksRTT(t *testing.T) {
 	cc := NewRateBased(1000)
 	w0 := cc.Window()
 	for i := 0; i < 50; i++ {
-		cc.OnAck(10000, 100*time.Millisecond)
+		cc.OnAck(ccontrol.AckSample{Acked: 10000, RTT: 100 * time.Millisecond})
 	}
 	if cc.Window() <= w0 {
 		t.Error("rate never increased")
 	}
 	grown := cc.Window()
 	for i := 0; i < 10; i++ {
-		cc.OnLoss(LossFast)
+		cc.OnLoss(ccontrol.LossEvent{Kind: LossFast})
 	}
 	if cc.Window() >= grown {
 		t.Error("rate never decreased")
 	}
 	if cc.Window() < 2*1000 {
 		t.Error("window below floor")
+	}
+}
+
+// TestRegistrySwapCompletesTransfer drives every registered controller
+// — including the ones the old interface could not express (cubic's
+// clock, bbrlite's delivery-rate pacing) — through a lossy, reordering
+// link purely via Config.CC. A pure OSR policy swap: no other sublayer
+// is configured differently.
+func TestRegistrySwapCompletesTransfer(t *testing.T) {
+	for _, name := range ccontrol.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := newWorld(t, 42, nastyLink(), Config{CC: name}, Config{CC: name})
+			data := randBytes(120_000, 7)
+			res := runTransfer(t, w, data, nil, 10*time.Minute)
+			if !bytes.Equal(res.serverGot, data) {
+				t.Fatalf("transfer corrupt or incomplete: %d/%d bytes", len(res.serverGot), len(data))
+			}
+			if got := res.clientConn.OSR().CC().Name(); got != name {
+				t.Errorf("controller = %q, want %q", got, name)
+			}
+		})
 	}
 }
 

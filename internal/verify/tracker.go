@@ -151,6 +151,50 @@ func (t *Tracker) Analyze() Entanglement {
 	return e
 }
 
+// Blast is the blast radius of one variable: the handlers that touch
+// it and every other variable those handlers also touch — the state a
+// reviewer must re-examine when v's semantics change (the E6/E12
+// question: what does swapping the congestion controller behind
+// pcb.cc / osr.cc drag in?).
+type Blast struct {
+	Var       string
+	Handlers  []string // handlers reading or writing v, sorted
+	CoTouched []string // other vars those handlers read or write, sorted
+	CoWritten []string // other vars those handlers write, sorted
+}
+
+// Blast computes the blast radius of variable v.
+func (t *Tracker) Blast(v string) Blast {
+	b := Blast{Var: v}
+	touched := make(map[string]bool)
+	written := make(map[string]bool)
+	for _, h := range t.Handlers() {
+		if !t.reads[h][v] {
+			continue
+		}
+		b.Handlers = append(b.Handlers, h)
+		for ov := range t.reads[h] {
+			if ov != v {
+				touched[ov] = true
+			}
+		}
+		for ov := range t.writes[h] {
+			if ov != v {
+				written[ov] = true
+			}
+		}
+	}
+	for ov := range touched {
+		b.CoTouched = append(b.CoTouched, ov)
+	}
+	for ov := range written {
+		b.CoWritten = append(b.CoWritten, ov)
+	}
+	sort.Strings(b.CoTouched)
+	sort.Strings(b.CoWritten)
+	return b
+}
+
 // Matrix renders the handler×variable access matrix for reports:
 // 'W' written, 'r' read-only, '.' untouched.
 func (t *Tracker) Matrix() string {

@@ -1,0 +1,28 @@
+package verify
+
+import "testing"
+
+func TestTrackerBlast(t *testing.T) {
+	tr := NewTracker()
+	tr.Enter("h1")
+	tr.Write("cc")
+	tr.Read("buf")
+	tr.Enter("h2")
+	tr.Read("cc")
+	tr.Write("wnd")
+	tr.Enter("h3")
+	tr.Write("unrelated")
+	b := tr.Blast("cc")
+	if len(b.Handlers) != 2 || b.Handlers[0] != "h1" || b.Handlers[1] != "h2" {
+		t.Fatalf("handlers = %v", b.Handlers)
+	}
+	if len(b.CoTouched) != 2 { // buf, wnd — not unrelated, not cc itself
+		t.Fatalf("co-touched = %v", b.CoTouched)
+	}
+	if len(b.CoWritten) != 1 || b.CoWritten[0] != "wnd" {
+		t.Fatalf("co-written = %v", b.CoWritten)
+	}
+	if got := tr.Blast("missing"); len(got.Handlers) != 0 {
+		t.Fatalf("missing var blast = %v", got)
+	}
+}

@@ -60,6 +60,16 @@ type Config struct {
 	// packet's causal chain is recorded (E11's -trace mode). Tracing is
 	// observational only: it never changes the Report.
 	Tracer netsim.Tracer
+	// CC selects the congestion controller by ccontrol registry name on
+	// both end hosts ("" keeps each stack's default, newreno). The engine
+	// threads it through transport.WithCC, so the swap is invisible to
+	// everything below this Config — the E12 bake-off axis.
+	CC string
+	// Script, when it has steps, is a fault schedule applied to the
+	// world before any flow dials (E12's loss regimes). The injector's
+	// RNG derives from Seed, so the failure history replays with the
+	// report.
+	Script faults.Script
 }
 
 func (c Config) withDefaults() Config {
@@ -106,7 +116,8 @@ type FlowStat struct {
 // Report is the deterministic outcome of one Run.
 type Report struct {
 	Seed           int64  `json:"seed"`
-	Stack          string `json:"stack"` // client stack name
+	Stack          string `json:"stack"`        // client stack name
+	CC             string `json:"cc,omitempty"` // controller name ("" = stack default)
 	Flows          int    `json:"flows"`
 	Completed      int    `json:"completed"`
 	Failed         int    `json:"failed"`
@@ -148,13 +159,22 @@ type flow struct {
 func Run(cfg Config) *Report {
 	cfg = cfg.withDefaults()
 	reg := metrics.New()
-	w := harness.BuildWorld(harness.WorldConfig{
+	wcfg := harness.WorldConfig{
 		Seed: cfg.Seed, Link: cfg.Link, Hops: cfg.Hops,
 		Client: cfg.Client, Server: cfg.Server,
 		Metrics: reg,
-	})
+	}
+	if cfg.CC != "" {
+		wcfg.Opts = []transport.Option{transport.WithCC(cfg.CC)}
+	}
+	w := harness.BuildWorld(wcfg)
 	if cfg.Tracer != nil {
 		w.Sim.SetTracer(cfg.Tracer)
+	}
+	if len(cfg.Script.Steps) > 0 {
+		inj := faults.New(w.Sim, w.Topo, cfg.Seed^0xfa17)
+		inj.BindMetrics(reg.Scope("faults"))
+		inj.Apply(cfg.Script)
 	}
 	// From here on the engine sees only the interface: either stack,
 	// same code path.
@@ -275,6 +295,7 @@ func summarize(cfg Config, w *harness.World, client transport.Stack,
 	rep := &Report{
 		Seed:  cfg.Seed,
 		Stack: client.Name(),
+		CC:    cfg.CC,
 		Flows: cfg.Flows,
 	}
 	var fcts []time.Duration

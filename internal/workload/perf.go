@@ -65,6 +65,20 @@ type PerfRow struct {
 	VirtualMs      int64  `json:"virtual_ms"`
 }
 
+// BakeoffRow is the deterministic slice of one E12 cell: stack ×
+// controller × loss regime at a fixed seed.
+type BakeoffRow struct {
+	Stack      string `json:"stack"`
+	CC         string `json:"cc"`
+	Regime     string `json:"regime"`
+	Completed  int    `json:"completed"`
+	GoodputBps uint64 `json:"goodput_bps"`
+	FCTp50Ms   int64  `json:"fct_p50_ms"`
+	FCTp99Ms   int64  `json:"fct_p99_ms"`
+	Fairness   string `json:"fairness"`
+	Violations int    `json:"violations"`
+}
+
 // PerfTiming carries the wall-clock measurements. These fields vary
 // run to run and machine to machine, so they are excluded from the
 // deterministic identity (DeterministicJSON).
@@ -81,23 +95,24 @@ type PerfTiming struct {
 	NumCPU          int     `json:"num_cpu"`
 }
 
-// PerfReport is BENCH_perf.json: the E11 flow-scaling matrix plus
-// wall-clock throughput numbers.
+// PerfReport is BENCH_perf.json: the E11 flow-scaling matrix, the E12
+// controller bake-off, plus wall-clock throughput numbers.
 type PerfReport struct {
-	Seed   int64       `json:"seed"`
-	Rows   []PerfRow   `json:"rows"`
-	Timing *PerfTiming `json:"timing,omitempty"`
+	Seed    int64        `json:"seed"`
+	Rows    []PerfRow    `json:"rows"`
+	Bakeoff []BakeoffRow `json:"bakeoff,omitempty"`
+	Timing  *PerfTiming  `json:"timing,omitempty"`
 }
 
-// Perf builds the full perf report at seed: the E11 matrix with
-// per-cell wall costs folded into aggregate timing, plus the RunSeeds
-// parallel-speedup measurement.
+// Perf builds the full perf report at seed: the E11 matrix and the E12
+// bake-off with per-cell wall costs folded into aggregate timing, plus
+// the RunSeeds parallel-speedup measurement.
 func Perf(seed int64) *PerfReport {
-	return perfReport(seed, MatrixFlows, 100)
+	return perfReport(seed, MatrixFlows, 100, 16)
 }
 
-// perfReport lets tests shrink the matrix.
-func perfReport(seed int64, flowCounts []int, speedupFlows int) *PerfReport {
+// perfReport lets tests shrink the matrix; bakeoffFlows 0 skips E12.
+func perfReport(seed int64, flowCounts []int, speedupFlows, bakeoffFlows int) *PerfReport {
 	cells := Matrix(seed, flowCounts, MatrixKinds)
 	rep := &PerfReport{Seed: seed}
 	var wall int64
@@ -107,6 +122,13 @@ func perfReport(seed int64, flowCounts []int, speedupFlows int) *PerfReport {
 		wall += c.WallNs
 		events += c.Report.Events
 		allocs += c.Allocs
+	}
+	if bakeoffFlows > 0 {
+		for _, c := range Bakeoff(seed, bakeoffFlows) {
+			rep.Bakeoff = append(rep.Bakeoff, bakeoffRowOf(c))
+			wall += c.WallNs
+			events += c.Report.Events
+		}
 	}
 	timing := &PerfTiming{WallNs: wall, NumCPU: runtime.NumCPU()}
 	if events > 0 {
@@ -136,6 +158,19 @@ func rowOf(c Cell) PerfRow {
 	}
 }
 
+// bakeoffRowOf projects the deterministic fields out of a bake-off
+// cell.
+func bakeoffRowOf(c BakeoffCell) BakeoffRow {
+	r := c.Report
+	return BakeoffRow{
+		Stack: r.Stack, CC: c.CC, Regime: c.Regime,
+		Completed: r.Completed, GoodputBps: r.GoodputBps,
+		FCTp50Ms: r.FCTp50.Milliseconds(), FCTp99Ms: r.FCTp99.Milliseconds(),
+		Fairness:   fmtFairness(r.Fairness),
+		Violations: len(r.Violations),
+	}
+}
+
 func fmtFairness(f float64) string {
 	return strconv.FormatFloat(f, 'f', 4, 64)
 }
@@ -162,7 +197,7 @@ func measureSpeedup(cfg Config) (workers int, serialNs, parallelNs int64, speedu
 // everything except Timing. Two runs at the same seed must produce
 // byte-identical output; CI and the tests compare exactly this.
 func (p *PerfReport) DeterministicJSON() []byte {
-	d := PerfReport{Seed: p.Seed, Rows: p.Rows}
+	d := PerfReport{Seed: p.Seed, Rows: p.Rows, Bakeoff: p.Bakeoff}
 	b, _ := json.MarshalIndent(&d, "", "  ")
 	return append(b, '\n')
 }

@@ -137,8 +137,8 @@ func TestThousandFlows(t *testing.T) {
 // TestPerfReportDeterministic: the identity CI checks — Rows and Seed
 // byte-identical across runs, wall-clock Timing excluded.
 func TestPerfReportDeterministic(t *testing.T) {
-	a := perfReport(2, []int{5, 20}, 10)
-	b := perfReport(2, []int{5, 20}, 10)
+	a := perfReport(2, []int{5, 20}, 10, 6)
+	b := perfReport(2, []int{5, 20}, 10, 6)
 	if !bytes.Equal(a.DeterministicJSON(), b.DeterministicJSON()) {
 		t.Error("deterministic JSON differs between runs")
 	}
@@ -154,6 +154,42 @@ func TestPerfReportDeterministic(t *testing.T) {
 	for _, row := range a.Rows {
 		if row.Completed != row.Flows || row.Violations != 0 {
 			t.Errorf("%s/%d: completed=%d violations=%d", row.Stack, row.Flows, row.Completed, row.Violations)
+		}
+	}
+	if len(a.Bakeoff) != 18 {
+		t.Fatalf("bakeoff rows = %d, want 18 (2 stacks × 3 CCs × 3 regimes)", len(a.Bakeoff))
+	}
+	for _, row := range a.Bakeoff {
+		if row.Completed != 6 || row.Violations != 0 {
+			t.Errorf("%s/%s/%s: completed=%d violations=%d",
+				row.Stack, row.CC, row.Regime, row.Completed, row.Violations)
+		}
+	}
+}
+
+// TestBakeoffSwapsControllers pins the engine-level CC axis: Config.CC
+// threads through transport.WithCC on both stacks, the fault script
+// runs (bursty regime records GE transitions in the snapshot), and
+// every cell completes all flows intact.
+func TestBakeoffSwapsControllers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("18-cell matrix")
+	}
+	cells := Bakeoff(21, 8)
+	if len(cells) != 18 {
+		t.Fatalf("cells = %d, want 18", len(cells))
+	}
+	for _, c := range cells {
+		r := c.Report
+		if r.CC != c.CC {
+			t.Errorf("%s/%s/%s: report cc = %q", c.Kind, c.CC, c.Regime, r.CC)
+		}
+		if r.Completed != 8 || len(r.Violations) != 0 {
+			t.Errorf("%s/%s/%s: completed=%d violations=%v",
+				c.Kind, c.CC, c.Regime, r.Completed, r.Violations)
+		}
+		if _, ok := r.Metrics.Get("faults/ge_transitions"); c.Regime == "bursty" && !ok {
+			t.Errorf("%s/%s/bursty: snapshot missing fault-injector counters", c.Kind, c.CC)
 		}
 	}
 }
