@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race vet lint docs fuzz fuzz-pool bench verify report perf perfcheck determinism clean
+.PHONY: all build test race vet lint docs fuzz fuzz-pool fuzz-schedule bench verify report perf perfcheck determinism clean
 
 all: build
 
@@ -44,19 +44,27 @@ fuzz:
 fuzz-pool:
 	$(GO) test -run '^$$' -fuzz FuzzStuffPooledParity -fuzztime 5s ./internal/stuffing
 
-# bench runs every experiment benchmark exactly once — a full E1-E12
+# fuzz-schedule runs the compositional fault-schedule fuzzer briefly:
+# random healing fault schedules through both TCP stacks under the
+# cross-stack differential oracle (CI gives it 60s; a real campaign is
+# `go run ./cmd/fuzzdrive -seeds N`).
+fuzz-schedule:
+	$(GO) test -run '^$$' -fuzz FuzzFaultSchedule -fuzztime 5s ./internal/fuzzer
+
+# bench runs every experiment benchmark exactly once — a full E1-E14
 # reproduction sweep through the same code path as cmd/benchreport.
 bench:
 	$(GO) test -bench=E -benchtime=1x .
 
 # verify is the PR gate: static checks, the full suite under the race
-# detector, short fuzz passes over the bit-stuffing spec and the pooled
-# parity target, one pass of the experiment benchmarks, and the perf
-# gate against the checked-in baseline.
-verify: vet lint docs race fuzz fuzz-pool bench perfcheck
+# detector, short fuzz passes over the bit-stuffing spec, the pooled
+# parity target and the fault-schedule differential oracle, one pass
+# of the experiment benchmarks, and the perf gate against the
+# checked-in baseline.
+verify: vet lint docs race fuzz fuzz-pool fuzz-schedule bench perfcheck
 
 # report regenerates BENCH_metrics.json, the machine-readable run
-# report over E1-E12 (deterministic: same seed, same bytes).
+# report over E1-E14 (deterministic: same seed, same bytes).
 report:
 	$(GO) run ./cmd/runreport
 

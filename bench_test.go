@@ -215,3 +215,8 @@ func BenchmarkAblationNestedFraming(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE14CorpusReplay regenerates the fault-schedule fuzz corpus
+// replay: every committed reproducer plus two fresh schedules through
+// the cross-stack differential oracle.
+func BenchmarkE14CorpusReplay(b *testing.B) { benchExperiment(b, "e14") }

@@ -160,7 +160,7 @@ func E10ChaosSoakCfg(cfg Config) *Result {
 					}
 					inj = faults.New(w.Sim, w.Topo, seed+100+idx)
 					inj.BindMetrics(reg.Scope("faults"))
-					inj.Apply(sc.script())
+					inj.MustApply(sc.script())
 					wd.BindMetrics(reg.Scope("watchdog"))
 				})
 			if out.Err != nil {

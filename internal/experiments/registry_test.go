@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -9,25 +10,27 @@ import (
 
 // TestRegistryIDsNumericOrder pins the registry against Go's
 // file-name init ordering: e10 registers before e1, but IDs must come
-// back e1..e11.
+// back in ascending numeric order. Gaps are fine — ROADMAP reserves
+// IDs (e13) ahead of experiments that land out of order.
 func TestRegistryIDsNumericOrder(t *testing.T) {
 	ids := IDs()
 	if len(ids) < 10 {
 		t.Fatalf("registered %d experiments: %v", len(ids), ids)
 	}
+	if ids[0] != "e1" {
+		t.Errorf("ids[0] = %q, want %q (full order %v)", ids[0], "e1", ids)
+	}
+	prev := 0
 	for i, id := range ids {
-		want := "e" + itoa(i+1)
-		if id != want {
-			t.Errorf("ids[%d] = %q, want %q (full order %v)", i, id, want, ids)
+		n, err := strconv.Atoi(strings.TrimPrefix(id, "e"))
+		if err != nil {
+			t.Fatalf("ids[%d] = %q: not of the form eN", i, id)
 		}
+		if n <= prev {
+			t.Errorf("ids[%d] = %q out of order after e%d (full order %v)", i, id, prev, ids)
+		}
+		prev = n
 	}
-}
-
-func itoa(n int) string {
-	if n >= 10 {
-		return string(rune('0'+n/10)) + string(rune('0'+n%10))
-	}
-	return string(rune('0' + n))
 }
 
 func TestRegistryRun(t *testing.T) {

@@ -52,6 +52,7 @@ type injMetrics struct {
 	restarts      metrics.Counter
 	geTransitions metrics.Counter
 	blackholes    metrics.Counter
+	reorderWins   metrics.Counter
 }
 
 func (m *injMetrics) bind(sc *metrics.Scope) {
@@ -63,18 +64,20 @@ func (m *injMetrics) bind(sc *metrics.Scope) {
 	sc.Register("restarts", &m.restarts)
 	sc.Register("ge_transitions", &m.geTransitions)
 	sc.Register("blackholes", &m.blackholes)
+	sc.Register("reorder_windows", &m.reorderWins)
 }
 
 func (m *injMetrics) view() metrics.View {
 	return metrics.View{
-		"link_cuts":      m.linkCuts.Value(),
-		"link_restores":  m.linkRestores.Value(),
-		"partitions":     m.partitions.Value(),
-		"heals":          m.heals.Value(),
-		"crashes":        m.crashes.Value(),
-		"restarts":       m.restarts.Value(),
-		"ge_transitions": m.geTransitions.Value(),
-		"blackholes":     m.blackholes.Value(),
+		"link_cuts":       m.linkCuts.Value(),
+		"link_restores":   m.linkRestores.Value(),
+		"partitions":      m.partitions.Value(),
+		"heals":           m.heals.Value(),
+		"crashes":         m.crashes.Value(),
+		"restarts":        m.restarts.Value(),
+		"ge_transitions":  m.geTransitions.Value(),
+		"blackholes":      m.blackholes.Value(),
+		"reorder_windows": m.reorderWins.Value(),
 	}
 }
 
@@ -245,6 +248,28 @@ func (inj *Injector) blackhole(at, clearFor time.Duration, addr network.Addr, ma
 			if r := inj.topo.Routers[addr]; r != nil {
 				r.SetDropFilter(nil)
 			}
+		})
+	}
+}
+
+// reorderWindow sets both directions of the a–b link to reorder with
+// probability p for [start, start+window), then restores the configured
+// probability. window <= 0 leaves it set permanently.
+func (inj *Injector) reorderWindow(a, b network.Addr, start, window time.Duration, p float64) {
+	d := inj.duplex(a, b)
+	if d == nil {
+		return
+	}
+	orig := d.AB.Config().ReorderProb
+	inj.sim.Schedule(start, func() {
+		d.AB.SetReorderProb(p)
+		d.BA.SetReorderProb(p)
+		inj.m.reorderWins.Inc()
+	})
+	if window > 0 {
+		inj.sim.Schedule(start+window, func() {
+			d.AB.SetReorderProb(orig)
+			d.BA.SetReorderProb(orig)
 		})
 	}
 }

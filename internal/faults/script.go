@@ -36,12 +36,89 @@ type Fault interface {
 	String() string
 }
 
-// Apply installs every step of the script on the injector's simulator.
-// Call before (or during) the run; each step becomes ordinary events.
-func (inj *Injector) Apply(s Script) {
+// Apply validates the script — structural checks plus conflict
+// detection against the injector's topology — and installs every step
+// on the simulator. Call before (or during) the run; each step becomes
+// ordinary events. A script two of whose steps drive the same knob of
+// the same link over overlapping windows is rejected whole: nothing is
+// scheduled, so a rejected script never half-applies.
+func (inj *Injector) Apply(s Script) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := s.CheckConflicts(inj.sortedLinkKeys()); err != nil {
+		return err
+	}
 	for _, st := range s.Steps {
 		st.Fault.apply(inj, st.At, st.For)
 	}
+	return nil
+}
+
+// MustApply is Apply for statically known-good scripts (the E10/E12
+// matrices, workload configs): a validation failure there is a wiring
+// bug, so it panics instead of returning the error.
+func (inj *Injector) MustApply(s Script) {
+	if err := inj.Apply(s); err != nil {
+		panic(err)
+	}
+}
+
+// Validate runs the topology-free structural checks: every step names
+// a well-formed fault with sane times. Apply calls it (plus the
+// topology-aware conflict check); deserialized reproducers should call
+// it before trusting a file.
+func (s Script) Validate() error {
+	for i, st := range s.Steps {
+		if st.At < 0 || st.For < 0 {
+			return fmt.Errorf("faults: script %q step %d: negative time (at=%v for=%v)", s.Name, i, st.At, st.For)
+		}
+		if st.Fault == nil {
+			return fmt.Errorf("faults: script %q step %d: nil fault", s.Name, i)
+		}
+		if err := validateFault(st.Fault); err != nil {
+			return fmt.Errorf("faults: script %q step %d (%s): %w", s.Name, i, st.Fault, err)
+		}
+	}
+	return nil
+}
+
+func validateFault(f Fault) error {
+	switch f := f.(type) {
+	case LinkFlap:
+		if f.A == f.B {
+			return fmt.Errorf("flap endpoints are the same node")
+		}
+	case RandomLinkFlaps:
+		if f.A == f.B {
+			return fmt.Errorf("flap endpoints are the same node")
+		}
+		if f.N <= 0 {
+			return fmt.Errorf("flap count %d, want > 0", f.N)
+		}
+		if f.MinDown < 0 || f.MaxDown < 0 {
+			return fmt.Errorf("negative down time")
+		}
+	case Partition:
+		if len(f.Nodes) == 0 {
+			return fmt.Errorf("empty node set")
+		}
+	case BurstyLoss:
+		if f.A == f.B {
+			return fmt.Errorf("loss endpoints are the same node")
+		}
+		if bad := func(p float64) bool { return p < 0 || p > 1 }; bad(f.GE.LossGood) || bad(f.GE.LossBad) {
+			return fmt.Errorf("loss probability outside [0,1]")
+		}
+	case Reorder:
+		if f.A == f.B {
+			return fmt.Errorf("reorder endpoints are the same node")
+		}
+		if f.Prob < 0 || f.Prob > 1 {
+			return fmt.Errorf("reorder probability %v outside [0,1]", f.Prob)
+		}
+	}
+	return nil
 }
 
 // String renders the script as "name{fault@at/for, ...}".
@@ -148,3 +225,21 @@ func (f BurstyLoss) apply(inj *Injector, at, dur time.Duration) {
 	inj.burstyLoss(f.A, f.B, at, dur, f.GE)
 }
 func (f BurstyLoss) String() string { return fmt.Sprintf("bursty %d-%d", f.A, f.B) }
+
+// Reorder opens a reordering window on the A–B link: for the step's
+// duration each packet is independently delayed with probability Prob
+// so later packets can overtake it, then the link's configured
+// reordering probability is restored. Default Prob (0) means 0.5.
+type Reorder struct {
+	A, B network.Addr
+	Prob float64
+}
+
+func (f Reorder) apply(inj *Injector, at, dur time.Duration) {
+	p := f.Prob
+	if p == 0 {
+		p = 0.5
+	}
+	inj.reorderWindow(f.A, f.B, at, dur, p)
+}
+func (f Reorder) String() string { return fmt.Sprintf("reorder %d-%d", f.A, f.B) }

@@ -3,8 +3,10 @@ package faults
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/verify"
 )
 
@@ -27,16 +29,48 @@ type Watchdog struct {
 	violations []string
 	checks     metrics.Counter
 	failed     metrics.Counter
+	// disarms counts the currently open Disarm windows; deadline checks
+	// that fire while any window is open are skipped, not failed.
+	disarms int
+	skipped metrics.Counter
 }
 
 // NewWatchdog returns an empty watchdog.
 func NewWatchdog() *Watchdog { return &Watchdog{} }
 
 // BindMetrics adopts the watchdog's counters into sc (keys: checks,
-// violations).
+// violations, skipped).
 func (w *Watchdog) BindMetrics(sc *metrics.Scope) {
 	sc.Register("checks", &w.checks)
 	sc.Register("violations", &w.failed)
+	sc.Register("skipped", &w.skipped)
+}
+
+// ArmDeadline schedules a progress deadline: at virtual offset at
+// (from now), ok is evaluated inside the event loop, and a false
+// answer at exactly that tick records a violation stamped with the
+// tick's virtual time. Deadlines inside an open Disarm window are
+// skipped — the caller has declared the stall expected there.
+func (w *Watchdog) ArmDeadline(sim *netsim.Simulator, at time.Duration, label string, ok func() bool) {
+	sim.Schedule(at, func() {
+		w.checks.Inc()
+		if w.disarms > 0 {
+			w.skipped.Inc()
+			return
+		}
+		if !ok() {
+			w.fail("%s: deadline violated at %v", label, sim.Now())
+		}
+	})
+}
+
+// Disarm suspends deadline checks for the half-open virtual window
+// [from, from+dur) — e.g. a router crash-restart window, where a
+// transfer is allowed to stall without that being a transport bug.
+// Windows may overlap; checks resume when every open window closes.
+func (w *Watchdog) Disarm(sim *netsim.Simulator, from, dur time.Duration) {
+	sim.Schedule(from, func() { w.disarms++ })
+	sim.Schedule(from+dur, func() { w.disarms-- })
 }
 
 // CheckPrefix verifies got is an exact prefix of sent (label names the

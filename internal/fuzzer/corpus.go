@@ -1,0 +1,93 @@
+package fuzzer
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// corpusFS embeds the committed reproducer corpus, so corpus replay
+// (experiment E14, the fuzz seed set) is path-independent: it works
+// from `go test` in any package directory and from the installed
+// binaries alike.
+//
+//go:embed corpus/*.json
+var corpusFS embed.FS
+
+// Corpus loads the embedded reproducer corpus in file-name order.
+// The files are committed artifacts; a corrupt one is a build problem,
+// so load failures panic rather than silently shrinking the corpus.
+func Corpus() []Case {
+	entries, err := fs.ReadDir(corpusFS, "corpus")
+	if err != nil {
+		panic(fmt.Sprintf("fuzzer: embedded corpus unreadable: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	out := make([]Case, 0, len(names))
+	for _, n := range names {
+		b, err := fs.ReadFile(corpusFS, "corpus/"+n)
+		if err != nil {
+			panic(fmt.Sprintf("fuzzer: corpus %s: %v", n, err))
+		}
+		c, err := ParseCase(b)
+		if err != nil {
+			panic(fmt.Sprintf("fuzzer: corpus %s: %v", n, err))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// SaveCase persists a reproducer as "<name>.json" under dir, creating
+// the directory as needed. It returns the written path.
+func SaveCase(dir string, c Case) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := c.MarshalIndent()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, c.Name+".json")
+	return path, os.WriteFile(path, b, 0o644)
+}
+
+// LoadCase reads a reproducer file from disk.
+func LoadCase(path string) (Case, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Case{}, err
+	}
+	return ParseCase(b)
+}
+
+// writeDump serializes a collector's report under dir; best-effort
+// like the experiments' trace artifacts — an unwritable artifact
+// directory must not turn a fuzz verdict into an error.
+func writeDump(dir, name string, col *trace.Collector) {
+	var b bytes.Buffer
+	if err := col.WriteJSON(&b); err != nil {
+		return
+	}
+	writeFile(dir, name, b.Bytes())
+}
+
+func writeFile(dir, name string, data []byte) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}

@@ -1,0 +1,97 @@
+package fuzzer
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestNewCaseDeterministic: a reproducer is just a seed, so the whole
+// case must be a pure function of it.
+func TestNewCaseDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, _ := NewCase(seed).MarshalIndent()
+		b, _ := NewCase(seed).MarshalIndent()
+		if string(a) != string(b) {
+			t.Fatalf("seed %d: case not deterministic:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestCaseRoundTripsJSON(t *testing.T) {
+	c := NewCase(7)
+	b, err := c.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCase(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := back.MarshalIndent()
+	if string(b) != string(b2) {
+		t.Errorf("round trip unstable:\n%s\n%s", b, b2)
+	}
+}
+
+// TestRunCleanSeeds: the generator's healing envelope plus a correct
+// transport must mean a green differential verdict. A red verdict here
+// is either a real transport bug or a generator schedule harsh enough
+// to starve a correct stack — both need a human.
+func TestRunCleanSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c := NewCase(seed)
+		v := Run(c)
+		if !v.OK() {
+			t.Errorf("seed %d failed: %s\ncase: %s", seed, v.Summary(), c)
+		}
+		for _, s := range v.Stacks {
+			if s.FramesSeen == 0 {
+				t.Errorf("seed %d %s: codec oracle saw no frames", seed, s.Stack)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic: same case, same verdict, byte for byte — the
+// property that makes a corpus file a reproducer at all.
+func TestRunDeterministic(t *testing.T) {
+	c := NewCase(3)
+	v1, _ := json.Marshal(Run(c))
+	v2, _ := json.Marshal(Run(c))
+	if string(v1) != string(v2) {
+		t.Errorf("same case, diverging verdicts:\n%s\n%s", v1, v2)
+	}
+}
+
+// TestCorpusReplays: every committed reproducer must load and pass on
+// the current code — the corpus is the regression suite the fuzzer
+// accumulates, and E14 replays it inside the determinism gate.
+func TestCorpusReplays(t *testing.T) {
+	cases := Corpus()
+	if len(cases) == 0 {
+		t.Fatal("embedded corpus is empty")
+	}
+	for _, c := range cases {
+		v := Run(c)
+		if !v.OK() {
+			t.Errorf("corpus case %s: %s", c.Name, v.Summary())
+		}
+	}
+}
+
+// FuzzFaultSchedule is the native fuzz target: the int64 input is a
+// case seed, and the differential oracle is the property. `go test
+// -fuzz FuzzFaultSchedule` explores schedule space; the committed
+// corpus and CI run it for a bounded time as a smoke check.
+func FuzzFaultSchedule(f *testing.F) {
+	for seed := int64(1); seed <= 12; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := NewCase(seed)
+		v := Run(c)
+		if !v.OK() {
+			t.Fatalf("differential invariant violated:\n%s\ncase: %s", v.Summary(), c)
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package fuzzer
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/pcap"
+	"repro/internal/trace"
+	"repro/internal/transport/harness"
+	"repro/internal/verify"
+)
+
+// Budget is the virtual-time allowance per stack run: generous against
+// the worst healing schedule (last fault ends ≈ 7s in, distance-vector
+// reconvergence adds ≈ 5s, the transfer itself is sub-second at the
+// fuzz link rate) yet bounded so a wedged transport cannot hang a fuzz
+// campaign.
+const Budget = 60 * time.Second
+
+// fuzzLink is the link every fuzz world uses — the E10 chaos-soak
+// shape but rate-limited harder (1 Mb/s), so even the smaller fuzz
+// transfers are still in flight when the schedule's fault windows
+// open; a connectivity fault then stalls the transfer across any later
+// windows, keeping the whole schedule in play.
+func fuzzLink() netsim.LinkConfig {
+	return netsim.LinkConfig{Delay: 2 * time.Millisecond, RateBps: 1_000_000, QueueLimit: 64}
+}
+
+// StackRun is one stack's observed behavior under the case's schedule.
+type StackRun struct {
+	Stack      string   `json:"stack"`
+	Completed  bool     `json:"completed"`
+	Violations []string `json:"violations,omitempty"`
+	CodecIssue []string `json:"codec_issues,omitempty"`
+	FramesSeen uint64   `json:"frames_checked"`
+	Elapsed    string   `json:"elapsed"`
+	Err        string   `json:"err,omitempty"`
+
+	serverGot, clientGot []byte
+}
+
+// Verdict is the differential oracle's judgment of one case.
+type Verdict struct {
+	Case     Case       `json:"case"`
+	Stacks   []StackRun `json:"stacks"`
+	Failures []string   `json:"failures,omitempty"`
+}
+
+// OK reports whether every invariant held.
+func (v *Verdict) OK() bool { return len(v.Failures) == 0 }
+
+// Summary renders the verdict in one line.
+func (v *Verdict) Summary() string {
+	if v.OK() {
+		return fmt.Sprintf("%s: ok (%d fault steps)", v.Case.Name, v.Case.Steps())
+	}
+	return fmt.Sprintf("%s: FAIL %v", v.Case.Name, v.Failures)
+}
+
+// Artifacts configures the evidence a traced run leaves behind.
+type Artifacts struct {
+	// Dir receives "<label>-<stack>.trace.json" flight-recorder dumps
+	// and "<label>-<stack>.pcapng" captures for each stack's run.
+	Dir string
+	// Label names the artifact files; it should identify the shrink
+	// round ("seed-17" for the original, "seed-17-shrunk" after
+	// shrinking) so a campaign's evidence trail reads in order.
+	Label string
+}
+
+// Run executes the differential oracle on one case: the identical
+// schedule, seed and payloads through the sublayered-native and
+// monolithic stacks, codec equivalence checked on every wire crossing.
+func Run(c Case) *Verdict { return run(c, nil) }
+
+// RunTraced is Run with the flight recorder attached: each stack's run
+// records causal chains, a failing invariant triggers a flight dump,
+// and the whole recording plus a pcapng capture land under a.Dir.
+func RunTraced(c Case, a Artifacts) *Verdict { return run(c, &a) }
+
+func run(c Case, art *Artifacts) *Verdict {
+	v := &Verdict{Case: c}
+	kinds := []harness.Kind{harness.KindSublayeredNative, harness.KindMonolithic}
+	for _, kind := range kinds {
+		v.Stacks = append(v.Stacks, runStack(c, kind, art))
+	}
+	sub, mono := &v.Stacks[0], &v.Stacks[1]
+	for i := range v.Stacks {
+		s := &v.Stacks[i]
+		if s.Err != "" {
+			v.Failures = append(v.Failures, fmt.Sprintf("%s: %s", s.Stack, s.Err))
+		}
+		for _, viol := range s.Violations {
+			v.Failures = append(v.Failures, fmt.Sprintf("%s: %s", s.Stack, viol))
+		}
+		for _, ci := range s.CodecIssue {
+			v.Failures = append(v.Failures, fmt.Sprintf("%s: codec: %s", s.Stack, ci))
+		}
+	}
+	if sub.Completed != mono.Completed {
+		v.Failures = append(v.Failures, fmt.Sprintf(
+			"completion diverges under identical schedule: sublayered=%v monolithic=%v",
+			sub.Completed, mono.Completed))
+	}
+	if !bytes.Equal(sub.serverGot, mono.serverGot) {
+		v.Failures = append(v.Failures, fmt.Sprintf(
+			"c2s delivered streams diverge across stacks (%d vs %d bytes)",
+			len(sub.serverGot), len(mono.serverGot)))
+	}
+	if !bytes.Equal(sub.clientGot, mono.clientGot) {
+		v.Failures = append(v.Failures, fmt.Sprintf(
+			"s2c delivered streams diverge across stacks (%d vs %d bytes)",
+			len(sub.clientGot), len(mono.clientGot)))
+	}
+	return v
+}
+
+// runStack drives one stack through the case. Both stacks get the same
+// world seed, injector seed and payload bytes, so the failure history
+// each experiences is event-for-event identical.
+func runStack(c Case, kind harness.Kind, art *Artifacts) StackRun {
+	out := StackRun{Stack: kind.String()}
+	wcfg := harness.WorldConfig{
+		Seed:   c.Seed,
+		Link:   fuzzLink(),
+		Hops:   c.Hosts,
+		Client: kind,
+		Server: kind,
+	}
+	var contracts *verify.Checker
+	if kind != harness.KindMonolithic {
+		contracts = verify.NewChecker(verify.ModeRecord)
+		wcfg.SubCfg.Contracts = contracts
+	}
+	w := harness.BuildWorld(wcfg)
+
+	// Codec oracle: bare tracer normally; full collector with a pcap
+	// writer behind it when artifacts are requested.
+	codec := &codecTracer{}
+	var col *trace.Collector
+	var capture bytes.Buffer
+	if art != nil {
+		col = trace.NewCollector(trace.Options{RingCap: 2048, DoneCap: 256})
+		col.Label = fmt.Sprintf("%s-%s", art.Label, kind)
+		if pw, err := pcap.NewWriter(&capture); err == nil {
+			col.CaptureTo(pw)
+		}
+		inner := col.OnFrame
+		col.OnFrame = func(ev netsim.TraceEvent, frame []byte) {
+			codec.Emit(ev, frame)
+			if inner != nil {
+				inner(ev, frame)
+			}
+		}
+		w.Sim.SetTracer(col)
+	} else {
+		w.Sim.SetTracer(codec)
+	}
+
+	inj := faults.New(w.Sim, w.Topo, c.Seed+1_000_003)
+	if err := inj.Apply(c.Script); err != nil {
+		out.Err = fmt.Sprintf("schedule rejected: %v", err)
+		return out
+	}
+
+	c2s := payload(c.C2S, c.Seed)
+	s2c := payload(c.S2C, c.Seed+500)
+	wd := faults.NewWatchdog()
+	r, err := harness.RunTransfer(w, c2s, s2c, Budget)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.serverGot, out.clientGot = r.ServerGot, r.ClientGot
+	out.Completed = bytes.Equal(r.ServerGot, c2s) && bytes.Equal(r.ClientGot, s2c)
+	out.Elapsed = r.Elapsed.Truncate(time.Millisecond).String()
+
+	// Healing schedule ⇒ completion is owed, in both directions.
+	wd.CheckComplete("c2s", c2s, r.ServerGot)
+	wd.CheckComplete("s2c", s2c, r.ClientGot)
+	if contracts != nil {
+		wd.CheckContracts("contracts", contracts)
+	}
+	out.Violations = wd.Violations()
+	out.CodecIssue = codec.issues
+	out.FramesSeen = codec.checked
+
+	if col != nil {
+		for _, viol := range out.Violations {
+			col.NoteViolation(w.Sim.Now(), "fuzzer", viol, 0)
+		}
+		for _, ci := range out.CodecIssue {
+			col.NoteViolation(w.Sim.Now(), "fuzzer", "codec: "+ci, 0)
+		}
+		name := fmt.Sprintf("%s-%s", art.Label, kind)
+		writeDump(art.Dir, name+".trace.json", col)
+		if capture.Len() > 0 {
+			writeFile(art.Dir, name+".pcapng", capture.Bytes())
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package fuzzer
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/transport/sublayered"
+)
+
+// TestSeededBugFoundAndShrunk is the end-to-end proof the fuzzer earns
+// its keep: plant a classic off-by-one in the sublayered retransmit
+// path (via the test hook — retransmissions claim seq+1), and the
+// differential oracle must (a) find a failing schedule within a small
+// seed budget, (b) shrink it to a handful of fault events that still
+// reproduce, and (c) leave a flight-recorder dump plus a pcapng
+// capture behind as evidence. The monolithic stack is unaffected, so
+// the failure shows up as completion divergence — exactly the signal a
+// cross-stack oracle exists to produce.
+func TestSeededBugFoundAndShrunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-world fuzz campaign")
+	}
+	sublayered.FaultRexmitOffset = 1
+	defer func() { sublayered.FaultRexmitOffset = 0 }()
+
+	// (a) Find: scan seeds until a schedule provokes a retransmission
+	// of a lost first copy. Most lossy schedules do.
+	var failing *Verdict
+	var found Case
+	for seed := int64(1); seed <= 30; seed++ {
+		c := NewCase(seed)
+		if v := Run(c); !v.OK() {
+			failing, found = v, c
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("seeded retransmit bug not found in 30 seeds")
+	}
+	t.Logf("found: %s", failing.Summary())
+
+	// The bug must read as a sublayered-vs-monolithic divergence, not
+	// as a monolithic failure.
+	for _, s := range failing.Stacks {
+		if s.Stack == "monolithic" && (len(s.Violations) > 0 || !s.Completed) {
+			t.Errorf("monolithic stack affected by a sublayered-only bug: %+v", s.Violations)
+		}
+	}
+
+	// (b) Shrink to a minimal reproducer: at most 5 fault events and
+	// still failing.
+	sr := Shrink(found, Run, 80)
+	if sr.Verdict.OK() {
+		t.Fatal("shrunk case no longer fails")
+	}
+	if got := sr.Case.Steps(); got > 5 {
+		t.Errorf("shrunk to %d fault events, want ≤ 5 (script: %v)", got, sr.Case.Script)
+	}
+	if sr.Case.Steps() >= found.Steps() && found.Steps() > 1 {
+		t.Errorf("shrinker removed nothing: %d → %d steps", found.Steps(), sr.Case.Steps())
+	}
+	t.Logf("shrunk: %d → %d steps in %d runs", found.Steps(), sr.Case.Steps(), sr.Runs)
+
+	// The reproducer round-trips through its corpus file and still
+	// fails when loaded back.
+	dir := t.TempDir()
+	path, err := SaveCase(dir, sr.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Run(loaded); v.OK() {
+		t.Error("reproducer loaded from disk no longer fails")
+	}
+
+	// (c) Evidence: the traced re-run leaves a causal-chain dump (with
+	// a violation flight dump inside) and a pcapng capture per stack.
+	artDir := t.TempDir()
+	RunTraced(sr.Case, Artifacts{Dir: artDir, Label: sr.Case.Name})
+	dump := filepath.Join(artDir, sr.Case.Name+"-sublayered.trace.json")
+	b, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("no flight-recorder dump: %v", err)
+	}
+	for _, want := range []string{`"label"`, `"dumps"`, `"violation"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("dump %s lacks %s", dump, want)
+		}
+	}
+	capture := filepath.Join(artDir, sr.Case.Name+"-sublayered.pcapng")
+	if fi, err := os.Stat(capture); err != nil || fi.Size() == 0 {
+		t.Errorf("no pcapng capture at %s: %v", capture, err)
+	}
+}

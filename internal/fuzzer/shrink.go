@@ -1,0 +1,131 @@
+package fuzzer
+
+import (
+	"time"
+
+	"repro/internal/faults"
+)
+
+// Shrinking: delta debugging over the fault schedule, then magnitudes.
+//
+// A fresh failing case typically carries several fault steps, most of
+// them bystanders. The shrinker first greedily removes whole steps
+// (re-running the differential oracle after each candidate removal and
+// keeping any removal that still fails), then shrinks magnitudes —
+// fault durations, start offsets toward the schedule origin, payload
+// sizes — and finally re-verifies the survivor. Every candidate is a
+// full deterministic re-run, so the minimal reproducer is guaranteed
+// to still fail, not merely suspected to.
+
+// ShrinkResult is the outcome of a shrink campaign.
+type ShrinkResult struct {
+	// Case is the minimal failing reproducer found within budget.
+	Case Case
+	// Verdict is the re-run verdict of the minimal case.
+	Verdict *Verdict
+	// Runs counts oracle executions spent (≤ budget).
+	Runs int
+}
+
+// RunFunc executes the oracle on a candidate; Shrink re-runs through
+// it so tests can substitute instrumented runners.
+type RunFunc func(Case) *Verdict
+
+// Shrink minimizes a failing case. run must fail on c (the caller has
+// already observed that); budget bounds the number of candidate
+// re-runs. The returned case is renamed "<name>-shrunk" so artifacts
+// from before and after minimization stay distinguishable.
+func Shrink(c Case, run RunFunc, budget int) ShrinkResult {
+	if budget <= 0 {
+		budget = 64
+	}
+	runs := 0
+	fails := func(cand Case) bool {
+		if runs >= budget {
+			return false // out of budget: treat as "can't confirm", keep current
+		}
+		runs++
+		return !run(cand).OK()
+	}
+
+	// Phase 1: greedy step removal to fixpoint. With the generator's
+	// small schedules (≤ ~8 steps) single-step removal converges fast;
+	// restart after every success so later steps get re-tried against
+	// the smaller schedule.
+	cur := c
+	for removed := true; removed && len(cur.Script.Steps) > 1; {
+		removed = false
+		for i := 0; i < len(cur.Script.Steps); i++ {
+			cand := cur
+			cand.Script = dropStep(cur.Script, i)
+			if fails(cand) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+	}
+
+	// Phase 2: magnitude shrinking — halve durations, pull start times
+	// toward the 200ms handshake boundary, halve payloads. Each knob is
+	// tried independently and kept only if the case still fails.
+	for i := range cur.Script.Steps {
+		for pass := 0; pass < 4; pass++ {
+			st := cur.Script.Steps[i]
+			if st.For >= 200*time.Millisecond {
+				cand := cur
+				cand.Script = withStep(cur.Script, i, func(s *faults.Step) { s.For /= 2 })
+				if fails(cand) {
+					cur = cand
+					continue
+				}
+			}
+			if st.At > 400*time.Millisecond {
+				cand := cur
+				cand.Script = withStep(cur.Script, i, func(s *faults.Step) {
+					s.At = 200*time.Millisecond + (s.At-200*time.Millisecond)/2
+				})
+				if fails(cand) {
+					cur = cand
+					continue
+				}
+			}
+			break
+		}
+	}
+	for _, half := range []func(*Case){
+		func(c *Case) { c.C2S /= 2 },
+		func(c *Case) { c.S2C /= 2 },
+	} {
+		for pass := 0; pass < 3; pass++ {
+			cand := cur
+			half(&cand)
+			if cand.C2S < 2_000 || cand.S2C < 1_000 {
+				break
+			}
+			if !fails(cand) {
+				break
+			}
+			cur = cand
+		}
+	}
+
+	cur.Name = c.Name + "-shrunk"
+	cur.Script.Name = c.Script.Name + "-shrunk"
+	final := run(cur)
+	runs++
+	return ShrinkResult{Case: cur, Verdict: final, Runs: runs}
+}
+
+func dropStep(s faults.Script, i int) faults.Script {
+	out := faults.Script{Name: s.Name, Steps: make([]faults.Step, 0, len(s.Steps)-1)}
+	out.Steps = append(out.Steps, s.Steps[:i]...)
+	out.Steps = append(out.Steps, s.Steps[i+1:]...)
+	return out
+}
+
+func withStep(s faults.Script, i int, f func(*faults.Step)) faults.Script {
+	out := faults.Script{Name: s.Name, Steps: append([]faults.Step(nil), s.Steps...)}
+	f(&out.Steps[i])
+	return out
+}

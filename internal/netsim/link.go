@@ -161,6 +161,14 @@ func (l *Link) Up() bool { return l.up }
 // Gilbert–Elliott bursty loss) on top of a static configuration.
 func (l *Link) SetLossProb(p float64) { l.cfg.LossProb = p }
 
+// SetReorderProb replaces the link's reordering probability at
+// runtime. Fault injectors use this to open bounded reordering windows
+// (faults.Reorder) and restore the configured value afterwards.
+func (l *Link) SetReorderProb(p float64) { l.cfg.ReorderProb = p }
+
+// SetDupProb replaces the link's duplication probability at runtime.
+func (l *Link) SetDupProb(p float64) { l.cfg.DupProb = p }
+
 // Stats returns a view of the link counters (keys: sent, delivered,
 // delivered_bytes, lost, duplicate, reordered, corrupted, queue_drop,
 // down_drop, ecn_marked).

@@ -37,9 +37,9 @@ func (t Time) String() string { return time.Duration(t).String() }
 // itself instead of a fresh closure per packet, so a recycled event is
 // the only per-hop scheduling cost.
 const (
-	evFunc uint8 = iota // run fn
-	evDeliver           // deliver pkt on lnk
-	evQueueFree         // release one serializer queue slot on lnk
+	evFunc      uint8 = iota // run fn
+	evDeliver                // deliver pkt on lnk
+	evQueueFree              // release one serializer queue slot on lnk
 )
 
 type event struct {

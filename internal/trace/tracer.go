@@ -86,6 +86,11 @@ type FlightDump struct {
 type Collector struct {
 	opts Options
 
+	// Label, when set, names the recording in the Report ("seed-17",
+	// "seed-17-shrunk"): a fuzz campaign's evidence trail carries which
+	// shrink round each dump belongs to without relying on file names.
+	Label string
+
 	// Generation-safe ID table. ids maps a buffer's backing-array
 	// pointer to its current incarnation's ID; ptrOf is the reverse,
 	// so End events and Retire can drop the mapping precisely even
@@ -346,6 +351,7 @@ func (c *Collector) ChainsEvicted() uint64 { return c.evicted }
 // chains appear in birth order, never map order), so two same-seed
 // runs marshal byte-identically.
 type Report struct {
+	Label        string              `json:"label,omitempty"`
 	Total        uint64              `json:"total"`
 	RingDropped  uint64              `json:"ring_dropped"`
 	Evicted      uint64              `json:"chains_evicted"`
@@ -360,6 +366,7 @@ type Report struct {
 // Report assembles the deterministic run report.
 func (c *Collector) Report() Report {
 	r := Report{
+		Label:        c.Label,
 		Total:        c.total,
 		RingDropped:  c.ringDropped,
 		Evicted:      c.evicted,

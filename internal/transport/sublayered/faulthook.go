@@ -1,0 +1,17 @@
+package sublayered
+
+// FaultRexmitOffset is a test-only fault-injection hook: when nonzero,
+// every RD retransmission (RTO and fast-retransmit alike) claims
+// sequence number seq+offset while carrying the original segment's
+// payload — the classic off-by-one retransmit bug. First transmissions
+// are untouched, so the bug only surfaces when the network actually
+// loses the first copy: exactly the class of defect that passes every
+// clean-network test and that the fault-schedule fuzzer exists to
+// catch. The receiver buffers the shifted bytes at the wrong offset,
+// keeps acking the real hole, and the connection stalls into the user
+// timeout — a completion divergence against the monolithic stack.
+//
+// The hook is process-global and must only be set by sequential tests
+// (set, run, defer reset). Production code never touches it; at the
+// zero value the retransmit path is byte-for-byte unchanged.
+var FaultRexmitOffset uint32

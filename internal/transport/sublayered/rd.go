@@ -419,7 +419,7 @@ func (r *RD) retransmitFirst() {
 		o.sentAt = r.conn.now()
 		r.m.retransmits.Inc()
 		r.conn.trace("rexmit", "", 0, uint32(o.seq), len(o.payload))
-		r.conn.xmitData(o.seq, o.payload)
+		r.conn.xmitData(o.seq+seg.Seq(FaultRexmitOffset), o.payload)
 		return
 	}
 }

@@ -174,7 +174,7 @@ func Run(cfg Config) *Report {
 	if len(cfg.Script.Steps) > 0 {
 		inj := faults.New(w.Sim, w.Topo, cfg.Seed^0xfa17)
 		inj.BindMetrics(reg.Scope("faults"))
-		inj.Apply(cfg.Script)
+		inj.MustApply(cfg.Script)
 	}
 	// From here on the engine sees only the interface: either stack,
 	// same code path.
