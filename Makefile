@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race vet lint docs fuzz fuzz-pool fuzz-schedule bench verify report perf perfcheck determinism clean
+.PHONY: all build test race vet lint docs fuzz fuzz-pool fuzz-schedule bench soak verify report perf perfcheck determinism clean
 
 all: build
 
@@ -56,6 +56,13 @@ fuzz-schedule:
 bench:
 	$(GO) test -bench=E -benchtime=1x .
 
+# soak is the E15 backend soak: the 10/100-flow workload matrix on
+# both TCP stacks over the real-time backends (in-process channels and
+# loopback UDP). Wall-clock, so it never touches BENCH_metrics.json;
+# where loopback sockets are forbidden the udp cells skip gracefully.
+soak:
+	$(GO) run ./cmd/benchreport -e e15
+
 # verify is the PR gate: static checks, the full suite under the race
 # detector, short fuzz passes over the bit-stuffing spec, the pooled
 # parity target and the fault-schedule differential oracle, one pass
@@ -68,10 +75,10 @@ verify: vet lint docs race fuzz fuzz-pool fuzz-schedule bench perfcheck
 report:
 	$(GO) run ./cmd/runreport
 
-# perf regenerates BENCH_perf.json: the E11 flow-scaling matrix and
-# the E12 controller bake-off plus wall-clock throughput (its "timing"
-# section is the one part of the repo's reports that legitimately
-# varies between machines).
+# perf regenerates BENCH_perf.json: the E11 flow-scaling matrix, the
+# E12 controller bake-off and the E15 backend soak plus wall-clock
+# throughput (the "timing" and "soak" sections are the parts of the
+# repo's reports that legitimately vary between machines).
 perf:
 	$(GO) run ./cmd/benchreport -perf BENCH_perf.json
 
@@ -85,6 +92,9 @@ perfcheck:
 
 # determinism regenerates the run report twice and fails on any byte
 # drift from the committed BENCH_metrics.json — the same gate CI runs.
+# Explicitly pinned to the sim backend: runreport only executes the
+# deterministic registry (wall-clock experiments like E15 are
+# registered via RegisterWall and excluded).
 determinism:
 	$(GO) run ./cmd/runreport
 	git diff --exit-code BENCH_metrics.json

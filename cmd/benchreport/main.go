@@ -1,11 +1,12 @@
 // Command benchreport regenerates the experiment tables of
 // EXPERIMENTS.md (E1–E12 from DESIGN.md) in one run.
 //
-//	benchreport                            # run everything
+//	benchreport                            # run every deterministic experiment
 //	benchreport -e e5                      # one experiment
+//	benchreport -e e15                     # wall-clock backend soak (never in the default set)
 //	benchreport -seed 7                    # different world seed
 //	benchreport -e e10 -trace tracedir     # chaos soak + flight dumps
-//	benchreport -perf BENCH_perf.json      # E11+E12 perf report instead of tables
+//	benchreport -perf BENCH_perf.json      # E11+E12+E15 perf report instead of tables
 //	benchreport -check BENCH_baseline.json # perf-regression gate
 //
 // Experiments come from the experiments.Registry, so the tool needs no

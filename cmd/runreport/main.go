@@ -12,7 +12,11 @@
 // The report carries virtual time only — no wall clock, no hostnames —
 // so the same seed produces a byte-identical file on every run, with
 // or without -trace (trace artifacts are separate files and never
-// alter the report).
+// alter the report). The run-everything default is explicitly pinned
+// to the sim backend: it iterates only the deterministic experiment
+// registry, so wall-clock experiments (E15 backend soak, registered
+// via RegisterWall) can never leak real-time numbers into the gated
+// file.
 //
 // Exit codes follow the shared policy in internal/experiments/cli:
 // 0 success, 1 failed experiment or write error, 2 usage error.

@@ -68,17 +68,18 @@ func main() {
 	fmt.Printf("%-12s %-19s %-8s %s\n", "congestion", "connection-mgmt", "intact", "virtual-time")
 	for _, cc := range ccs {
 		for _, cm := range cms {
-			w := harness.BuildWorld(harness.WorldConfig{
-				Seed:   11,
-				Link:   netsim.LinkConfig{Delay: 2 * time.Millisecond, LossProb: 0.04, ReorderProb: 0.04},
-				Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
-				SubCfg: sublayered.Config{NewCM: cm.mk()},
-				Opts:   []transport.Option{transport.WithCC(cc)},
-			})
+			w := harness.New(harness.BackendSim,
+				harness.WithSeed(11),
+				harness.WithLink(netsim.LinkConfig{Delay: 2 * time.Millisecond, LossProb: 0.04, ReorderProb: 0.04}),
+				harness.WithStacks(harness.KindSublayeredNative, harness.KindSublayeredNative),
+				harness.WithSubConfig(sublayered.Config{NewCM: cm.mk()}),
+				harness.WithTransport(transport.WithCC(cc)),
+			)
 			res, err := harness.RunTransfer(w, data, nil, time.Hour)
 			if err != nil {
 				panic(err)
 			}
+			w.Close()
 			fmt.Printf("%-12s %-19s %-8v %v\n", cc, cm.name,
 				bytes.Equal(res.ServerGot, data),
 				res.Elapsed.Truncate(time.Millisecond))

@@ -1,13 +1,24 @@
 // Quickstart: compose the paper's Fig. 2 data-link sublayers — error
 // recovery over error detection over framing over line coding — wire
-// two stacks across a deliberately unreliable simulated link, and send
-// packets through. Everything arrives in order, exactly once.
+// two stacks across a deliberately unreliable link, and send packets
+// through. Everything arrives in order, exactly once.
+//
+// The link substrate is selectable: the same stacks run unchanged on
+// the deterministic simulator, on an in-process channel network paced
+// by the wall clock, or over real UDP sockets on loopback.
+//
+//	go run ./examples/quickstart               # deterministic simulator
+//	go run ./examples/quickstart -backend=chan # wall-clock channels
+//	go run ./examples/quickstart -backend=udp  # loopback UDP sockets
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"time"
 
+	"repro/internal/backends"
 	"repro/internal/datalink"
 	"repro/internal/netsim"
 	"repro/internal/stuffing"
@@ -15,7 +26,16 @@ import (
 )
 
 func main() {
-	sim := netsim.NewSimulator(42)
+	backend := flag.String("backend", backends.Sim,
+		`link substrate: "sim" (deterministic), "chan" (in-process wall clock), "udp" (loopback sockets)`)
+	flag.Parse()
+
+	b, err := backends.New(*backend, 42, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(2)
+	}
+	defer b.Close()
 
 	// Pick an implementation for each sublayer. Swap any of them —
 	// the other sublayers neither know nor care (litmus test T3).
@@ -25,43 +45,64 @@ func main() {
 		Framer:   datalink.NewBitStuffFramer(stuffing.HDLC()),
 		Code:     datalink.NRZI{},
 	}
-	alice, err := datalink.NewStack(sim, "alice", cfg)
-	if err != nil {
-		panic(err)
-	}
-	bob, err := datalink.NewStack(sim, "bob", cfg)
-	if err != nil {
-		panic(err)
-	}
-	fmt.Print(alice.Describe())
-
-	var received []string
-	bob.SetApp(func(p *sublayer.PDU) { received = append(received, string(p.Data)) })
-	alice.SetApp(func(p *sublayer.PDU) {})
-
-	// A link that loses 20% of frames and flips bits in 10% of them.
-	datalink.Connect(sim, alice, bob, netsim.LinkConfig{
-		Delay:       5 * time.Millisecond,
-		LossProb:    0.20,
-		CorruptProb: 0.10,
-	})
 
 	messages := []string{
 		"the flag is 01111110",        // bit-stuffing transparency
 		"\x7e\x7e\x7e escape city",    // byte values that look like flags
 		"sublayering: layers, nested", // plain text
 	}
-	for i, m := range messages {
-		alice.Send(sublayer.NewPDU([]byte(fmt.Sprintf("%d: %s", i, m))))
+
+	// Construction and sends run under the backend lock: inline on the
+	// simulator, serialized against timer callbacks on the real-time
+	// backends.
+	var alice, bob *sublayer.Stack
+	var received []string
+	b.Exec(func() {
+		if alice, err = datalink.NewStack(b, "alice", cfg); err != nil {
+			panic(err)
+		}
+		if bob, err = datalink.NewStack(b, "bob", cfg); err != nil {
+			panic(err)
+		}
+		bob.SetApp(func(p *sublayer.PDU) { received = append(received, string(p.Data)) })
+		alice.SetApp(func(p *sublayer.PDU) {})
+
+		// A link that loses 20% of frames and flips bits in 10% of them.
+		datalink.Connect(b, alice, bob, netsim.LinkConfig{
+			Delay:       5 * time.Millisecond,
+			LossProb:    0.20,
+			CorruptProb: 0.10,
+		})
+
+		for i, m := range messages {
+			alice.Send(sublayer.NewPDU([]byte(fmt.Sprintf("%d: %s", i, m))))
+		}
+	})
+	fmt.Printf("backend: %s\n\n", b.Name())
+	fmt.Print(alice.Describe())
+
+	if backends.Realtime(*backend) {
+		// Real time: poll for completion, bounded by a wall deadline.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			n := 0
+			b.Exec(func() { n = len(received) })
+			if n == len(messages) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	} else {
+		b.RunFor(30 * time.Second) // virtual time; finishes in microseconds
 	}
 
-	sim.RunFor(30 * time.Second) // virtual time; finishes in microseconds
-
-	fmt.Printf("\nreceived at bob, in order, exactly once:\n")
-	for _, m := range received {
-		fmt.Printf("  %q\n", m)
-	}
-	arq := alice.Layers()[0].(*datalink.GoBackN).Stats()
-	fmt.Printf("\nrecovery work on a 20%%-loss link: %d retransmits, %d acks from bob\n",
-		arq.Get("retransmits"), bob.Layers()[0].(*datalink.GoBackN).Stats().Get("acks_sent"))
+	b.Exec(func() {
+		fmt.Printf("\nreceived at bob, in order, exactly once:\n")
+		for _, m := range received {
+			fmt.Printf("  %q\n", m)
+		}
+		arq := alice.Layers()[0].(*datalink.GoBackN).Stats()
+		fmt.Printf("\nrecovery work on a 20%%-loss link: %d retransmits, %d acks from bob\n",
+			arq.Get("retransmits"), bob.Layers()[0].(*datalink.GoBackN).Stats().Get("acks_sent"))
+	})
 }

@@ -1,0 +1,56 @@
+// Package backends constructs netsim substrate backends by name. It is
+// the one registry mapping the user-facing backend selector ("sim",
+// "chan", "udp") to a constructor, shared by the transport harness,
+// the workload engine, the E15 soak and the examples — netsim itself
+// cannot host it without importing its own implementations.
+package backends
+
+import (
+	"fmt"
+
+	"repro/internal/channet"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/udpnet"
+)
+
+// Backend kind names. Sim is the deterministic discrete-event
+// simulator; Chan the in-process channel network; UDP the loopback
+// real-socket backend.
+const (
+	Sim  = "sim"
+	Chan = "chan"
+	UDP  = "udp"
+)
+
+// Names lists every backend kind, sim first.
+func Names() []string { return []string{Sim, Chan, UDP} }
+
+// New builds the named backend, seeded with seed. When reg is non-nil
+// the backend registers its instruments under "netsim/..." — the same
+// shape on every backend. The empty kind means Sim, so zero-valued
+// configs keep their deterministic default.
+func New(kind string, seed int64, reg *metrics.Registry) (netsim.Backend, error) {
+	switch kind {
+	case Sim, "":
+		var opts []netsim.Option
+		if reg != nil {
+			opts = append(opts, netsim.WithMetrics(reg))
+		}
+		return netsim.NewSimulator(seed, opts...), nil
+	case Chan:
+		return channet.New(seed, reg), nil
+	case UDP:
+		return udpnet.New(seed, reg)
+	default:
+		return nil, fmt.Errorf("backends: unknown backend %q (want sim, chan or udp)", kind)
+	}
+}
+
+// Realtime reports whether kind runs on the wall clock (everything but
+// the simulator). Drivers use it to pick polling over virtual RunFor.
+func Realtime(kind string) bool { return kind == Chan || kind == UDP }
+
+// UDPAvailable reports whether the UDP backend can run here; soak jobs
+// use it to skip gracefully where loopback sockets are forbidden.
+func UDPAvailable() bool { return udpnet.Available() }

@@ -1,0 +1,167 @@
+// Package channet is the in-process channel-network backend: the same
+// netsim.Backend contract as the simulator, but with no virtual clock —
+// goroutines and real time.Timers carry the packets, in the style of
+// P2P-Park's sim.Network. Each link owns a FIFO delivery channel
+// drained by a goroutine that sleeps until a packet's due time;
+// reorder-delayed packets and duplicates travel out-of-band through
+// time.AfterFunc so in-order traffic can overtake them, exactly as on
+// the simulator.
+//
+// All protocol callbacks are serialized by the embedded RTClock's
+// mutex, so stacks written for the simulator run unchanged; external
+// drivers go through Exec.
+package channet
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Network is the channel-network backend. Create with New, wire links
+// with NewLink (or netsim.NewDuplexOn), and Close when done to stop
+// the delivery goroutines.
+type Network struct {
+	*netsim.RTClock
+	links []*link
+}
+
+// New builds a channel network seeded with seed. When reg is non-nil
+// the backend registers the same "netsim/..." instruments the
+// simulator does.
+func New(seed int64, reg *metrics.Registry) *Network {
+	return &Network{RTClock: netsim.NewRTClock("chan", seed, reg)}
+}
+
+// NewLink creates a unidirectional impaired link delivering to dst and
+// starts its delivery goroutine.
+func (n *Network) NewLink(cfg netsim.LinkConfig, dst netsim.Handler) netsim.Port {
+	if dst == nil {
+		panic("channet: NewLink with nil destination")
+	}
+	l := &link{
+		core: netsim.NewRTLinkCore(n.RTClock, cfg),
+		clk:  n.RTClock,
+		dst:  dst,
+		ch:   make(chan entry, 1024),
+		done: make(chan struct{}),
+	}
+	n.links = append(n.links, l)
+	go l.run()
+	return l
+}
+
+// Close suppresses all pending timers and stops every link's delivery
+// goroutine.
+func (n *Network) Close() error {
+	err := n.RTClock.Close()
+	for _, l := range n.links {
+		close(l.done)
+	}
+	return err
+}
+
+// entry is one in-order packet waiting in a link's delivery channel.
+type entry struct {
+	data []byte
+	ecn  bool
+	due  time.Time
+}
+
+// link is one unidirectional channel-network link: the shared
+// real-time impairment core plus a FIFO channel and its drainer.
+type link struct {
+	core *netsim.RTLinkCore
+	clk  *netsim.RTClock
+	dst  netsim.Handler
+	ch   chan entry
+	done chan struct{}
+}
+
+// Name returns the link's creation-order identity.
+func (l *link) Name() string { return l.core.Name() }
+
+// Send copies data into a pooled buffer and transmits it.
+func (l *link) Send(data []byte) { l.SendOwned(l.core.Ingest(data), false) }
+
+// SendPacket is SendOwned for a packet that may carry an ECN mark.
+func (l *link) SendPacket(pkt *netsim.Packet) { l.SendOwned(pkt.Data, pkt.ECN) }
+
+// SendOwned transmits data, taking ownership of the buffer. Callers
+// hold the backend lock (protocol code always does).
+func (l *link) SendOwned(data []byte, ecn bool) {
+	plan, ok := l.core.PlanSend(data)
+	if !ok {
+		return
+	}
+	if plan.ECN {
+		ecn = true
+	}
+	due := time.Now().Add(plan.Delay)
+	l.enqueue(data, ecn, due, plan.Late)
+	if plan.Dup != nil {
+		// The duplicate trails by 1µs and goes out-of-band: its copy
+		// already exists, so FIFO order is not owed to it.
+		l.enqueue(plan.Dup, ecn, due.Add(time.Microsecond), true)
+	}
+}
+
+// enqueue routes one packet to its carrier: the FIFO channel for
+// in-order traffic, a standalone timer for reorder-delayed packets and
+// duplicates (so the channel's FIFO traffic can overtake them). A full
+// channel degrades to the timer path rather than blocking under the
+// backend lock.
+func (l *link) enqueue(data []byte, ecn bool, due time.Time, outOfBand bool) {
+	if !outOfBand {
+		select {
+		case l.ch <- entry{data: data, ecn: ecn, due: due}:
+			return
+		default:
+		}
+	}
+	l.clk.After(time.Until(due), func() { l.deliver(data, ecn) })
+}
+
+// run drains the FIFO channel, sleeping until each packet's due time.
+func (l *link) run() {
+	for {
+		select {
+		case <-l.done:
+			return
+		case e := <-l.ch:
+			if d := time.Until(e.due); d > 0 {
+				time.Sleep(d)
+			}
+			l.clk.ExecStep(func() { l.deliver(e.data, e.ecn) })
+		}
+	}
+}
+
+// deliver runs the arrival half under the backend lock.
+func (l *link) deliver(data []byte, ecn bool) {
+	if l.core.Delivered(data) {
+		l.dst(&netsim.Packet{Data: data, ECN: ecn})
+	}
+}
+
+// SetUp raises or cuts the link.
+func (l *link) SetUp(up bool) { l.core.SetUp(up) }
+
+// Up reports whether the link is passing traffic.
+func (l *link) Up() bool { return l.core.Up() }
+
+// SetLossProb replaces the random-loss probability at runtime.
+func (l *link) SetLossProb(p float64) { l.core.SetLossProb(p) }
+
+// SetReorderProb replaces the reordering probability at runtime.
+func (l *link) SetReorderProb(p float64) { l.core.SetReorderProb(p) }
+
+// SetDupProb replaces the duplication probability at runtime.
+func (l *link) SetDupProb(p float64) { l.core.SetDupProb(p) }
+
+// Stats returns a view of the link counters.
+func (l *link) Stats() metrics.View { return l.core.Stats() }
+
+// Config returns the link's configuration.
+func (l *link) Config() netsim.LinkConfig { return l.core.Config() }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/stuffing"
 	"repro/internal/sublayer"
+	"repro/internal/transport"
 )
 
 // StackConfig selects an implementation for each Fig. 2 sublayer.
@@ -40,42 +41,45 @@ func (c StackConfig) withDefaults() StackConfig {
 	return c
 }
 
-// Option configures NewStack beyond the sublayer selection.
-type Option func(*stackOptions)
-
-type stackOptions struct {
-	reg *metrics.Registry
-}
+// Option configures NewStack beyond the sublayer selection. It is the
+// shared transport option set — datalink no longer grows its own.
+type Option = transport.Option
 
 // WithMetrics registers the stack's boundary counters and every
 // instrumented sublayer into reg under "<name>/datalink/...".
-func WithMetrics(reg *metrics.Registry) Option {
-	return func(o *stackOptions) { o.reg = reg }
-}
+//
+// Deprecation note: this is now an alias for transport.WithRegistry,
+// the shared option set; prefer that spelling in new code.
+func WithMetrics(reg *metrics.Registry) Option { return transport.WithRegistry(reg) }
 
 // NewStack composes a data-link endpoint per Fig. 2, top to bottom:
-// error recovery, error detection, framing, encoding.
-func NewStack(sim *netsim.Simulator, name string, cfg StackConfig, opts ...Option) (*sublayer.Stack, error) {
-	var o stackOptions
-	for _, opt := range opts {
-		opt(&o)
-	}
+// error recovery, error detection, framing, encoding. It accepts the
+// shared transport option set: WithRegistry adopts the stack's
+// instruments under "<name>/datalink", WithMetrics (scope form) adopts
+// them directly, WithTracer attaches a tracer to the backend.
+func NewStack(sim netsim.Backend, name string, cfg StackConfig, opts ...Option) (*sublayer.Stack, error) {
+	o := transport.Collect(opts)
 	cfg = cfg.withDefaults()
 	layers := []sublayer.Sublayer{}
 	if !cfg.NoARQ {
 		layers = append(layers, cfg.ARQ)
 	}
-	layers = append(layers,
+	st, err := sublayer.New(sim, name, append(layers,
 		NewErrDetect(cfg.Checksum),
 		NewFraming(cfg.Framer),
 		NewEncoding(cfg.Code),
-	)
-	st, err := sublayer.New(sim, name, layers...)
+	)...)
 	if err != nil {
 		return nil, err
 	}
-	if o.reg != nil {
-		st.BindMetrics(o.reg.Scope(name).Sub("datalink"))
+	switch {
+	case o.Metrics != nil:
+		st.BindMetrics(o.Metrics)
+	case o.Registry != nil:
+		st.BindMetrics(o.Registry.Scope(name).Sub("datalink"))
+	}
+	if o.Tracer != nil {
+		sim.SetTracer(o.Tracer)
 	}
 	return st, nil
 }
@@ -83,8 +87,8 @@ func NewStack(sim *netsim.Simulator, name string, cfg StackConfig, opts ...Optio
 // Connect wires two data-link stacks over a duplex impaired link: each
 // stack's wire output transmits on its direction and the peer's bottom
 // receives. It returns the duplex for impairment control.
-func Connect(sim *netsim.Simulator, a, b *sublayer.Stack, cfg netsim.LinkConfig) *netsim.Duplex {
-	d := sim.NewDuplex(cfg,
+func Connect(sim netsim.Backend, a, b *sublayer.Stack, cfg netsim.LinkConfig) *netsim.Duplex {
+	d := netsim.NewDuplexOn(sim, cfg,
 		func(p *netsim.Packet) { a.Receive(&sublayer.PDU{Data: p.Data, Meta: sublayer.Meta{ECN: p.ECN}}) },
 		func(p *netsim.Packet) { b.Receive(&sublayer.PDU{Data: p.Data, Meta: sublayer.Meta{ECN: p.ECN}}) },
 	)

@@ -52,8 +52,11 @@ func (c *Common) Config() experiments.Config {
 }
 
 // Run resolves -e against the registry and executes the selection (or
-// everything when empty), in registry order. An unknown id is a usage
-// error: the caller should exit ExitUsage.
+// every deterministic experiment when empty), in registry order.
+// Wall-clock experiments (e15) only run when named explicitly — the
+// run-everything default feeds the determinism gate, which is pinned
+// to the sim backend. An unknown id is a usage error: the caller
+// should exit ExitUsage.
 func (c *Common) Run() ([]*experiments.Result, error) {
 	cfg := c.Config()
 	if strings.TrimSpace(c.Exp) == "" {
@@ -63,8 +66,9 @@ func (c *Common) Run() ([]*experiments.Result, error) {
 	for _, id := range strings.Split(c.Exp, ",") {
 		r := experiments.Run(strings.TrimSpace(id), cfg)
 		if r == nil {
+			known := append(experiments.IDs(), experiments.WallIDs()...)
 			return nil, fmt.Errorf("unknown experiment %q (want one of %s)",
-				id, strings.Join(experiments.IDs(), ","))
+				id, strings.Join(known, ","))
 		}
 		results = append(results, r)
 	}

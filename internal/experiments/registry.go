@@ -30,16 +30,35 @@ type Config struct {
 // Runner generates one experiment's Result from a Config.
 type Runner func(Config) *Result
 
-// registry maps canonical lower-case IDs ("e1".."e11") to runners.
-// Experiments self-register from init, so adding an experiment is one
-// Register call — cmd/benchreport, cmd/runreport, the benchmarks and
-// the tests all pick it up through Run/RunAll/IDs with no switch to
-// extend.
+// registry maps canonical lower-case IDs ("e1".."e14") to runners
+// whose Results are pure functions of the seed. Experiments
+// self-register from init, so adding an experiment is one Register
+// call — cmd/benchreport, cmd/runreport, the benchmarks and the tests
+// all pick it up through Run/RunAll/IDs with no switch to extend.
 var registry = map[string]Runner{}
 
-// Register adds an experiment runner under id. It panics on a
-// duplicate or empty id: both are wiring bugs, not runtime conditions.
+// wallRegistry holds the wall-clock experiments (E15 backend soak):
+// runnable by id, but never part of RunAll — the determinism gate
+// (runreport → BENCH_metrics.json) is explicitly pinned to the sim
+// backend's deterministic set, and a wall-paced result in that file
+// would break its byte identity.
+var wallRegistry = map[string]Runner{}
+
+// Register adds a deterministic experiment runner under id. It panics
+// on a duplicate or empty id: both are wiring bugs, not runtime
+// conditions.
 func Register(id string, fn Runner) {
+	registerInto(registry, id, fn)
+}
+
+// RegisterWall adds a wall-clock experiment runner under id. Wall
+// experiments run via Run (benchreport -e <id>) but are excluded from
+// RunAll and IDs, keeping them out of the determinism gate.
+func RegisterWall(id string, fn Runner) {
+	registerInto(wallRegistry, id, fn)
+}
+
+func registerInto(m map[string]Runner, id string, fn Runner) {
 	id = strings.ToLower(strings.TrimSpace(id))
 	if id == "" {
 		panic("experiments: empty experiment id")
@@ -50,7 +69,10 @@ func Register(id string, fn Runner) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate experiment id " + id)
 	}
-	registry[id] = fn
+	if _, dup := wallRegistry[id]; dup {
+		panic("experiments: duplicate experiment id " + id)
+	}
+	m[id] = fn
 }
 
 // idOrder sorts "e<N>" numerically so E10/E11 follow E9 regardless of
@@ -65,10 +87,21 @@ func idOrder(id string) (int, string) {
 	return 1 << 30, id // non-numeric ids sort after, lexically
 }
 
-// IDs lists every registered experiment in numeric order.
+// IDs lists every deterministic experiment in numeric order — the set
+// RunAll (and with it the determinism gate) covers. Wall-clock
+// experiments are listed by WallIDs.
 func IDs() []string {
-	ids := make([]string, 0, len(registry))
-	for id := range registry {
+	return sortedIDs(registry)
+}
+
+// WallIDs lists the wall-clock experiments in numeric order.
+func WallIDs() []string {
+	return sortedIDs(wallRegistry)
+}
+
+func sortedIDs(m map[string]Runner) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool {
@@ -82,10 +115,14 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment registered under id (case-insensitive),
-// or returns nil if the id is unknown.
+// Run executes the experiment registered under id (case-insensitive,
+// deterministic or wall-clock), or returns nil if the id is unknown.
 func Run(id string, cfg Config) *Result {
-	fn := registry[strings.ToLower(strings.TrimSpace(id))]
+	key := strings.ToLower(strings.TrimSpace(id))
+	fn := registry[key]
+	if fn == nil {
+		fn = wallRegistry[key]
+	}
 	if fn == nil {
 		return nil
 	}
@@ -94,7 +131,9 @@ func Run(id string, cfg Config) *Result {
 	return res
 }
 
-// RunAll executes every registered experiment in numeric order.
+// RunAll executes every deterministic experiment in numeric order.
+// Wall-clock experiments never run here: RunAll feeds the byte-
+// determinism gate, which is pinned to the sim backend.
 func RunAll(cfg Config) []*Result {
 	out := make([]*Result, 0, len(registry))
 	for _, id := range IDs() {

@@ -36,7 +36,7 @@ import (
 // install schedules with Apply (or the imperative helpers), then run
 // the simulation as usual.
 type Injector struct {
-	sim  *netsim.Simulator
+	sim  netsim.Backend
 	topo *network.Topology
 	rng  *rand.Rand
 	m    injMetrics
@@ -85,7 +85,7 @@ func (m *injMetrics) view() metrics.View {
 // The RNG is deliberately separate from the simulator's: fault
 // schedules and link impairments never share a draw sequence, so each
 // is deterministic in isolation.
-func New(sim *netsim.Simulator, topo *network.Topology, seed int64) *Injector {
+func New(sim netsim.Backend, topo *network.Topology, seed int64) *Injector {
 	return &Injector{sim: sim, topo: topo, rng: rand.New(rand.NewSource(seed))}
 }
 

@@ -51,7 +51,7 @@ func (w *Watchdog) BindMetrics(sc *metrics.Scope) {
 // answer at exactly that tick records a violation stamped with the
 // tick's virtual time. Deadlines inside an open Disarm window are
 // skipped — the caller has declared the stall expected there.
-func (w *Watchdog) ArmDeadline(sim *netsim.Simulator, at time.Duration, label string, ok func() bool) {
+func (w *Watchdog) ArmDeadline(sim netsim.Backend, at time.Duration, label string, ok func() bool) {
 	sim.Schedule(at, func() {
 		w.checks.Inc()
 		if w.disarms > 0 {
@@ -68,7 +68,7 @@ func (w *Watchdog) ArmDeadline(sim *netsim.Simulator, at time.Duration, label st
 // [from, from+dur) — e.g. a router crash-restart window, where a
 // transfer is allowed to stall without that being a transport bug.
 // Windows may overlap; checks resume when every open window closes.
-func (w *Watchdog) Disarm(sim *netsim.Simulator, from, dur time.Duration) {
+func (w *Watchdog) Disarm(sim netsim.Backend, from, dur time.Duration) {
 	sim.Schedule(from, func() { w.disarms++ })
 	sim.Schedule(from+dur, func() { w.disarms-- })
 }

@@ -18,11 +18,11 @@ type Packet struct {
 }
 
 // Clone deep-copies a packet so impairments (corruption, duplication)
-// never alias caller memory.
+// never alias caller memory. The copy goes through CloneBuf — the
+// Backend contract's single duplication path — so the clone's Data is
+// a pooled buffer the caller owns.
 func (p *Packet) Clone() *Packet {
-	d := make([]byte, len(p.Data))
-	copy(d, p.Data)
-	return &Packet{Data: d, ECN: p.ECN}
+	return &Packet{Data: CloneBuf(p.Data), ECN: p.ECN}
 }
 
 // Handler consumes delivered packets.
@@ -56,61 +56,70 @@ type LinkConfig struct {
 	CorruptProb float64
 }
 
-// linkMetrics counts what happened to traffic on a link. The fields
-// are the single source of truth; Stats() projects them as a View and
-// WithMetrics adopts them into the registry.
-type linkMetrics struct {
-	sent           metrics.Counter
-	delivered      metrics.Counter
-	deliveredBytes metrics.Counter
-	lost           metrics.Counter
-	duplicate      metrics.Counter
-	reordered      metrics.Counter
-	corrupted      metrics.Counter
-	queueDrop      metrics.Counter
-	downDrop       metrics.Counter
-	ecnMarked      metrics.Counter
-	queueDepth     metrics.Gauge
+// LinkMetrics counts what happened to traffic on a link. The fields
+// are the single source of truth on every backend; Stats() projects
+// them as a View and an attached registry adopts them under
+// "netsim/link<n>". Exported so the real-time backends (channet,
+// udpnet) count into the identical instrument shape.
+type LinkMetrics struct {
+	Sent           metrics.Counter
+	Delivered      metrics.Counter
+	DeliveredBytes metrics.Counter
+	Lost           metrics.Counter
+	Duplicate      metrics.Counter
+	Reordered      metrics.Counter
+	Corrupted      metrics.Counter
+	QueueDrop      metrics.Counter
+	DownDrop       metrics.Counter
+	ECNMarked      metrics.Counter
+	QueueDepth     metrics.Gauge
 }
 
-func (m *linkMetrics) bind(sc *metrics.Scope) {
-	sc.Register("sent", &m.sent)
-	sc.Register("delivered", &m.delivered)
-	sc.Register("delivered_bytes", &m.deliveredBytes)
-	sc.Register("lost", &m.lost)
-	sc.Register("duplicate", &m.duplicate)
-	sc.Register("reordered", &m.reordered)
-	sc.Register("corrupted", &m.corrupted)
-	sc.Register("queue_drop", &m.queueDrop)
-	sc.Register("down_drop", &m.downDrop)
-	sc.Register("ecn_marked", &m.ecnMarked)
-	sc.Register("queue_depth", &m.queueDepth)
+// Bind registers every counter into sc (typically "netsim/link<n>").
+func (m *LinkMetrics) Bind(sc *metrics.Scope) {
+	sc.Register("sent", &m.Sent)
+	sc.Register("delivered", &m.Delivered)
+	sc.Register("delivered_bytes", &m.DeliveredBytes)
+	sc.Register("lost", &m.Lost)
+	sc.Register("duplicate", &m.Duplicate)
+	sc.Register("reordered", &m.Reordered)
+	sc.Register("corrupted", &m.Corrupted)
+	sc.Register("queue_drop", &m.QueueDrop)
+	sc.Register("down_drop", &m.DownDrop)
+	sc.Register("ecn_marked", &m.ECNMarked)
+	sc.Register("queue_depth", &m.QueueDepth)
 }
 
-func (m *linkMetrics) view() metrics.View {
+// View snapshots the counters under their registry names.
+func (m *LinkMetrics) View() metrics.View {
 	return metrics.View{
-		"sent":            m.sent.Value(),
-		"delivered":       m.delivered.Value(),
-		"delivered_bytes": m.deliveredBytes.Value(),
-		"lost":            m.lost.Value(),
-		"duplicate":       m.duplicate.Value(),
-		"reordered":       m.reordered.Value(),
-		"corrupted":       m.corrupted.Value(),
-		"queue_drop":      m.queueDrop.Value(),
-		"down_drop":       m.downDrop.Value(),
-		"ecn_marked":      m.ecnMarked.Value(),
+		"sent":            m.Sent.Value(),
+		"delivered":       m.Delivered.Value(),
+		"delivered_bytes": m.DeliveredBytes.Value(),
+		"lost":            m.Lost.Value(),
+		"duplicate":       m.Duplicate.Value(),
+		"reordered":       m.Reordered.Value(),
+		"corrupted":       m.Corrupted.Value(),
+		"queue_drop":      m.QueueDrop.Value(),
+		"down_drop":       m.DownDrop.Value(),
+		"ecn_marked":      m.ECNMarked.Value(),
 	}
 }
 
-// Link is a unidirectional impaired channel. Create with
-// Simulator.NewLink; send with Send. Delivery invokes the destination
-// handler inside the event loop.
+// linkName renders the creation-order link identity every backend
+// shares: "link0", "link1", ...
+func linkName(n int) string { return fmt.Sprintf("link%d", n) }
+
+// Link is a unidirectional impaired channel on the simulator. Create
+// with Simulator.NewLink; send with Send. Delivery invokes the
+// destination handler inside the event loop. Link is the simulator's
+// Port implementation.
 type Link struct {
 	sim  *Simulator
 	cfg  LinkConfig
 	dst  Handler
 	name string // "link<n>" in creation order; trace/metrics identity
-	m    linkMetrics
+	m    LinkMetrics
 	// serializer state: the time at which the transmitter frees up.
 	txFree Time
 	queued int
@@ -123,14 +132,13 @@ type Link struct {
 // NewLink creates a unidirectional link delivering to dst. When the
 // simulator carries a registry, the link's counters register under
 // "netsim/link<n>/..." in creation order.
-func (s *Simulator) NewLink(cfg LinkConfig, dst Handler) *Link {
+func (s *Simulator) NewLink(cfg LinkConfig, dst Handler) Port {
 	if dst == nil {
 		panic("netsim: NewLink with nil destination")
 	}
-	l := &Link{sim: s, cfg: cfg, dst: dst, up: true,
-		name: fmt.Sprintf("link%d", s.linkSeq)}
+	l := &Link{sim: s, cfg: cfg, dst: dst, up: true, name: linkName(s.linkSeq)}
 	if s.msc != nil {
-		l.m.bind(s.msc.Sub(l.name))
+		l.m.Bind(s.msc.Sub(l.name))
 	}
 	s.linkSeq++
 	return l
@@ -172,7 +180,7 @@ func (l *Link) SetDupProb(p float64) { l.cfg.DupProb = p }
 // Stats returns a view of the link counters (keys: sent, delivered,
 // delivered_bytes, lost, duplicate, reordered, corrupted, queue_drop,
 // down_drop, ecn_marked).
-func (l *Link) Stats() metrics.View { return l.m.view() }
+func (l *Link) Stats() metrics.View { return l.m.View() }
 
 // Config returns the link's configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
@@ -203,9 +211,9 @@ func (l *Link) SendPacket(pkt *Packet) {
 // the buffer in place — there is no per-hop copy.
 func (l *Link) SendOwned(data []byte, ecn bool) {
 	tr := l.sim.tracer
-	l.m.sent.Inc()
+	l.m.Sent.Inc()
 	if !l.up {
-		l.m.downDrop.Inc()
+		l.m.DownDrop.Inc()
 		if tr != nil {
 			l.trace(tr, "drop", VerdictDownDrop, data, true, nil)
 		}
@@ -214,7 +222,7 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 	}
 	rng := l.sim.rng
 	if chance(rng, l.cfg.LossProb) {
-		l.m.lost.Inc()
+		l.m.Lost.Inc()
 		if tr != nil {
 			l.trace(tr, "drop", VerdictLost, data, true, nil)
 		}
@@ -226,7 +234,7 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 	depart := l.sim.Now()
 	if l.cfg.RateBps > 0 {
 		if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
-			l.m.queueDrop.Inc()
+			l.m.QueueDrop.Inc()
 			if tr != nil {
 				l.trace(tr, "drop", VerdictQueueDrop, data, true, nil)
 			}
@@ -235,7 +243,7 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 		}
 		if l.cfg.ECNThreshold > 0 && l.queued >= l.cfg.ECNThreshold {
 			ecn = true
-			l.m.ecnMarked.Inc()
+			l.m.ECNMarked.Inc()
 		}
 		txTime := Time(int64(len(data)) * 8 * int64(time.Second) / l.cfg.RateBps)
 		start := l.txFree
@@ -255,7 +263,7 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 		extra += Time(rng.Int63n(l.cfg.Jitter.Nanoseconds()))
 	}
 	if chance(rng, l.cfg.ReorderProb) {
-		l.m.reordered.Inc()
+		l.m.Reordered.Inc()
 		span := 4 * l.cfg.Delay.Nanoseconds()
 		if span <= 0 {
 			span = int64(400 * time.Microsecond)
@@ -263,7 +271,7 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 		extra += Time(1 + rng.Int63n(span))
 	}
 	if chance(rng, l.cfg.CorruptProb) && len(data) > 0 {
-		l.m.corrupted.Inc()
+		l.m.Corrupted.Inc()
 		bit := rng.Intn(len(data) * 8)
 		data[bit/8] ^= 1 << uint(7-bit%8)
 		if tr != nil {
@@ -279,9 +287,8 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 	}
 	l.deliverAt(arrive, data, ecn)
 	if chance(rng, l.cfg.DupProb) {
-		l.m.duplicate.Inc()
-		dup := bufpool.Get(len(data))
-		copy(dup, data)
+		l.m.Duplicate.Inc()
+		dup := CloneBuf(data)
 		if tr != nil {
 			t := tr
 			t.Stamp(dup)
@@ -293,7 +300,7 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 
 func (l *Link) setQueued(n int) {
 	l.queued = n
-	l.m.queueDepth.Set(int64(n))
+	l.m.QueueDepth.Set(int64(n))
 }
 
 // deliverAt schedules arrival as a tagged event: the Packet travels
@@ -311,15 +318,15 @@ func (l *Link) deliverAt(at Time, data []byte, ecn bool) {
 // however, is the handler's to keep (or Put back to the bufpool).
 func (l *Link) deliver(p *Packet) {
 	if !l.up {
-		l.m.downDrop.Inc()
+		l.m.DownDrop.Inc()
 		if t := l.sim.tracer; t != nil {
 			l.trace(t, "drop", VerdictDownDrop, p.Data, true, nil)
 		}
 		bufpool.Put(p.Data)
 		return
 	}
-	l.m.delivered.Inc()
-	l.m.deliveredBytes.Add(uint64(len(p.Data)))
+	l.m.Delivered.Inc()
+	l.m.DeliveredBytes.Add(uint64(len(p.Data)))
 	if t := l.sim.tracer; t != nil {
 		l.trace(t, "deliver", "", p.Data, false, nil)
 	}
@@ -330,16 +337,20 @@ func chance(rng *rand.Rand, p float64) bool {
 	return p > 0 && rng.Float64() < p
 }
 
-// Duplex bundles the two directions of a point-to-point link.
+// Duplex bundles the two directions of a point-to-point link on any
+// backend.
 type Duplex struct {
-	AB *Link // a → b
-	BA *Link // b → a
+	AB Port // a → b
+	BA Port // b → a
 }
 
 // NewDuplex builds a symmetric bidirectional link with the same config
 // in each direction, delivering to the two handlers.
+//
+// Prefer the backend-agnostic NewDuplexOn, which works on every
+// Backend; this method remains for direct simulator wiring.
 func (s *Simulator) NewDuplex(cfg LinkConfig, toA, toB Handler) *Duplex {
-	return &Duplex{AB: s.NewLink(cfg, toB), BA: s.NewLink(cfg, toA)}
+	return NewDuplexOn(s, cfg, toA, toB)
 }
 
 // SetUp raises or cuts both directions.

@@ -1,0 +1,370 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/metrics"
+)
+
+// RTClock is the real-time scheduling core shared by the non-simulated
+// backends (channet, udpnet). It replaces the simulator's event heap
+// with real time.Timers and its single-threadedness with one mutex:
+// every protocol callback — timer firings, packet deliveries — runs
+// with mu held, so protocol code written for the simulator runs
+// unchanged. Timer creation never takes the lock (callbacks re-arm
+// timers while already holding it); only the firing wrapper does.
+//
+// RTClock is not itself a Backend — it has no links. A backend embeds
+// it and adds NewLink plus resource cleanup on Close.
+type RTClock struct {
+	name  string
+	start time.Time
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	tracer Tracer
+	closed bool
+
+	// steps counts executed callbacks/deliveries; atomic so Steps()
+	// stays callable both under Exec and from the driver.
+	steps atomic.Uint64
+
+	scheduled metrics.Counter
+	executed  metrics.Counter
+	cancelled metrics.Counter
+
+	msc     *metrics.Scope
+	linkSeq int
+}
+
+// NewRTClock builds the real-time core for a backend named name. When
+// reg is non-nil the event counters register under "netsim/events" and
+// links created later register under "netsim/link<n>" — the same
+// instrument shape the simulator exports, so dashboards and snapshots
+// read identically across backends.
+func NewRTClock(name string, seed int64, reg *metrics.Registry) *RTClock {
+	c := &RTClock{name: name, start: time.Now(), rng: rand.New(rand.NewSource(seed))}
+	if reg != nil {
+		c.msc = reg.Scope("netsim")
+		sc := c.msc.Sub("events")
+		sc.Register("scheduled", &c.scheduled)
+		sc.Register("executed", &c.executed)
+		sc.Register("cancelled", &c.cancelled)
+	}
+	return c
+}
+
+// Name returns the backend name given at construction.
+func (c *RTClock) Name() string { return c.name }
+
+// Now returns wall-clock nanoseconds since the clock was built.
+func (c *RTClock) Now() Time { return Time(time.Since(c.start)) }
+
+// Rand returns the backend-owned random source. Callers must hold the
+// lock (be inside a callback or Exec), as with all protocol state.
+func (c *RTClock) Rand() *rand.Rand { return c.rng }
+
+// rtTimer is the real-time arm of Timer: a time.AfterFunc whose firing
+// wrapper takes the clock lock and re-checks liveness, so Stop (called
+// with the lock held) and a concurrent firing can never both win.
+type rtTimer struct {
+	clk *RTClock
+	t   *time.Timer
+	// done flips when the timer fires or is stopped; guarded by clk.mu.
+	done bool
+}
+
+// ScheduleTimer arms fn to run after d with the clock lock held. It is
+// safe to call from protocol callbacks (the lock is not re-taken).
+func (c *RTClock) ScheduleTimer(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.scheduled.Inc()
+	rt := &rtTimer{clk: c}
+	rt.t = time.AfterFunc(d, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if rt.done || c.closed {
+			return
+		}
+		rt.done = true
+		c.steps.Add(1)
+		c.executed.Inc()
+		fn()
+	})
+	return Timer{rt: rt}
+}
+
+// Schedule runs fn once after delay d (clamped to ≥ 0).
+func (c *RTClock) Schedule(d time.Duration, fn func()) *Timer {
+	t := c.ScheduleTimer(d, fn)
+	return &t
+}
+
+// Every runs fn every interval until the Repeater is stopped.
+func (c *RTClock) Every(interval time.Duration, fn func()) *Repeater {
+	return newRepeater(c, interval, fn)
+}
+
+// RunFor sleeps for d of wall-clock time while timers and deliveries
+// make progress on their own goroutines. Driver-side only — calling it
+// from a callback would stall every other callback for d.
+func (c *RTClock) RunFor(d time.Duration) { time.Sleep(d) }
+
+// Steps counts callbacks and deliveries executed so far.
+func (c *RTClock) Steps() uint64 { return c.steps.Load() }
+
+// Exec runs fn with the clock lock held — the driver's doorway into
+// protocol state. It runs even after Close (drivers harvest final
+// state that way); fn must not call Exec or RunFor.
+func (c *RTClock) Exec(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn()
+}
+
+// ExecStep is Exec for backend-internal delivery paths: it counts one
+// step and is suppressed once the clock is closed, so late deliveries
+// cannot reach torn-down protocol state.
+func (c *RTClock) ExecStep(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.steps.Add(1)
+	c.executed.Inc()
+	fn()
+}
+
+// After arms fn to run once after d under ExecStep semantics. Backends
+// use it for delayed transmissions and out-of-band deliveries.
+func (c *RTClock) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, func() { c.ExecStep(fn) })
+}
+
+// SetTracer attaches (nil detaches) the tracer. Call before traffic
+// flows, or from inside Exec.
+func (c *RTClock) SetTracer(t Tracer) { c.tracer = t }
+
+// Tracer returns the attached tracer, or nil when tracing is off.
+func (c *RTClock) Tracer() Tracer { return c.tracer }
+
+// Close marks the clock closed: pending and future timer firings and
+// deliveries become no-ops. Backends layer socket/goroutine teardown
+// on top. Safe to call more than once.
+func (c *RTClock) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// Closed reports whether Close has run. Callers must hold the lock.
+func (c *RTClock) Closed() bool { return c.closed }
+
+// TxPlan is one packet's fate as decided by RTLinkCore.PlanSend: when
+// it should arrive, whether it carries an ECN mark, whether a
+// duplicate trails it, and whether it was reorder-delayed (in which
+// case delivery must go out-of-band so later packets can overtake it).
+type TxPlan struct {
+	// ECN carries the (possibly just-set) congestion mark.
+	ECN bool
+	// Delay is the full send-to-arrival latency: serializer wait plus
+	// propagation, jitter and any reordering extra.
+	Delay time.Duration
+	// Late marks a reorder-delayed packet: deliver out-of-band.
+	Late bool
+	// Dup, when non-nil, is a CloneBuf'd duplicate to deliver one
+	// microsecond behind the original.
+	Dup []byte
+}
+
+// RTLinkCore is the backend-independent half of a real-time link: the
+// impairment model, serializer state, per-link metrics and trace
+// identity, all in wall-clock time. It applies the exact impairment
+// pipeline the simulator's Link does — same order, same counters, same
+// trace events — leaving only the actual carriage (channel, socket) to
+// the owning backend. All methods require the clock lock.
+type RTLinkCore struct {
+	clk  *RTClock
+	cfg  LinkConfig
+	name string
+	m    LinkMetrics
+
+	// Serializer state, in wall time.
+	txFree time.Time
+	queued int
+	up     bool
+}
+
+// NewRTLinkCore names, registers and returns the core for the
+// backend's next link.
+func NewRTLinkCore(clk *RTClock, cfg LinkConfig) *RTLinkCore {
+	l := &RTLinkCore{clk: clk, cfg: cfg, up: true, name: linkName(clk.linkSeq)}
+	if clk.msc != nil {
+		l.m.Bind(clk.msc.Sub(l.name))
+	}
+	clk.linkSeq++
+	return l
+}
+
+// Name returns the link's creation-order identity.
+func (l *RTLinkCore) Name() string { return l.name }
+
+// SetUp raises or cuts the link.
+func (l *RTLinkCore) SetUp(up bool) { l.up = up }
+
+// Up reports whether the link is passing traffic.
+func (l *RTLinkCore) Up() bool { return l.up }
+
+// SetLossProb replaces the random-loss probability at runtime.
+func (l *RTLinkCore) SetLossProb(p float64) { l.cfg.LossProb = p }
+
+// SetReorderProb replaces the reordering probability at runtime.
+func (l *RTLinkCore) SetReorderProb(p float64) { l.cfg.ReorderProb = p }
+
+// SetDupProb replaces the duplication probability at runtime.
+func (l *RTLinkCore) SetDupProb(p float64) { l.cfg.DupProb = p }
+
+// Stats returns a view of the link counters.
+func (l *RTLinkCore) Stats() metrics.View { return l.m.View() }
+
+// Config returns the link's configuration.
+func (l *RTLinkCore) Config() LinkConfig { return l.cfg }
+
+// Trace emits one link-layer span event when tracing is on.
+func (l *RTLinkCore) Trace(kind, verdict string, data []byte, end bool, frame []byte) {
+	t := l.clk.tracer
+	if t == nil {
+		return
+	}
+	t.Emit(TraceEvent{
+		At: l.clk.Now(), ID: t.ID(data), Len: len(data),
+		Node: l.name, Layer: LayerLink, Kind: kind, Verdict: verdict, End: end,
+	}, frame)
+}
+
+// Ingest copies data into a pooled buffer and stamps it as a fresh
+// trace incarnation — the Port.Send front half, shared by backends.
+func (l *RTLinkCore) Ingest(data []byte) []byte {
+	buf := bufpool.Get(len(data))
+	copy(buf, data)
+	if t := l.clk.tracer; t != nil {
+		t.Stamp(buf)
+	}
+	return buf
+}
+
+// PlanSend runs the impairment pipeline for one owned buffer: up
+// check, random loss, serialization/queueing/ECN, jitter, reordering,
+// in-place corruption, duplication, and the transmit trace event. On
+// ok it returns the delivery plan and the (possibly corrupted) buffer
+// remains the caller's to carry; on !ok the packet was dropped, the
+// counters and trace already say why, and the buffer went back to the
+// pool.
+func (l *RTLinkCore) PlanSend(data []byte) (plan TxPlan, ok bool) {
+	l.m.Sent.Inc()
+	if !l.up {
+		l.m.DownDrop.Inc()
+		l.Trace("drop", VerdictDownDrop, data, true, nil)
+		bufpool.Put(data)
+		return plan, false
+	}
+	rng := l.clk.rng
+	if chance(rng, l.cfg.LossProb) {
+		l.m.Lost.Inc()
+		l.Trace("drop", VerdictLost, data, true, nil)
+		bufpool.Put(data)
+		return plan, false
+	}
+
+	// Serialization and queueing, in wall time.
+	now := time.Now()
+	depart := now
+	if l.cfg.RateBps > 0 {
+		if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
+			l.m.QueueDrop.Inc()
+			l.Trace("drop", VerdictQueueDrop, data, true, nil)
+			bufpool.Put(data)
+			return plan, false
+		}
+		if l.cfg.ECNThreshold > 0 && l.queued >= l.cfg.ECNThreshold {
+			plan.ECN = true
+			l.m.ECNMarked.Inc()
+		}
+		txTime := time.Duration(int64(len(data)) * 8 * int64(time.Second) / l.cfg.RateBps)
+		start := l.txFree
+		if start.Before(now) {
+			start = now
+		}
+		l.txFree = start.Add(txTime)
+		depart = l.txFree
+		l.setQueued(l.queued + 1)
+		l.clk.After(depart.Sub(now), func() { l.setQueued(l.queued - 1) })
+	}
+
+	extra := time.Duration(0)
+	if l.cfg.Jitter > 0 {
+		extra += time.Duration(rng.Int63n(l.cfg.Jitter.Nanoseconds()))
+	}
+	if chance(rng, l.cfg.ReorderProb) {
+		l.m.Reordered.Inc()
+		span := 4 * l.cfg.Delay.Nanoseconds()
+		if span <= 0 {
+			span = int64(400 * time.Microsecond)
+		}
+		extra += time.Duration(1 + rng.Int63n(span))
+		plan.Late = true
+	}
+	if chance(rng, l.cfg.CorruptProb) && len(data) > 0 {
+		l.m.Corrupted.Inc()
+		bit := rng.Intn(len(data) * 8)
+		data[bit/8] ^= 1 << uint(7-bit%8)
+		l.Trace("corrupt", "", data, false, nil)
+	}
+
+	plan.Delay = depart.Sub(now) + l.cfg.Delay + extra
+	// The capture point: these exact bytes (after any in-place
+	// corruption) are what travels the wire.
+	l.Trace("transmit", "", data, false, data)
+	if chance(rng, l.cfg.DupProb) {
+		l.m.Duplicate.Inc()
+		plan.Dup = CloneBuf(data)
+		if t := l.clk.tracer; t != nil {
+			t.Stamp(plan.Dup)
+			l.Trace("dup", "", plan.Dup, false, plan.Dup)
+		}
+	}
+	return plan, true
+}
+
+func (l *RTLinkCore) setQueued(n int) {
+	l.queued = n
+	l.m.QueueDepth.Set(int64(n))
+}
+
+// Delivered runs the arrival half: the down check, the delivered
+// counters and the deliver trace event. It reports whether the buffer
+// should reach the destination handler; on false the packet was
+// dropped and the buffer returned to the pool.
+func (l *RTLinkCore) Delivered(data []byte) bool {
+	if !l.up {
+		l.m.DownDrop.Inc()
+		l.Trace("drop", VerdictDownDrop, data, true, nil)
+		bufpool.Put(data)
+		return false
+	}
+	l.m.Delivered.Inc()
+	l.m.DeliveredBytes.Add(uint64(len(data)))
+	l.Trace("deliver", "", data, false, nil)
+	return true
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// waitFor polls cond under the clock lock until it holds or the wall
+// deadline passes.
+func waitFor(t *testing.T, clk *RTClock, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := false
+		clk.Exec(func() { ok = cond() })
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRTClockTimerFires(t *testing.T) {
+	clk := NewRTClock("test", 1, nil)
+	defer clk.Close()
+	fired := false
+	clk.Schedule(5*time.Millisecond, func() { fired = true })
+	waitFor(t, clk, "timer to fire", func() bool { return fired })
+	if clk.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1", clk.Steps())
+	}
+}
+
+func TestRTClockTimerStop(t *testing.T) {
+	clk := NewRTClock("test", 1, nil)
+	defer clk.Close()
+	fired := false
+	tm := clk.Schedule(30*time.Millisecond, func() { fired = true })
+	clk.Exec(func() {
+		if !tm.Active() {
+			t.Error("timer should be active before firing")
+		}
+		tm.Stop()
+		if tm.Active() {
+			t.Error("timer should be inactive after Stop")
+		}
+	})
+	time.Sleep(60 * time.Millisecond)
+	clk.Exec(func() {
+		if fired {
+			t.Error("stopped timer fired")
+		}
+	})
+	if clk.Steps() != 0 {
+		t.Fatalf("Steps() = %d, want 0 after cancel", clk.Steps())
+	}
+}
+
+func TestRTClockEveryRepeats(t *testing.T) {
+	clk := NewRTClock("test", 1, nil)
+	defer clk.Close()
+	ticks := 0
+	rep := clk.Every(2*time.Millisecond, func() { ticks++ })
+	waitFor(t, clk, "three repeater ticks", func() bool { return ticks >= 3 })
+	clk.Exec(func() { rep.Stop() })
+	var after int
+	clk.Exec(func() { after = ticks })
+	time.Sleep(20 * time.Millisecond)
+	clk.Exec(func() {
+		if ticks > after+1 { // one in-flight firing may race the stop
+			t.Errorf("repeater kept ticking after Stop: %d -> %d", after, ticks)
+		}
+	})
+}
+
+func TestRTClockCloseStopsCallbacks(t *testing.T) {
+	clk := NewRTClock("test", 1, nil)
+	fired := false
+	clk.Schedule(10*time.Millisecond, func() { fired = true })
+	if err := clk.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	clk.Exec(func() {
+		if fired {
+			t.Error("timer fired after Close")
+		}
+	})
+}
+
+func TestRTClockNowAdvances(t *testing.T) {
+	clk := NewRTClock("test", 1, nil)
+	defer clk.Close()
+	t0 := clk.Now()
+	time.Sleep(5 * time.Millisecond)
+	if clk.Now() <= t0 {
+		t.Fatalf("wall clock did not advance: %v -> %v", t0, clk.Now())
+	}
+}
+
+// TestCloneBufNoAlias pins the centralized duplication contract: a
+// clone never aliases the source buffer.
+func TestCloneBufNoAlias(t *testing.T) {
+	src := []byte("original payload")
+	cp := CloneBuf(src)
+	if string(cp) != string(src) {
+		t.Fatalf("clone mismatch: %q != %q", cp, src)
+	}
+	src[0] = 'X'
+	if cp[0] == 'X' {
+		t.Fatal("CloneBuf aliases the source buffer")
+	}
+	pkt := &Packet{Data: []byte("pkt"), ECN: true}
+	dup := pkt.Clone()
+	pkt.Data[0] = 'Z'
+	if dup.Data[0] == 'Z' {
+		t.Fatal("Packet.Clone aliases the source buffer")
+	}
+	if !dup.ECN {
+		t.Fatal("Packet.Clone dropped ECN")
+	}
+}

@@ -120,6 +120,12 @@ type Option func(*Simulator)
 
 // WithMetrics registers the simulator's event counters and every
 // subsequently created Link and Bus into reg under "netsim/...".
+//
+// Deprecation note: world-building callers should not use this
+// directly anymore — construct through harness.New with
+// transport.WithRegistry, which plumbs the registry to whichever
+// backend is selected. This option remains for code driving a bare
+// Simulator.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(s *Simulator) { s.msc = reg.Scope("netsim") }
 }
@@ -146,21 +152,39 @@ func (s *Simulator) Now() Time { return s.now }
 // use this (never the global source) to stay deterministic.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// Timer is a handle to a scheduled callback. It remembers the event's
-// generation at scheduling time: once the event fires (or is stopped)
-// and gets recycled for an unrelated callback, the stale handle goes
-// inert instead of cancelling the new occupant.
+// Timer is a handle to a scheduled callback, on any backend. On the
+// simulator it remembers the event's generation at scheduling time:
+// once the event fires (or is stopped) and gets recycled for an
+// unrelated callback, the stale handle goes inert instead of
+// cancelling the new occupant. On real-time backends it wraps a
+// time.Timer (the rt arm). A zero Timer is inert either way, so
+// protocol structs can hold one by value before ever arming it.
 type Timer struct {
 	ev  *event
 	gen uint32
+	rt  *rtTimer
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the
-// cancellation prevented a pending firing. The event stays in the heap
-// as a tombstone; once tombstones exceed half the heap the simulator
-// compacts it, so cancelled timers cannot leak.
+// cancellation prevented a pending firing. On the simulator the event
+// stays in the heap as a tombstone; once tombstones exceed half the
+// heap the simulator compacts it, so cancelled timers cannot leak. On
+// real-time backends the caller must hold the backend lock (be inside
+// a callback or Exec), which is already true of all protocol code.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
+	if t == nil {
+		return false
+	}
+	if t.rt != nil {
+		if t.rt.done {
+			return false
+		}
+		t.rt.done = true
+		t.rt.t.Stop()
+		t.rt.clk.cancelled.Inc()
+		return true
+	}
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -172,9 +196,16 @@ func (t *Timer) Stop() bool {
 	return true
 }
 
-// Active reports whether the timer is still pending.
+// Active reports whether the timer is still pending. The locking rule
+// matches Stop's.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
+	if t == nil {
+		return false
+	}
+	if t.rt != nil {
+		return !t.rt.done
+	}
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
 }
 
 // Schedule runs fn after virtual delay d (clamped to ≥ 0).
@@ -348,7 +379,27 @@ func (s *Simulator) Steps() uint64 { return s.executed.Value() }
 // Every schedules fn to run every interval until the returned Repeater
 // is stopped. The first firing is after one interval.
 func (s *Simulator) Every(interval time.Duration, fn func()) *Repeater {
-	r := &Repeater{sim: s, interval: interval, fn: fn}
+	return newRepeater(s, interval, fn)
+}
+
+// timerScheduler is the sliver of Backend a Repeater needs to re-arm;
+// both the Simulator and the RTClock satisfy it.
+type timerScheduler interface {
+	ScheduleTimer(d time.Duration, fn func()) Timer
+}
+
+// Repeater is a periodic timer, usable on any backend.
+type Repeater struct {
+	sched    timerScheduler
+	interval time.Duration
+	fn       func()
+	tick     func() // built once; re-arming allocates nothing
+	t        Timer
+	stopped  bool
+}
+
+func newRepeater(s timerScheduler, interval time.Duration, fn func()) *Repeater {
+	r := &Repeater{sched: s, interval: interval, fn: fn}
 	r.tick = func() {
 		if r.stopped {
 			return
@@ -362,18 +413,8 @@ func (s *Simulator) Every(interval time.Duration, fn func()) *Repeater {
 	return r
 }
 
-// Repeater is a periodic timer.
-type Repeater struct {
-	sim      *Simulator
-	interval time.Duration
-	fn       func()
-	tick     func() // built once; re-arming allocates nothing
-	t        Timer
-	stopped  bool
-}
-
 func (r *Repeater) arm() {
-	r.t = r.sim.ScheduleTimer(r.interval, r.tick)
+	r.t = r.sched.ScheduleTimer(r.interval, r.tick)
 }
 
 // Stop cancels future firings.

@@ -13,7 +13,7 @@ import (
 // on the data link." It broadcasts hellos on every interface and
 // expires neighbors that fall silent.
 type NeighborTable struct {
-	sim   *netsim.Simulator
+	sim   netsim.Backend
 	self  Addr
 	cfg   NeighborConfig
 	ports []Port
@@ -69,7 +69,7 @@ func (c NeighborConfig) withDefaults() NeighborConfig {
 }
 
 // newNeighborTable is created by the Router, which owns the ports.
-func newNeighborTable(sim *netsim.Simulator, self Addr, cfg NeighborConfig) *NeighborTable {
+func newNeighborTable(sim netsim.Backend, self Addr, cfg NeighborConfig) *NeighborTable {
 	return &NeighborTable{sim: sim, self: self, cfg: cfg.withDefaults()}
 }
 

@@ -26,13 +26,13 @@ type Port interface {
 
 // linkPort adapts a unidirectional netsim link pair into a Port.
 type linkPort struct {
-	out  *netsim.Link
+	out  netsim.Port
 	recv func(data []byte, ecn bool)
 }
 
 // NewLinkPort returns a Port transmitting on out. Wire the reverse
 // direction's delivery to the returned port's Deliver.
-func NewLinkPort(out *netsim.Link) *linkPort { return &linkPort{out: out} }
+func NewLinkPort(out netsim.Port) *linkPort { return &linkPort{out: out} }
 
 // Send implements Port, passing the buffer to the link by ownership
 // transfer (no copy).

@@ -13,7 +13,7 @@ import (
 // Ports. Transport protocols register per-protocol handlers, which is
 // the network layer's public service interface upward.
 type Router struct {
-	sim  *netsim.Simulator
+	sim  netsim.Backend
 	addr Addr
 
 	ports    []Port
@@ -36,7 +36,7 @@ type Router struct {
 
 // NewRouter builds a router with the given route computer. Ports are
 // added with AddPort; call Start once the topology is wired.
-func NewRouter(sim *netsim.Simulator, addr Addr, rc RouteComputer, ncfg NeighborConfig) *Router {
+func NewRouter(sim netsim.Backend, addr Addr, rc RouteComputer, ncfg NeighborConfig) *Router {
 	r := &Router{
 		sim:      sim,
 		addr:     addr,
@@ -329,14 +329,14 @@ func (e *routerEnv) SendRouting(ifi int, body []byte) {
 func (e *routerEnv) InstallFIB(routes map[Addr]Route) { e.fwd.Install(routes) }
 
 // Sim implements RoutingEnv.
-func (e *routerEnv) Sim() *netsim.Simulator { return e.sim }
+func (e *routerEnv) Sim() netsim.Backend { return e.sim }
 
 // ConnectRouters wires two routers with a duplex link of the given
 // config and cost, returning the duplex for failure injection.
-func ConnectRouters(sim *netsim.Simulator, a, b *Router, cfg netsim.LinkConfig, cost uint8) *netsim.Duplex {
+func ConnectRouters(sim netsim.Backend, a, b *Router, cfg netsim.LinkConfig, cost uint8) *netsim.Duplex {
 	pa := NewLinkPort(nil)
 	pb := NewLinkPort(nil)
-	d := sim.NewDuplex(cfg,
+	d := netsim.NewDuplexOn(sim, cfg,
 		func(pkt *netsim.Packet) { pa.Deliver(pkt) },
 		func(pkt *netsim.Packet) { pb.Deliver(pkt) },
 	)

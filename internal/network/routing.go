@@ -65,7 +65,7 @@ type RoutingEnv interface {
 	// InstallFIB replaces the forwarding database (T2 upward).
 	InstallFIB(routes map[Addr]Route)
 	// Sim exposes virtual time for the computer's timers.
-	Sim() *netsim.Simulator
+	Sim() netsim.Backend
 }
 
 // FormatRoutes renders a routing table deterministically for tests and

@@ -13,7 +13,7 @@ import (
 // Topology is a convenience builder for multi-router simulations used
 // by tests, benches and the subnet tool.
 type Topology struct {
-	Sim     *netsim.Simulator
+	Sim     netsim.Backend
 	Routers map[Addr]*Router
 	Links   map[[2]Addr]*netsim.Duplex
 	edges   []Edge
@@ -28,7 +28,7 @@ type Edge struct {
 // BuildTopology constructs routers for every address appearing in
 // edges, each with a route computer from mk, links them, and starts
 // the control plane.
-func BuildTopology(sim *netsim.Simulator, edges []Edge, link netsim.LinkConfig, ncfg NeighborConfig, mk func() RouteComputer) *Topology {
+func BuildTopology(sim netsim.Backend, edges []Edge, link netsim.LinkConfig, ncfg NeighborConfig, mk func() RouteComputer) *Topology {
 	t := &Topology{
 		Sim:     sim,
 		Routers: make(map[Addr]*Router),

@@ -145,7 +145,7 @@ func (b *boundary) view() Boundary {
 // Stack composes sublayers top-to-bottom over a simulator.
 type Stack struct {
 	name   string
-	sim    *netsim.Simulator
+	sim    netsim.Backend
 	layers []Sublayer // index 0 = top
 	rts    []*runtime
 	// boundaries[i] sits above layers[i]; boundaries[len] is the wire.
@@ -158,7 +158,7 @@ type Stack struct {
 // New builds a stack from top to bottom and validates litmus test T1
 // metadata: every sublayer must carry a name and a service description,
 // and names must be unique.
-func New(sim *netsim.Simulator, name string, layers ...Sublayer) (*Stack, error) {
+func New(sim netsim.Backend, name string, layers ...Sublayer) (*Stack, error) {
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("sublayer: stack %q has no sublayers", name)
 	}
@@ -201,7 +201,7 @@ func New(sim *netsim.Simulator, name string, layers ...Sublayer) (*Stack, error)
 
 // MustNew is New that panics on a malformed stack; for tests and
 // examples with static layer lists.
-func MustNew(sim *netsim.Simulator, name string, layers ...Sublayer) *Stack {
+func MustNew(sim netsim.Backend, name string, layers ...Sublayer) *Stack {
 	s, err := New(sim, name, layers...)
 	if err != nil {
 		panic(err)

@@ -38,7 +38,7 @@ type Event struct {
 // Recorder implements metrics.Source, so a trace renders as a run
 // report section next to the metrics snapshot.
 type Recorder struct {
-	sim    *netsim.Simulator
+	sim    netsim.Backend
 	events []Event
 	limit  int
 	total  uint64
@@ -46,7 +46,7 @@ type Recorder struct {
 
 // NewRecorder returns a recorder keeping at most limit events
 // (default 1024).
-func NewRecorder(sim *netsim.Simulator, limit int) *Recorder {
+func NewRecorder(sim netsim.Backend, limit int) *Recorder {
 	if limit <= 0 {
 		limit = 1024
 	}

@@ -65,7 +65,12 @@ type Sublayered struct {
 
 // NewSublayered attaches a sublayered transport to a router. Trailing
 // transport.Options pass through to the stack constructor.
-func NewSublayered(sim *netsim.Simulator, r *network.Router, cfg sublayered.Config, opts ...transport.Option) *Sublayered {
+//
+// Deprecation note: prefer the single construction path harness.New
+// (or BuildWorld), which wires backend, topology and both end hosts in
+// one call; this constructor remains for tests that hand-build
+// topologies.
+func NewSublayered(sim netsim.Backend, r *network.Router, cfg sublayered.Config, opts ...transport.Option) *Sublayered {
 	label := "sublayered"
 	if cfg.UseShim {
 		label = "sublayered+shim"
@@ -130,7 +135,10 @@ type Monolithic struct {
 
 // NewMonolithic attaches a monolithic transport to a router. Trailing
 // transport.Options pass through to the stack constructor.
-func NewMonolithic(sim *netsim.Simulator, r *network.Router, cfg monolithic.Config, opts ...transport.Option) *Monolithic {
+//
+// Deprecation note: prefer harness.New (or BuildWorld), as with
+// NewSublayered.
+func NewMonolithic(sim netsim.Backend, r *network.Router, cfg monolithic.Config, opts ...transport.Option) *Monolithic {
 	return &Monolithic{Stack: monolithic.NewStack(sim, r, cfg, opts...)}
 }
 
@@ -191,17 +199,41 @@ func (k Kind) String() string {
 	}
 }
 
-// World is a simulated network with one transport per end host.
+// World is a network — simulated or real-time — with one transport per
+// end host.
 type World struct {
-	Sim    *netsim.Simulator
+	// Sim is the substrate backend. The historical field name survives
+	// from when it could only be a *netsim.Simulator; every driver-side
+	// use (RunFor, Schedule, Now, SetTracer, Steps) is in the Backend
+	// interface.
+	Sim    netsim.Backend
 	Topo   *network.Topology
 	Client Transport
 	Server Transport
+	// Backend is the kind the world was built on ("sim", "chan", "udp").
+	Backend string
 }
+
+// Exec runs fn holding the backend lock — how driver code outside a
+// protocol callback touches connections, flows or metrics. Inline on
+// the simulator.
+func (w *World) Exec(fn func()) { w.Sim.Exec(fn) }
+
+// Realtime reports whether the world runs on the wall clock.
+func (w *World) Realtime() bool { return Realtime(w.Backend) }
+
+// Close releases the backend (goroutines, sockets). A no-op on the
+// simulator, so drivers can defer it unconditionally.
+func (w *World) Close() error { return w.Sim.Close() }
 
 // WorldConfig tunes BuildWorld.
 type WorldConfig struct {
-	Seed    int64
+	Seed int64
+	// Backend selects the substrate: "sim" (default — the
+	// deterministic discrete-event simulator), "chan" (in-process
+	// channel network on the wall clock) or "udp" (loopback UDP
+	// sockets). The determinism gates only hold on "sim".
+	Backend string
 	Link    netsim.LinkConfig
 	Hops    int // routers on the path, ≥ 2 (the two hosts); default 4
 	Client  Kind
@@ -211,42 +243,98 @@ type WorldConfig struct {
 	MonoCfg monolithic.Config
 	// Opts apply to both end hosts' stacks regardless of Kind — the
 	// shared construction surface (transport.WithCC and friends).
+	// transport.WithRegistry here is equivalent to setting Metrics.
 	Opts []transport.Option
 	// Metrics, when non-nil, adopts every instrument in the world: the
-	// simulator and links under "netsim/...", each router under
+	// backend and links under "netsim/...", each router under
 	// "n<addr>/network/..." and each end host's transport under
-	// "n<addr>/transport/...".
+	// "n<addr>/transport/...". The layout is identical on every
+	// backend.
 	Metrics *metrics.Registry
 }
 
 // BuildWorld constructs a line topology 1–…–N with transports on the
-// end hosts and runs the control plane to convergence.
+// end hosts on the selected backend, and runs the control plane to
+// convergence (virtually on the simulator, by polling the FIBs on the
+// real-time backends).
 func BuildWorld(cfg WorldConfig) *World {
 	if cfg.Hops < 2 {
 		cfg.Hops = 4
 	}
-	var simOpts []netsim.Option
-	if cfg.Metrics != nil {
-		simOpts = append(simOpts, netsim.WithMetrics(cfg.Metrics))
+	if cfg.Metrics == nil {
+		cfg.Metrics = transport.Collect(cfg.Opts).Registry
 	}
-	sim := netsim.NewSimulator(cfg.Seed, simOpts...)
+	b, err := NewBackend(cfg.Backend, cfg.Seed, cfg.Metrics)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	rt := Realtime(cfg.Backend)
+	// The simulator keeps its historical control-plane cadence (the
+	// determinism gate depends on it); the real-time backends use a
+	// faster one so convergence costs tens of wall milliseconds, not
+	// seconds.
+	ncfg := network.NeighborConfig{HelloInterval: 200 * time.Millisecond}
+	dvInterval := 500 * time.Millisecond
+	if rt {
+		ncfg.HelloInterval = 50 * time.Millisecond
+		dvInterval = 100 * time.Millisecond
+	}
 	var edges []network.Edge
 	for i := 1; i < cfg.Hops; i++ {
 		edges = append(edges, network.Edge{A: network.Addr(i), B: network.Addr(i + 1), Cost: 1})
 	}
-	topo := network.BuildTopology(sim, edges, cfg.Link,
-		network.NeighborConfig{HelloInterval: 200 * time.Millisecond},
-		func() network.RouteComputer {
-			return network.NewDistanceVector(network.DVConfig{AdvertiseInterval: 500 * time.Millisecond})
-		})
-	if cfg.Metrics != nil {
-		topo.BindMetrics(cfg.Metrics)
+	w := &World{Sim: b, Backend: cfg.Backend}
+	// Construction arms timers whose firings (on a real-time backend)
+	// race the remaining wiring, so the whole build runs under the
+	// backend lock.
+	b.Exec(func() {
+		w.Topo = network.BuildTopology(b, edges, cfg.Link, ncfg,
+			func() network.RouteComputer {
+				return network.NewDistanceVector(network.DVConfig{AdvertiseInterval: dvInterval})
+			})
+		if cfg.Metrics != nil {
+			w.Topo.BindMetrics(cfg.Metrics)
+		}
+		w.Client = buildTransport(cfg.Client, b, w.Topo.Routers[1], cfg, hostScope(cfg.Metrics, 1))
+		w.Server = buildTransport(cfg.Server, b, w.Topo.Routers[network.Addr(cfg.Hops)], cfg, hostScope(cfg.Metrics, cfg.Hops))
+	})
+	if rt {
+		waitConverged(w, 10*time.Second)
+	} else {
+		b.RunFor(5 * time.Second)
 	}
-	w := &World{Sim: sim, Topo: topo}
-	w.Client = buildTransport(cfg.Client, sim, topo.Routers[1], cfg, hostScope(cfg.Metrics, 1))
-	w.Server = buildTransport(cfg.Server, sim, topo.Routers[network.Addr(cfg.Hops)], cfg, hostScope(cfg.Metrics, cfg.Hops))
-	sim.RunFor(5 * time.Second)
 	return w
+}
+
+// waitConverged polls until every router has a route to both end
+// hosts (or the wall budget runs out — data traffic then surfaces the
+// failure as no_route drops, which is more debuggable than hanging).
+func waitConverged(w *World, budget time.Duration) {
+	client, server := network.Addr(1), w.ServerAddr()
+	deadline := time.Now().Add(budget)
+	for {
+		ok := true
+		w.Exec(func() {
+			for addr, r := range w.Topo.Routers {
+				if addr != client {
+					if _, found := r.Forwarder().Lookup(client); !found {
+						ok = false
+						return
+					}
+				}
+				if addr != server {
+					if _, found := r.Forwarder().Lookup(server); !found {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		if ok || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // hostScope names a host's transport subtree, or nil without a
@@ -258,7 +346,7 @@ func hostScope(reg *metrics.Registry, addr int) *metrics.Scope {
 	return reg.Scope(fmt.Sprintf("n%d", addr)).Sub("transport")
 }
 
-func buildTransport(k Kind, sim *netsim.Simulator, r *network.Router, cfg WorldConfig, msc *metrics.Scope) Transport {
+func buildTransport(k Kind, sim netsim.Backend, r *network.Router, cfg WorldConfig, msc *metrics.Scope) Transport {
 	switch k {
 	case KindMonolithic:
 		mc := cfg.MonoCfg
@@ -301,80 +389,106 @@ type TransferResult struct {
 }
 
 // RunTransfer sends c2s from client to server and s2c back, closing
-// each direction after its data, and runs the simulation for at most
-// budget of virtual time.
+// each direction after its data, and runs the network for at most
+// budget: virtual time on the simulator (one uninterrupted RunFor, so
+// the executed-event count — and with it the determinism gate — is
+// unchanged), wall-clock time on the real-time backends (polling the
+// EOF flags under the backend lock).
 func RunTransfer(w *World, c2s, s2c []byte, budget time.Duration) (*TransferResult, error) {
 	res := &TransferResult{}
-	start := w.Sim.Now()
+	var setupErr error
+	var start netsim.Time
 	var done [2]bool
 	var finish [2]netsim.Time
-	markDone := func(i int) {
-		if !done[i] {
-			done[i] = true
-			finish[i] = w.Sim.Now()
+	w.Exec(func() {
+		start = w.Sim.Now()
+		markDone := func(i int) {
+			if !done[i] {
+				done[i] = true
+				finish[i] = w.Sim.Now()
+			}
 		}
-	}
-	if err := w.Server.Listen(80, func(sc Endpoint) {
-		res.ServerConn = sc
-		toSend := s2c
+		if err := w.Server.Listen(80, func(sc Endpoint) {
+			res.ServerConn = sc
+			toSend := s2c
+			push := func() {
+				for len(toSend) > 0 {
+					n := sc.Write(toSend)
+					if n == 0 {
+						break
+					}
+					toSend = toSend[n:]
+				}
+				if len(toSend) == 0 {
+					sc.Close()
+				}
+			}
+			sc.Callbacks(push, func() {
+				res.ServerGot = append(res.ServerGot, sc.ReadAll()...)
+				if sc.EOF() {
+					res.ServerEOF = true
+					markDone(0)
+				}
+			}, push, func(err error) { res.ServerErr = err })
+		}); err != nil {
+			setupErr = err
+			return
+		}
+		cc, err := w.Client.Dial(w.ServerAddr(), 80)
+		if err != nil {
+			setupErr = err
+			return
+		}
+		res.ClientConn = cc
+		toSend := c2s
 		push := func() {
 			for len(toSend) > 0 {
-				n := sc.Write(toSend)
+				n := cc.Write(toSend)
 				if n == 0 {
 					break
 				}
 				toSend = toSend[n:]
 			}
 			if len(toSend) == 0 {
-				sc.Close()
+				cc.Close()
 			}
 		}
-		sc.Callbacks(push, func() {
-			res.ServerGot = append(res.ServerGot, sc.ReadAll()...)
-			if sc.EOF() {
-				res.ServerEOF = true
-				markDone(0)
+		cc.Callbacks(push, func() {
+			res.ClientGot = append(res.ClientGot, cc.ReadAll()...)
+			if cc.EOF() {
+				res.ClientEOF = true
+				markDone(1)
 			}
-		}, push, func(err error) { res.ServerErr = err })
-	}); err != nil {
-		return nil, err
+		}, push, func(err error) { res.ClientErr = err })
+	})
+	if setupErr != nil {
+		return nil, setupErr
 	}
-	cc, err := w.Client.Dial(w.ServerAddr(), 80)
-	if err != nil {
-		return nil, err
-	}
-	res.ClientConn = cc
-	toSend := c2s
-	push := func() {
-		for len(toSend) > 0 {
-			n := cc.Write(toSend)
-			if n == 0 {
+
+	if w.Realtime() {
+		deadline := time.Now().Add(budget)
+		for {
+			settled := false
+			w.Exec(func() { settled = done[0] && done[1] })
+			if settled || time.Now().After(deadline) {
 				break
 			}
-			toSend = toSend[n:]
+			time.Sleep(2 * time.Millisecond)
 		}
-		if len(toSend) == 0 {
-			cc.Close()
-		}
-	}
-	cc.Callbacks(push, func() {
-		res.ClientGot = append(res.ClientGot, cc.ReadAll()...)
-		if cc.EOF() {
-			res.ClientEOF = true
-			markDone(1)
-		}
-	}, push, func(err error) { res.ClientErr = err })
-
-	w.Sim.RunFor(budget)
-	end := finish[0]
-	if finish[1] > end {
-		end = finish[1]
-	}
-	if end > start {
-		res.Elapsed = time.Duration(end - start)
 	} else {
-		res.Elapsed = time.Duration(w.Sim.Now() - start)
+		w.Sim.RunFor(budget)
 	}
+	w.Exec(func() {
+		end := finish[0]
+		if finish[1] > end {
+			end = finish[1]
+		}
+		if end > start {
+			res.Elapsed = time.Duration(end - start)
+		} else {
+			res.Elapsed = time.Duration(w.Sim.Now() - start)
+		}
+	})
 	return res, nil
 }
 

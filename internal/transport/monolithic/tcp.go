@@ -157,7 +157,7 @@ func (m *tcpMetrics) view() metrics.View {
 
 // Stack is one host's monolithic TCP.
 type Stack struct {
-	sim       *netsim.Simulator
+	sim       netsim.Backend
 	router    *network.Router
 	cfg       Config
 	pcbs      map[connID]*PCB
@@ -190,7 +190,7 @@ func (l *Listener) Accepted() []*PCB { return l.accepted }
 // Trailing transport.Options (WithCC, WithMetrics, WithTracer) override
 // the corresponding Config fields — the construction surface shared
 // with the sublayered stack.
-func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config, opts ...transport.Option) *Stack {
+func NewStack(sim netsim.Backend, router *network.Router, cfg Config, opts ...transport.Option) *Stack {
 	o := transport.Collect(opts)
 	if o.CC != "" {
 		cfg.CC = o.CC

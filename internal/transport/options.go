@@ -5,13 +5,16 @@ import (
 	"repro/internal/netsim"
 )
 
-// Options collects the construction settings shared by both stacks, so
-// callers configure either implementation — or both in one world — with
-// the same literals instead of stack-specific config fields. Stack
-// constructors accept them variadically:
+// Options is the one shared functional-option set for world and stack
+// construction. It used to be three: netsim grew WithMetrics(registry),
+// datalink grew its own WithMetrics, and the transports grew
+// CC/metrics/tracer plumbing — all folded here so callers configure
+// any backend, any stack, or a whole harness.New world with the same
+// literals. Stack constructors accept them variadically:
 //
 //	sublayered.NewStack(sim, r, cfg, transport.WithCC("cubic"))
 //	monolithic.NewStack(sim, r, cfg, transport.WithCC("cubic"))
+//	datalink.NewStack(sim, "alice", cfg, transport.WithRegistry(reg))
 //
 // Prefer WithMetrics over the per-stack BindMetrics methods (those
 // remain only because the Stack interface needs a post-construction
@@ -22,7 +25,11 @@ type Options struct {
 	CC string
 	// Metrics adopts the stack's instruments under this scope.
 	Metrics *metrics.Scope
-	// Tracer installs a causal packet tracer on the stack's simulator.
+	// Registry, for constructors that derive their own scope layout
+	// (harness worlds, datalink stacks, backends), is the registry to
+	// derive it from. Metrics wins where both could apply.
+	Registry *metrics.Registry
+	// Tracer installs a causal packet tracer on the stack's backend.
 	Tracer netsim.Tracer
 }
 
@@ -36,7 +43,13 @@ func WithCC(name string) Option { return func(o *Options) { o.CC = name } }
 // WithMetrics adopts the stack's instruments under sc.
 func WithMetrics(sc *metrics.Scope) Option { return func(o *Options) { o.Metrics = sc } }
 
-// WithTracer installs tr on the stack's simulator at construction.
+// WithRegistry hands the constructor a whole metrics registry to
+// derive its scope layout from.
+func WithRegistry(reg *metrics.Registry) Option {
+	return func(o *Options) { o.Registry = reg }
+}
+
+// WithTracer installs tr on the stack's backend at construction.
 func WithTracer(tr netsim.Tracer) Option { return func(o *Options) { o.Tracer = tr } }
 
 // Collect folds opts into one Options value (for stack constructors).

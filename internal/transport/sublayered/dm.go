@@ -163,7 +163,7 @@ func (l *Listener) Port() uint16 { return l.port }
 // Stack is one host's sublayered transport: a DM instance bound to a
 // router, creating four-sublayer Conns.
 type Stack struct {
-	sim     *netsim.Simulator
+	sim     netsim.Backend
 	router  *network.Router
 	cfg     Config
 	dm      *DM
@@ -178,7 +178,7 @@ type Stack struct {
 // Trailing transport.Options (WithCC, WithMetrics, WithTracer) override
 // the corresponding Config fields — the construction surface shared
 // with the monolithic stack.
-func NewStack(sim *netsim.Simulator, router *network.Router, cfg Config, opts ...transport.Option) *Stack {
+func NewStack(sim netsim.Backend, router *network.Router, cfg Config, opts ...transport.Option) *Stack {
 	o := transport.Collect(opts)
 	if o.CC != "" {
 		cfg.CC = o.CC

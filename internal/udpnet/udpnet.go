@@ -1,0 +1,206 @@
+// Package udpnet is the real-socket backend: the netsim.Backend
+// contract carried over real UDP sockets on loopback. Every
+// unidirectional link is a (listener, connected sender) socket pair on
+// 127.0.0.1; the existing tcpwire bytes travel inside a two-byte frame
+// (version + flags, bit 0 carrying the ECN mark, which UDP itself
+// cannot). Impairments — loss, delay, jitter, reordering, corruption,
+// duplication, serialization/queueing/ECN — are applied in userspace
+// at the sender through the same RTLinkCore pipeline the channel
+// backend uses, so E10-style fault scenarios run unchanged; the kernel
+// then adds its own real scheduling, batching and (under pressure)
+// socket-buffer drops on top. That is the point: wall-clock numbers
+// under a real kernel.
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Frame header: one version byte and one flags byte in front of every
+// datagram. maxDatagram bounds the receive buffer; tcpwire segments
+// and datalink frames are far smaller.
+const (
+	frameVersion = 0x01
+	flagECN      = 0x01
+	headerLen    = 2
+	maxDatagram  = 64 * 1024
+)
+
+// Available reports whether loopback UDP sockets can be opened in this
+// environment (sandboxes and some CI runners forbid them). Callers use
+// it to skip gracefully.
+func Available() bool {
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return false
+	}
+	c.Close()
+	return true
+}
+
+// Network is the UDP backend. Create with New, wire links with NewLink
+// (or netsim.NewDuplexOn), and Close when done to release the sockets.
+type Network struct {
+	*netsim.RTClock
+	links []*link
+}
+
+// New builds a UDP backend seeded with seed, probing first that
+// loopback sockets are available. When reg is non-nil the backend
+// registers the same "netsim/..." instruments the simulator does.
+func New(seed int64, reg *metrics.Registry) (*Network, error) {
+	if !Available() {
+		return nil, fmt.Errorf("udpnet: loopback UDP sockets unavailable")
+	}
+	return &Network{RTClock: netsim.NewRTClock("udp", seed, reg)}, nil
+}
+
+// NewLink creates a unidirectional impaired link delivering to dst: a
+// fresh loopback socket pair plus a reader goroutine. Socket setup
+// errors panic — New already probed that sockets work, so a failure
+// here is resource exhaustion, not an environment to degrade into.
+func (n *Network) NewLink(cfg netsim.LinkConfig, dst netsim.Handler) netsim.Port {
+	if dst == nil {
+		panic("udpnet: NewLink with nil destination")
+	}
+	recv, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		panic(fmt.Sprintf("udpnet: listen: %v", err))
+	}
+	send, err := net.DialUDP("udp4", nil, recv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		recv.Close()
+		panic(fmt.Sprintf("udpnet: dial: %v", err))
+	}
+	l := &link{
+		core: netsim.NewRTLinkCore(n.RTClock, cfg),
+		clk:  n.RTClock,
+		dst:  dst,
+		recv: recv,
+		send: send,
+	}
+	n.links = append(n.links, l)
+	go l.read()
+	return l
+}
+
+// Close suppresses all pending timers and closes every link's sockets,
+// unblocking the reader goroutines.
+func (n *Network) Close() error {
+	err := n.RTClock.Close()
+	for _, l := range n.links {
+		l.send.Close()
+		l.recv.Close()
+	}
+	return err
+}
+
+// link is one unidirectional UDP link: the shared real-time impairment
+// core plus a loopback socket pair.
+type link struct {
+	core *netsim.RTLinkCore
+	clk  *netsim.RTClock
+	dst  netsim.Handler
+	recv *net.UDPConn
+	send *net.UDPConn
+}
+
+// Name returns the link's creation-order identity.
+func (l *link) Name() string { return l.core.Name() }
+
+// Send copies data into a pooled buffer and transmits it.
+func (l *link) Send(data []byte) { l.SendOwned(l.core.Ingest(data), false) }
+
+// SendPacket is SendOwned for a packet that may carry an ECN mark.
+func (l *link) SendPacket(pkt *netsim.Packet) { l.SendOwned(pkt.Data, pkt.ECN) }
+
+// SendOwned transmits data, taking ownership of the buffer. The
+// impairment pipeline decides the packet's fate; survivors are framed
+// and written to the socket once their planned latency elapses.
+func (l *link) SendOwned(data []byte, ecn bool) {
+	plan, ok := l.core.PlanSend(data)
+	if !ok {
+		return
+	}
+	if plan.ECN {
+		ecn = true
+	}
+	l.clk.After(plan.Delay, func() { l.write(data, ecn) })
+	if plan.Dup != nil {
+		dup := plan.Dup
+		l.clk.After(plan.Delay+time.Microsecond, func() { l.write(dup, ecn) })
+	}
+}
+
+// write frames data and puts it on the wire. The buffer's life ends
+// here — the bytes continue as a datagram, so the trace incarnation is
+// retired and the buffer pooled. Runs under the backend lock.
+func (l *link) write(data []byte, ecn bool) {
+	frame := bufpool.Get(headerLen + len(data))
+	frame[0] = frameVersion
+	frame[1] = 0
+	if ecn {
+		frame[1] |= flagECN
+	}
+	copy(frame[headerLen:], data)
+	if _, err := l.send.Write(frame); err != nil {
+		l.core.Trace("drop", netsim.VerdictDownDrop, data, true, nil)
+	}
+	bufpool.Put(frame)
+	if t := l.clk.Tracer(); t != nil {
+		t.Retire(data)
+	}
+	bufpool.Put(data)
+}
+
+// read drains the link's receiving socket: each datagram becomes a
+// fresh pooled buffer (a new trace incarnation — the wire crossing is
+// a real process boundary as far as buffer identity goes) delivered
+// under the backend lock.
+func (l *link) read() {
+	buf := make([]byte, maxDatagram+headerLen)
+	for {
+		nr, err := l.recv.Read(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if nr < headerLen || buf[0] != frameVersion {
+			continue
+		}
+		ecn := buf[1]&flagECN != 0
+		data := bufpool.Get(nr - headerLen)
+		copy(data, buf[headerLen:nr])
+		l.clk.ExecStep(func() {
+			if l.core.Delivered(data) {
+				l.dst(&netsim.Packet{Data: data, ECN: ecn})
+			}
+		})
+	}
+}
+
+// SetUp raises or cuts the link.
+func (l *link) SetUp(up bool) { l.core.SetUp(up) }
+
+// Up reports whether the link is passing traffic.
+func (l *link) Up() bool { return l.core.Up() }
+
+// SetLossProb replaces the random-loss probability at runtime.
+func (l *link) SetLossProb(p float64) { l.core.SetLossProb(p) }
+
+// SetReorderProb replaces the reordering probability at runtime.
+func (l *link) SetReorderProb(p float64) { l.core.SetReorderProb(p) }
+
+// SetDupProb replaces the duplication probability at runtime.
+func (l *link) SetDupProb(p float64) { l.core.SetDupProb(p) }
+
+// Stats returns a view of the link counters.
+func (l *link) Stats() metrics.View { return l.core.Stats() }
+
+// Config returns the link's configuration.
+func (l *link) Config() netsim.LinkConfig { return l.core.Config() }

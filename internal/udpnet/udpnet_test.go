@@ -1,0 +1,125 @@
+package udpnet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func newNet(t *testing.T) *Network {
+	t.Helper()
+	if !Available() {
+		t.Skip("loopback UDP sockets unavailable")
+	}
+	n, err := New(1, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// waitFor polls cond under the network lock until it holds or the
+// wall deadline passes.
+func waitFor(t *testing.T, n *Network, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := false
+		n.Exec(func() { ok = cond() })
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUDPDelivery(t *testing.T) {
+	n := newNet(t)
+	var got [][]byte
+	var port netsim.Port
+	n.Exec(func() {
+		port = n.NewLink(netsim.LinkConfig{}, func(p *netsim.Packet) {
+			got = append(got, append([]byte(nil), p.Data...))
+		})
+		for i := 0; i < 10; i++ {
+			port.Send([]byte(fmt.Sprintf("datagram-%d", i)))
+		}
+	})
+	waitFor(t, n, "10 deliveries", func() bool { return len(got) == 10 })
+	n.Exec(func() {
+		seen := map[string]bool{}
+		for _, g := range got {
+			seen[string(g)] = true
+		}
+		for i := 0; i < 10; i++ {
+			if !seen[fmt.Sprintf("datagram-%d", i)] {
+				t.Fatalf("datagram-%d never arrived (got %d frames)", i, len(got))
+			}
+		}
+	})
+}
+
+func TestUDPECNSurvivesTheWire(t *testing.T) {
+	n := newNet(t)
+	var gotECN, delivered bool
+	var port netsim.Port
+	n.Exec(func() {
+		port = n.NewLink(netsim.LinkConfig{}, func(p *netsim.Packet) {
+			gotECN, delivered = p.ECN, true
+		})
+		port.SendPacket(&netsim.Packet{Data: netsim.CloneBuf([]byte("marked")), ECN: true})
+	})
+	waitFor(t, n, "delivery", func() bool { return delivered })
+	if !gotECN {
+		t.Fatal("ECN mark lost across the UDP framing")
+	}
+}
+
+func TestUDPSendDoesNotAliasCaller(t *testing.T) {
+	n := newNet(t)
+	var got []byte
+	var port netsim.Port
+	buf := []byte("caller-owned payload")
+	n.Exec(func() {
+		port = n.NewLink(netsim.LinkConfig{Delay: 5 * time.Millisecond}, func(p *netsim.Packet) {
+			got = append([]byte(nil), p.Data...)
+		})
+		port.Send(buf)
+		for i := range buf {
+			buf[i] = 'X'
+		}
+	})
+	waitFor(t, n, "delivery", func() bool { return got != nil })
+	if !bytes.Equal(got, []byte("caller-owned payload")) {
+		t.Fatalf("delivery aliased caller memory: got %q", got)
+	}
+}
+
+func TestUDPImpairmentLoss(t *testing.T) {
+	n := newNet(t)
+	var got int
+	var port netsim.Port
+	n.Exec(func() {
+		port = n.NewLink(netsim.LinkConfig{LossProb: 1.0}, func(p *netsim.Packet) { got++ })
+		for i := 0; i < 5; i++ {
+			port.Send([]byte("doomed"))
+		}
+	})
+	time.Sleep(50 * time.Millisecond)
+	n.Exec(func() {
+		if got != 0 {
+			t.Fatalf("LossProb=1 delivered %d packets", got)
+		}
+	})
+	st := port.Stats()
+	if st.Get("lost") != 5 {
+		t.Fatalf("lost = %d, want 5", st.Get("lost"))
+	}
+}

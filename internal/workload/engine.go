@@ -32,6 +32,11 @@ import (
 type Config struct {
 	// Seed drives the world and every per-flow choice.
 	Seed int64
+	// Backend selects the substrate ("sim" default, "chan", "udp").
+	// On the real-time backends the run is paced by the wall clock and
+	// the Report is no longer deterministic — Budget then bounds wall
+	// time, so keep schedules compressed.
+	Backend string
 	// Flows is the number of connections to open (default 100).
 	Flows int
 	// Client and Server select the stack implementations.
@@ -160,7 +165,7 @@ func Run(cfg Config) *Report {
 	cfg = cfg.withDefaults()
 	reg := metrics.New()
 	wcfg := harness.WorldConfig{
-		Seed: cfg.Seed, Link: cfg.Link, Hops: cfg.Hops,
+		Seed: cfg.Seed, Backend: cfg.Backend, Link: cfg.Link, Hops: cfg.Hops,
 		Client: cfg.Client, Server: cfg.Server,
 		Metrics: reg,
 	}
@@ -168,14 +173,17 @@ func Run(cfg Config) *Report {
 		wcfg.Opts = []transport.Option{transport.WithCC(cfg.CC)}
 	}
 	w := harness.BuildWorld(wcfg)
-	if cfg.Tracer != nil {
-		w.Sim.SetTracer(cfg.Tracer)
-	}
-	if len(cfg.Script.Steps) > 0 {
-		inj := faults.New(w.Sim, w.Topo, cfg.Seed^0xfa17)
-		inj.BindMetrics(reg.Scope("faults"))
-		inj.MustApply(cfg.Script)
-	}
+	defer w.Close()
+	w.Exec(func() {
+		if cfg.Tracer != nil {
+			w.Sim.SetTracer(cfg.Tracer)
+		}
+		if len(cfg.Script.Steps) > 0 {
+			inj := faults.New(w.Sim, w.Topo, cfg.Seed^0xfa17)
+			inj.BindMetrics(reg.Scope("faults"))
+			inj.MustApply(cfg.Script)
+		}
+	})
 	// From here on the engine sees only the interface: either stack,
 	// same code path.
 	var client, server transport.Stack = w.Client, w.Server
@@ -210,8 +218,50 @@ func Run(cfg Config) *Report {
 
 	// The server drains every inbound connection; an accepted conn's
 	// remote port is the dialling flow's local port, which the dial
-	// event records in byPort before the SYN can arrive.
+	// event records in byPort before the SYN can arrive. Listening and
+	// dial scheduling mutate protocol state, so they run under Exec
+	// (inline on the simulator, the backend lock elsewhere).
 	byPort := make(map[uint16]*flow, cfg.Flows)
+	var listenErr error
+	w.Exec(func() { listenErr = listenAndSchedule(cfg, w, client, server, flows, base, byPort, started, completedC, failedC, fctMs) })
+	if listenErr != nil {
+		panic(fmt.Sprintf("workload: listen: %v", listenErr))
+	}
+
+	// Drive the simulation in slices until every flow resolved or the
+	// budget ran out: virtual slices on the simulator, wall-clock waits
+	// on the real-time backends.
+	slice := 500 * time.Millisecond
+	if harness.Realtime(cfg.Backend) {
+		slice = 10 * time.Millisecond
+	}
+	deadline := base + netsim.Time(cfg.Budget)
+	for w.Sim.Now() < deadline {
+		settled := true
+		w.Exec(func() {
+			for _, f := range flows {
+				if !f.done && f.err == nil {
+					settled = false
+					break
+				}
+			}
+		})
+		if settled {
+			break
+		}
+		w.Sim.RunFor(slice)
+	}
+
+	var rep *Report
+	w.Exec(func() { rep = summarize(cfg, w, client, flows, wd, reg) })
+	return rep
+}
+
+// listenAndSchedule installs the server's accept loop and every flow's
+// dial event. It must run with the backend lock held.
+func listenAndSchedule(cfg Config, w *harness.World, client, server transport.Stack,
+	flows []*flow, base netsim.Time, byPort map[uint16]*flow,
+	started, completedC, failedC *metrics.Counter, fctMs *metrics.Histogram) error {
 	if err := server.Listen(80, func(sc transport.Conn) {
 		f := byPort[sc.RemotePort()]
 		if f == nil {
@@ -231,14 +281,17 @@ func Run(cfg Config) *Report {
 			}
 		})
 	}); err != nil {
-		panic(fmt.Sprintf("workload: listen: %v", err))
+		return err
 	}
 
 	// Dial events: each flow opens its connection at its scheduled
-	// arrival and pushes its payload as buffer space opens up.
+	// arrival and pushes its payload as buffer space opens up. The
+	// delay is relative (startAt - base = Now), which on the simulator
+	// lands on the identical absolute tick and FIFO slot the old
+	// ScheduleAt call did, so reports stay byte-identical.
 	for _, f := range flows {
 		f := f
-		w.Sim.ScheduleAt(f.startAt, func() {
+		w.Sim.Schedule(time.Duration(f.startAt-base), func() {
 			f.start = w.Sim.Now()
 			cc, err := client.Dial(server.Addr(), 80)
 			if err != nil {
@@ -267,25 +320,7 @@ func Run(cfg Config) *Report {
 			})
 		})
 	}
-
-	// Drive the simulation in slices until every flow resolved or the
-	// virtual budget ran out.
-	deadline := base + netsim.Time(cfg.Budget)
-	for w.Sim.Now() < deadline {
-		settled := true
-		for _, f := range flows {
-			if !f.done && f.err == nil {
-				settled = false
-				break
-			}
-		}
-		if settled {
-			break
-		}
-		w.Sim.RunFor(500 * time.Millisecond)
-	}
-
-	return summarize(cfg, w, client, flows, wd, reg)
+	return nil
 }
 
 // summarize folds per-flow outcomes into the Report and runs the

@@ -96,19 +96,25 @@ type PerfTiming struct {
 }
 
 // PerfReport is BENCH_perf.json: the E11 flow-scaling matrix, the E12
-// controller bake-off, plus wall-clock throughput numbers.
+// controller bake-off, the E15 backend soak, plus wall-clock
+// throughput numbers. Soak and Timing are wall-clock sections — like
+// Timing, Soak is excluded from DeterministicJSON.
 type PerfReport struct {
 	Seed    int64        `json:"seed"`
 	Rows    []PerfRow    `json:"rows"`
 	Bakeoff []BakeoffRow `json:"bakeoff,omitempty"`
+	Soak    []SoakRow    `json:"soak,omitempty"`
 	Timing  *PerfTiming  `json:"timing,omitempty"`
 }
 
 // Perf builds the full perf report at seed: the E11 matrix and the E12
-// bake-off with per-cell wall costs folded into aggregate timing, plus
-// the RunSeeds parallel-speedup measurement.
+// bake-off with per-cell wall costs folded into aggregate timing, the
+// RunSeeds parallel-speedup measurement, plus the E15 backend soak
+// (chan always, udp where loopback sockets exist).
 func Perf(seed int64) *PerfReport {
-	return perfReport(seed, MatrixFlows, 100, 16)
+	rep := perfReport(seed, MatrixFlows, 100, 16)
+	rep.Soak = Soak(seed, SoakBackends, SoakFlows, MatrixKinds)
+	return rep
 }
 
 // perfReport lets tests shrink the matrix; bakeoffFlows 0 skips E12.
@@ -194,7 +200,8 @@ func measureSpeedup(cfg Config) (workers int, serialNs, parallelNs int64, speedu
 }
 
 // DeterministicJSON marshals the seed-determined part of the report —
-// everything except Timing. Two runs at the same seed must produce
+// everything except the wall-clock sections (Timing and the E15 Soak
+// rows). Two runs at the same seed must produce
 // byte-identical output; CI and the tests compare exactly this.
 func (p *PerfReport) DeterministicJSON() []byte {
 	d := PerfReport{Seed: p.Seed, Rows: p.Rows, Bakeoff: p.Bakeoff}
