@@ -1,18 +1,29 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race vet lint docs fuzz fuzz-pool fuzz-schedule bench soak verify report perf perfcheck determinism clean
+.PHONY: all build test race race-shard vet lint docs fuzz fuzz-pool fuzz-schedule bench soak soak-long verify report perf perfcheck determinism pardet clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# test/race run -short: the per-PR pipeline skips the scheduled long
+# soaks (the 100k-flow E16 matrix), which only the weekly workflow
+# runs (see soak-long).
 test:
-	$(GO) test ./...
+	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -short -race ./...
+
+# race-shard is the concurrent multi-shard soak for the race detector:
+# the sharded-engine tests plus a full sharded experiment sweep, so
+# -race covers the cross-shard mailbox hand-off and barrier paths
+# under real workloads, not just unit tests.
+race-shard:
+	$(GO) test -race -run Sharded ./internal/netsim ./internal/transport/harness ./internal/workload
+	$(GO) run -race ./cmd/runreport -backend sharded:4 -o /dev/null
 
 vet:
 	$(GO) vet ./...
@@ -63,12 +74,20 @@ bench:
 soak:
 	$(GO) run ./cmd/benchreport -e e15
 
+# soak-long is the scheduled E16 long soak: the 100k-flow scaling
+# matrix on every backend (weekly / workflow_dispatch territory —
+# minutes of wall clock per backend; the per-PR pipeline skips it via
+# -short).
+soak-long:
+	E16_LONG=1 $(GO) test -run TestScalingLongSoak -timeout 90m ./internal/workload
+	$(GO) run ./cmd/benchreport -e e16 -long
+
 # verify is the PR gate: static checks, the full suite under the race
 # detector, short fuzz passes over the bit-stuffing spec, the pooled
 # parity target and the fault-schedule differential oracle, one pass
-# of the experiment benchmarks, and the perf gate against the
-# checked-in baseline.
-verify: vet lint docs race fuzz fuzz-pool fuzz-schedule bench perfcheck
+# of the experiment benchmarks, the parallel-determinism matrix and
+# the perf gate against the checked-in baseline.
+verify: vet lint docs race race-shard fuzz fuzz-pool fuzz-schedule bench pardet perfcheck
 
 # report regenerates BENCH_metrics.json, the machine-readable run
 # report over E1-E14 (deterministic: same seed, same bytes).
@@ -76,19 +95,32 @@ report:
 	$(GO) run ./cmd/runreport
 
 # perf regenerates BENCH_perf.json: the E11 flow-scaling matrix, the
-# E12 controller bake-off and the E15 backend soak plus wall-clock
-# throughput (the "timing" and "soak" sections are the parts of the
-# repo's reports that legitimately vary between machines).
+# E12 controller bake-off, the E16 shard-scaling matrix and the E15
+# backend soak plus wall-clock throughput (the timing, scaling_timing
+# and soak sections are the parts of the repo's reports that
+# legitimately vary between machines).
 perf:
 	$(GO) run ./cmd/benchreport -perf BENCH_perf.json
 
-# perfcheck is the perf-regression gate: rerun the E11 matrix and the
-# E12 bake-off, failing if the deterministic rows drift from
-# BENCH_baseline.json or if
-# allocs/event regresses beyond the tolerance (wall-clock fields are
-# never compared).
+# perfcheck is the perf-regression gate: rerun the E11 matrix, the E12
+# bake-off and the E16 scaling matrix, failing if the deterministic
+# rows drift from BENCH_baseline.json, if allocs/event regresses
+# beyond the tolerance, or if the E16 shards=4 events/sec ratio
+# collapses relative to the baseline (capped at NumCPU, so single-core
+# runners are only held to the sharding-overhead floor).
 perfcheck:
 	$(GO) run ./cmd/benchreport -check BENCH_baseline.json
+
+# pardet is the parallel-determinism matrix, the same gate the CI job
+# runs: regenerate the run report on the sharded backend at every
+# GOMAXPROCS × shard-count combination and byte-compare each output
+# against the committed sequential BENCH_metrics.json.
+pardet:
+	@set -e; for p in 1 2 8; do for s in 1 4; do \
+		echo "pardet: GOMAXPROCS=$$p sharded:$$s"; \
+		GOMAXPROCS=$$p $(GO) run ./cmd/runreport -backend sharded:$$s -o BENCH_parallel.json; \
+		cmp BENCH_metrics.json BENCH_parallel.json; \
+	done; done; rm -f BENCH_parallel.json
 
 # determinism regenerates the run report twice and fails on any byte
 # drift from the committed BENCH_metrics.json — the same gate CI runs.
@@ -102,4 +134,4 @@ determinism:
 	git diff --exit-code BENCH_metrics.json
 
 clean:
-	rm -f BENCH_metrics.json BENCH_perf.json
+	rm -f BENCH_metrics.json BENCH_perf.json BENCH_parallel.json

@@ -6,20 +6,27 @@
 //	benchreport -e e15                     # wall-clock backend soak (never in the default set)
 //	benchreport -seed 7                    # different world seed
 //	benchreport -e e10 -trace tracedir     # chaos soak + flight dumps
-//	benchreport -perf BENCH_perf.json      # E11+E12+E15 perf report instead of tables
+//	benchreport -perf BENCH_perf.json      # E11+E12+E15+E16 perf report instead of tables
+//	benchreport -perf BENCH_perf.json -long # ... with E16's 100k-flow matrix
 //	benchreport -check BENCH_baseline.json # perf-regression gate
 //
 // Experiments come from the experiments.Registry, so the tool needs no
 // per-experiment wiring. All table numbers are deterministic functions
 // of the seed; -perf additionally measures wall-clock throughput
-// (events/sec, ns/event, allocs/event, RunSeeds speedup), kept in a
-// separate "timing" section excluded from the reproducibility check.
+// (events/sec, ns/event, allocs/event, RunSeeds speedup, E16 shard
+// scaling), kept in separate timing sections excluded from the
+// reproducibility check.
 //
 // -check reruns the perf matrix and compares it against a checked-in
-// baseline: the deterministic rows (completions, bytes, events, ...)
-// must match exactly, and allocs/event must not exceed the baseline by
+// baseline: the deterministic rows (completions, bytes, events, the
+// E16 scaling rows with their identical-across-backends flags) must
+// match exactly, and allocs/event must not exceed the baseline by
 // more than -tol (relative; default 0.25). Wall-clock fields (ns/event,
-// events/sec, speedup) are never compared — they vary by machine.
+// events/sec, speedup) are never compared directly — they vary by
+// machine — with one exception: the E16 shards=4 / shards=1 events-per-
+// second RATIO is compared against the baseline's, scaled down to
+// min(baseline, NumCPU) so a single-core runner is only held to the
+// sharding-overhead floor, with -shardtol slack (default 0.35).
 //
 // Exit codes follow the shared policy in internal/experiments/cli:
 // 0 success, 1 failed experiment / regression / write error, 2 usage
@@ -32,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments/cli"
@@ -41,14 +49,15 @@ import (
 func main() {
 	common := cli.AddCommon(flag.CommandLine)
 	var (
-		perf  = flag.String("perf", "", `write the E11+E12 perf report to this path ("-" for stdout) and exit`)
-		check = flag.String("check", "", "compare a fresh perf run against this baseline JSON and exit nonzero on regression")
-		tol   = flag.Float64("tol", 0.25, "relative allocs/event tolerance for -check")
+		perf     = flag.String("perf", "", `write the E11+E12+E16 perf report to this path ("-" for stdout) and exit`)
+		check    = flag.String("check", "", "compare a fresh perf run against this baseline JSON and exit nonzero on regression")
+		tol      = flag.Float64("tol", 0.25, "relative allocs/event tolerance for -check")
+		shardTol = flag.Float64("shardtol", 0.35, "relative slack on the E16 shards=4 speedup ratio for -check")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkBaseline(*check, common.Seed, *tol); err != nil {
+		if err := checkBaseline(*check, common.Seed, *tol, *shardTol); err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(cli.ExitFail)
 		}
@@ -57,14 +66,14 @@ func main() {
 	}
 
 	if *perf != "" {
-		rep := workload.Perf(common.Seed)
+		rep := workload.PerfLong(common.Seed, common.Long)
 		if err := cli.WriteOutput(*perf, rep.JSON()); err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(cli.ExitFail)
 		}
 		if *perf != "-" {
-			fmt.Printf("wrote %s (%d rows, %d bakeoff cells, %.0f events/sec)\n",
-				*perf, len(rep.Rows), len(rep.Bakeoff), rep.Timing.EventsPerSec)
+			fmt.Printf("wrote %s (%d rows, %d bakeoff cells, %d scaling cells, %.0f events/sec)\n",
+				*perf, len(rep.Rows), len(rep.Bakeoff), len(rep.ScalingTiming), rep.Timing.EventsPerSec)
 		}
 		return
 	}
@@ -84,9 +93,9 @@ func main() {
 }
 
 // checkBaseline is the CI perf gate: rerun the matrix at seed and fail
-// on any drift in the deterministic rows or an allocs/event regression
-// beyond the relative tolerance.
-func checkBaseline(path string, seed int64, tol float64) error {
+// on any drift in the deterministic rows, an allocs/event regression
+// beyond the relative tolerance, or an E16 shard-speedup collapse.
+func checkBaseline(path string, seed int64, tol, shardTol float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -110,7 +119,43 @@ func checkBaseline(path string, seed int64, tol float64) error {
 		return fmt.Errorf("allocs/event regressed: %.3f > %.3f (baseline %.3f, tolerance %+.0f%%)",
 			cur, limit, base.Timing.AllocsPerEvent, tol*100)
 	}
+	if err := checkShardSpeedup(base, rep, shardTol); err != nil {
+		return err
+	}
 	fmt.Printf("allocs/event %.3f (baseline %.3f, limit %.3f); %d rows identical\n",
 		cur, base.Timing.AllocsPerEvent, limit, len(rep.Rows))
+	return nil
+}
+
+// checkShardSpeedup gates the E16 shards=4 / shards=1 events-per-second
+// ratio against the committed baseline. The baseline ratio is first
+// capped at min(shards, NumCPU): a baseline recorded on a many-core
+// machine must not fail a single-core runner, where the honest
+// expectation is "about as fast, minus sharding overhead". The current
+// ratio may then fall shardTol below that expectation before the gate
+// trips. Baselines without a scaling section (pre-E16) skip the check.
+func checkShardSpeedup(base, rep *workload.PerfReport, shardTol float64) error {
+	for _, bt := range base.ScalingTiming {
+		if bt.Shards != 4 || bt.Speedup <= 0 {
+			continue
+		}
+		want := bt.Speedup
+		if c := float64(runtime.NumCPU()); want > c {
+			want = c
+		}
+		if want > float64(bt.Shards) {
+			want = float64(bt.Shards)
+		}
+		limit := want * (1 - shardTol)
+		cur := workload.ShardSpeedup(rep.ScalingTiming, bt.Flows, bt.Shards)
+		if cur <= 0 {
+			return fmt.Errorf("scaling: no shards=%d cell at %d flows in the current run (baseline has one)", bt.Shards, bt.Flows)
+		}
+		if cur < limit {
+			return fmt.Errorf("scaling: shards=%d speedup at %d flows regressed: %.2fx < %.2fx (baseline %.2fx capped to %d CPU(s), tolerance -%.0f%%)",
+				bt.Shards, bt.Flows, cur, limit, bt.Speedup, runtime.NumCPU(), shardTol*100)
+		}
+		fmt.Printf("scaling: shards=%d speedup at %d flows %.2fx (limit %.2fx)\n", bt.Shards, bt.Flows, cur, limit)
+	}
 	return nil
 }

@@ -7,6 +7,8 @@ package backends
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/channet"
 	"repro/internal/metrics"
@@ -15,16 +17,31 @@ import (
 )
 
 // Backend kind names. Sim is the deterministic discrete-event
-// simulator; Chan the in-process channel network; UDP the loopback
-// real-socket backend.
+// simulator; Sharded its multi-core twin (select a shard count with
+// "sharded:N", default 4); Chan the in-process channel network; UDP
+// the loopback real-socket backend.
 const (
-	Sim  = "sim"
-	Chan = "chan"
-	UDP  = "udp"
+	Sim     = "sim"
+	Sharded = "sharded"
+	Chan    = "chan"
+	UDP     = "udp"
 )
 
+// DefaultShards is the shard count "sharded" implies when no ":N"
+// suffix picks one.
+const DefaultShards = 4
+
+// ShardedKind renders the backend kind string selecting the sharded
+// simulator with n shards ("sharded:N").
+func ShardedKind(n int) string {
+	if n < 1 {
+		n = 1
+	}
+	return fmt.Sprintf("%s:%d", Sharded, n)
+}
+
 // Names lists every backend kind, sim first.
-func Names() []string { return []string{Sim, Chan, UDP} }
+func Names() []string { return []string{Sim, Sharded, Chan, UDP} }
 
 // New builds the named backend, seeded with seed. When reg is non-nil
 // the backend registers its instruments under "netsim/..." — the same
@@ -43,7 +60,17 @@ func New(kind string, seed int64, reg *metrics.Registry) (netsim.Backend, error)
 	case UDP:
 		return udpnet.New(seed, reg)
 	default:
-		return nil, fmt.Errorf("backends: unknown backend %q (want sim, chan or udp)", kind)
+		if base, arg, ok := strings.Cut(kind, ":"); ok && base == Sharded {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("backends: bad shard count in %q (want sharded:N, N ≥ 1)", kind)
+			}
+			return netsim.NewSharded(seed, n, reg), nil
+		}
+		if kind == Sharded {
+			return netsim.NewSharded(seed, DefaultShards, reg), nil
+		}
+		return nil, fmt.Errorf("backends: unknown backend %q (want sim, sharded[:N], chan or udp)", kind)
 	}
 }
 

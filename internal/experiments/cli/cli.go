@@ -33,6 +33,8 @@ type Common struct {
 	Seed     int64
 	Exp      string
 	TraceDir string
+	Backend  string
+	Long     bool
 }
 
 // AddCommon registers the shared flags on fs and returns the struct
@@ -43,12 +45,16 @@ func AddCommon(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.Exp, "e", "", "comma-separated experiment ids; empty runs all")
 	fs.StringVar(&c.TraceDir, "trace", "",
 		"directory for causal-trace artifacts (flight-recorder dumps, pcapng captures); empty disables tracing")
+	fs.StringVar(&c.Backend, "backend", "",
+		`world backend override for the experiments that accept one ("sim", "sharded[:N]"); empty keeps the default sim — the parallel-determinism CI job runs the full set with -backend sharded:N and diffs against the sequential BENCH_metrics.json`)
+	fs.BoolVar(&c.Long, "long", false,
+		"widen the wall-clock experiments (E16 adds its 100k-flow matrix); scheduled-soak territory, not per-PR")
 	return c
 }
 
 // Config projects the flags into an experiments.Config.
 func (c *Common) Config() experiments.Config {
-	return experiments.Config{Seed: c.Seed, TraceDir: c.TraceDir}
+	return experiments.Config{Seed: c.Seed, TraceDir: c.TraceDir, Backend: c.Backend, Long: c.Long}
 }
 
 // Run resolves -e against the registry and executes the selection (or

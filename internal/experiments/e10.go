@@ -124,7 +124,7 @@ func E10ChaosSoakCfg(cfg Config) *Result {
 		for _, kind := range kinds {
 			idx++
 			wcfg := harness.WorldConfig{
-				Seed: seed + idx,
+				Seed: seed + idx, Backend: cfg.Backend,
 				// Rate-limited so transfers outlast the fault windows.
 				Link:   netsim.LinkConfig{Delay: 2 * time.Millisecond, RateBps: 4_000_000, QueueLimit: 64},
 				Client: kind,

@@ -38,7 +38,7 @@ func E11FlowScalingCfg(cfg Config) *Result {
 			"fct-p50", "fct-p99", "fairness", "violations", "makespan"},
 	}
 	totalViolations := 0
-	for _, cell := range workload.Matrix(seed, workload.MatrixFlows, workload.MatrixKinds) {
+	for _, cell := range workload.MatrixOn(cfg.Backend, seed, workload.MatrixFlows, workload.MatrixKinds) {
 		r := cell.Report
 		totalViolations += len(r.Violations)
 		res.Rows = append(res.Rows, []string{

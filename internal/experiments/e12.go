@@ -37,7 +37,7 @@ func E12CCBakeoffCfg(cfg Config) *Result {
 		Header: []string{"stack", "cc", "regime", "completed", "goodput",
 			"fct-p50", "fct-p99", "fairness", "violations"},
 	}
-	cells := workload.Bakeoff(seed, e12Flows)
+	cells := workload.BakeoffOn(cfg.Backend, seed, e12Flows)
 	totalViolations := 0
 	// Per (stack, regime) group, track the goodput and fairness range
 	// across the three controllers — the "does the choice matter" note.

@@ -32,6 +32,12 @@ func lossyLink(loss float64) netsim.LinkConfig {
 // the byte stream across increasingly hostile paths, and the Fig. 6
 // header round-trips through the RFC 793 isomorphism.
 func E3SublayeredTCP(seed int64) *Result {
+	return E3SublayeredTCPCfg(Config{Seed: seed})
+}
+
+// E3SublayeredTCPCfg is E3 with the full Config (backend override).
+func E3SublayeredTCPCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:     "E3",
 		Title:  "Figs. 5–6 sublayered TCP: stream correctness and header isomorphism",
@@ -40,7 +46,7 @@ func E3SublayeredTCP(seed int64) *Result {
 	for _, loss := range []float64{0, 0.01, 0.05, 0.10} {
 		data := randPayload(200_000, seed)
 		out := runWorld(harness.WorldConfig{
-			Seed: seed, Link: lossyLink(loss),
+			Seed: seed, Backend: cfg.Backend, Link: lossyLink(loss),
 			Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
 		}, data, nil, 20*time.Minute, nil)
 		intact := out.Err == nil && bytes.Equal(out.R.ServerGot, data)
@@ -75,6 +81,12 @@ func E3SublayeredTCP(seed int64) *Result {
 // E4Interop reproduces §3.1's interoperability claim (challenge 2):
 // the 2×2 matrix of sublayered-behind-shim and monolithic endpoints.
 func E4Interop(seed int64) *Result {
+	return E4InteropCfg(Config{Seed: seed})
+}
+
+// E4InteropCfg is E4 with the full Config (backend override).
+func E4InteropCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:     "E4",
 		Title:  "§3.1 shim interoperability: sublayered ⇄ monolithic matrix",
@@ -88,7 +100,7 @@ func E4Interop(seed int64) *Result {
 			up := randPayload(60_000, seed+i)
 			down := randPayload(40_000, seed+i+50)
 			out := runWorld(harness.WorldConfig{
-				Seed: seed + i, Link: lossyLink(0.04), Client: ck, Server: sk,
+				Seed: seed + i, Backend: cfg.Backend, Link: lossyLink(0.04), Client: ck, Server: sk,
 			}, up, down, 10*time.Minute, nil)
 			upOK := out.Err == nil && bytes.Equal(out.R.ServerGot, up)
 			downOK := out.Err == nil && bytes.Equal(out.R.ClientGot, down)

@@ -86,6 +86,12 @@ func E5Stuffing() *Result {
 // state-access instrumentation, and compare the entanglement the
 // paper blames for verification difficulty.
 func E6Entanglement(seed int64) *Result {
+	return E6EntanglementCfg(Config{Seed: seed})
+}
+
+// E6EntanglementCfg is E6 with the full Config (backend override).
+func E6EntanglementCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:     "E6",
 		Title:  "§4.2 entanglement: monolithic PCB vs segregated sublayers",
@@ -95,7 +101,7 @@ func E6Entanglement(seed int64) *Result {
 		tr := verify.NewTracker()
 		data := randPayload(120_000, seed)
 		out := runWorld(harness.WorldConfig{
-			Seed: seed, Link: lossyLink(0.05),
+			Seed: seed, Backend: cfg.Backend, Link: lossyLink(0.05),
 			Client: kind, Server: kind, Tracker: tr,
 		}, data, nil, 10*time.Minute, nil)
 		if out.Err != nil || !bytes.Equal(out.R.ServerGot, data) {

@@ -16,6 +16,12 @@ import (
 // on identical paths, compared on completion time in deterministic
 // virtual time and on protocol work.
 func E7Performance(seed int64) *Result {
+	return E7PerformanceCfg(Config{Seed: seed})
+}
+
+// E7PerformanceCfg is E7 with the full Config (backend override).
+func E7PerformanceCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:     "E7",
 		Title:  "§3.1 performance objection: sublayered vs monolithic on identical paths",
@@ -35,7 +41,7 @@ func E7Performance(seed int64) *Result {
 			}
 			data := randPayload(500_000, seed)
 			out := runWorld(harness.WorldConfig{
-				Seed: seed, Link: lossyLink(sc.loss), Client: kind, Server: peer,
+				Seed: seed, Backend: cfg.Backend, Link: lossyLink(sc.loss), Client: kind, Server: peer,
 			}, data, nil, 30*time.Minute, nil)
 			intact := out.Err == nil && bytes.Equal(out.R.ServerGot, data)
 			var segs, rex uint64
@@ -69,6 +75,12 @@ func E7Performance(seed int64) *Result {
 // passes, with the behavioural differences visible (setup RTT saved by
 // timer-based CM, throughput shaped by the controller).
 func E8Replace(seed int64) *Result {
+	return E8ReplaceCfg(Config{Seed: seed})
+}
+
+// E8ReplaceCfg is E8 with the full Config (backend override).
+func E8ReplaceCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:     "E8",
 		Title:  "challenge 5 (Replace): CC × CM swap matrix on one lossy path",
@@ -107,7 +119,7 @@ func E8Replace(seed int64) *Result {
 		for _, cm := range cms {
 			data := randPayload(100_000, seed)
 			out := runWorld(harness.WorldConfig{
-				Seed: seed, Link: lossyLink(0.04),
+				Seed: seed, Backend: cfg.Backend, Link: lossyLink(0.04),
 				Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
 				SubCfg: sublayered.Config{NewCC: cc.mk, NewCM: cm.mk()},
 			}, data, nil, 15*time.Minute, nil)
@@ -129,6 +141,12 @@ func E8Replace(seed int64) *Result {
 // E9Offload is challenge 6: the hardware-partition table computed from
 // measured sublayer-boundary crossings.
 func E9Offload(seed int64) *Result {
+	return E9OffloadCfg(Config{Seed: seed})
+}
+
+// E9OffloadCfg is E9 with the full Config (backend override).
+func E9OffloadCfg(cfg Config) *Result {
+	seed := cfg.Seed
 	res := &Result{
 		ID:     "E9",
 		Title:  "challenge 6 (Hardware assist): partitioning the Fig. 5 stack",
@@ -136,7 +154,7 @@ func E9Offload(seed int64) *Result {
 	}
 	data := randPayload(300_000, seed)
 	out := runWorld(harness.WorldConfig{
-		Seed: seed, Link: lossyLink(0.02),
+		Seed: seed, Backend: cfg.Backend, Link: lossyLink(0.02),
 		Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
 	}, data, nil, 15*time.Minute, nil)
 	if out.Err != nil || !bytes.Equal(out.R.ServerGot, data) {

@@ -70,13 +70,13 @@ func (r *Result) Text() string {
 func init() {
 	Register("e1", func(c Config) *Result { return E1DataLink(c.Seed) })
 	Register("e2", func(c Config) *Result { return E2Routing(c.Seed) })
-	Register("e3", func(c Config) *Result { return E3SublayeredTCP(c.Seed) })
-	Register("e4", func(c Config) *Result { return E4Interop(c.Seed) })
+	Register("e3", E3SublayeredTCPCfg)
+	Register("e4", E4InteropCfg)
 	Register("e5", func(c Config) *Result { return E5Stuffing() })
-	Register("e6", func(c Config) *Result { return E6Entanglement(c.Seed) })
-	Register("e7", func(c Config) *Result { return E7Performance(c.Seed) })
-	Register("e8", func(c Config) *Result { return E8Replace(c.Seed) })
-	Register("e9", func(c Config) *Result { return E9Offload(c.Seed) })
+	Register("e6", E6EntanglementCfg)
+	Register("e7", E7PerformanceCfg)
+	Register("e8", E8ReplaceCfg)
+	Register("e9", E9OffloadCfg)
 	Register("e10", E10ChaosSoakCfg)
 }
 

@@ -25,6 +25,18 @@ type Config struct {
 	// scenario. Tracing is observational — the Result is byte-identical
 	// with or without it.
 	TraceDir string
+	// Backend overrides the substrate for the world-based experiments
+	// ("" keeps the default "sim"). With "sharded[:N]" the determinism
+	// gate doubles as the parallel-correctness oracle: results must be
+	// byte-identical to the sequential run. Experiments with their own
+	// serial oracle (E14's codec tracer) or bare simulators (E1, E2)
+	// pin their backend and ignore the override.
+	Backend string
+	// Long widens the wall-clock experiments: E16 adds its 100k-flow
+	// matrix (minutes of wall clock per backend — the weekly soak's
+	// territory, not the per-PR pipeline's). Deterministic experiments
+	// ignore it.
+	Long bool
 }
 
 // Runner generates one experiment's Result from a Config.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backends"
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/pcap"
@@ -124,11 +125,15 @@ func run(c Case, art *Artifacts) *Verdict {
 func runStack(c Case, kind harness.Kind, art *Artifacts) StackRun {
 	out := StackRun{Stack: kind.String()}
 	wcfg := harness.WorldConfig{
-		Seed:   c.Seed,
-		Link:   fuzzLink(),
-		Hops:   c.Hosts,
-		Client: kind,
-		Server: kind,
+		Seed: c.Seed,
+		// Pinned to the sequential simulator: the differential oracle
+		// replays serialized codec traces, which a sharded world would
+		// interleave differently per shard count.
+		Backend: backends.Sim,
+		Link:    fuzzLink(),
+		Hops:    c.Hosts,
+		Client:  kind,
+		Server:  kind,
 	}
 	var contracts *verify.Checker
 	if kind != harness.KindMonolithic {

@@ -20,7 +20,7 @@
 package metrics
 
 // Instrument is the closed set of metric kinds a Registry can hold:
-// *Counter, *Gauge and *Histogram.
+// *Counter, *Gauge, *Histogram and CounterSum.
 type Instrument interface {
 	sample(name string) Sample
 }
@@ -40,6 +40,27 @@ func (c *Counter) Value() uint64 { return c.v }
 
 func (c *Counter) sample(name string) Sample {
 	return Sample{Name: name, Kind: KindCounter, Value: int64(c.v)}
+}
+
+// CounterSum is an aggregate instrument: it samples as one counter
+// whose value is the sum of its parts. The sharded simulator backend
+// uses it to keep per-shard counters (each with a single writer — the
+// discipline that replaces atomics) while exporting the exact metric
+// names and totals the sequential simulator registers, so metrics
+// snapshots stay byte-identical across engines.
+type CounterSum []*Counter
+
+// Value returns the sum of the parts.
+func (s CounterSum) Value() uint64 {
+	var total uint64
+	for _, c := range s {
+		total += c.v
+	}
+	return total
+}
+
+func (s CounterSum) sample(name string) Sample {
+	return Sample{Name: name, Kind: KindCounter, Value: int64(s.Value())}
 }
 
 // Gauge is an instantaneous int64 level (queue depth, window size).

@@ -4,12 +4,18 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Registry holds instruments under unique hierarchical names. It is
-// not safe for concurrent use; the simulator is single-threaded and a
-// registry belongs to one simulation.
+// Registry holds instruments under unique hierarchical names. The
+// name table is mutex-guarded because registration can happen from
+// concurrent shard workers (a transport connection registers its
+// scope when the SYN arrives, and two shards may accept connections
+// inside the same lookahead window). The instruments themselves stay
+// lock-free: each has a single writer (its owning node's shard), and
+// snapshots are only taken while the workers are quiescent.
 type Registry struct {
+	mu     sync.Mutex
 	byName map[string]Instrument
 }
 
@@ -22,6 +28,12 @@ func New() *Registry {
 // non-empty and unused; collisions panic because they are wiring bugs
 // (two components claiming the same identity), not runtime conditions.
 func (r *Registry) Register(name string, in Instrument) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, in)
+}
+
+func (r *Registry) register(name string, in Instrument) {
 	if name == "" {
 		panic("metrics: empty metric name")
 	}
@@ -37,6 +49,8 @@ func (r *Registry) Register(name string, in Instrument) {
 // Counter returns the counter registered under name, creating one if
 // absent. It panics if name is held by a different instrument kind.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if in, ok := r.byName[name]; ok {
 		c, isC := in.(*Counter)
 		if !isC {
@@ -45,13 +59,15 @@ func (r *Registry) Counter(name string) *Counter {
 		return c
 	}
 	c := &Counter{}
-	r.Register(name, c)
+	r.register(name, c)
 	return c
 }
 
 // Gauge returns the gauge registered under name, creating one if
 // absent. It panics if name is held by a different instrument kind.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if in, ok := r.byName[name]; ok {
 		g, isG := in.(*Gauge)
 		if !isG {
@@ -60,13 +76,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 		return g
 	}
 	g := &Gauge{}
-	r.Register(name, g)
+	r.register(name, g)
 	return g
 }
 
 // Histogram returns the histogram registered under name, creating one
 // with the given bounds if absent.
 func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if in, ok := r.byName[name]; ok {
 		h, isH := in.(*Histogram)
 		if !isH {
@@ -75,12 +93,16 @@ func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
 		return h
 	}
 	h := NewHistogram(bounds...)
-	r.Register(name, h)
+	r.register(name, h)
 	return h
 }
 
 // Len returns the number of registered instruments.
-func (r *Registry) Len() int { return len(r.byName) }
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byName)
+}
 
 // Scope returns a scope that prefixes names with prefix + "/".
 func (r *Registry) Scope(prefix string) *Scope {
@@ -89,6 +111,8 @@ func (r *Registry) Scope(prefix string) *Scope {
 
 // Snapshot captures every instrument as plain data, sorted by name.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.byName))
 	for n := range r.byName {
 		names = append(names, n)

@@ -123,6 +123,15 @@ func NewDuplexOn(b Backend, cfg LinkConfig, toA, toB Handler) *Duplex {
 	return &Duplex{AB: b.NewLink(cfg, toB), BA: b.NewLink(cfg, toA)}
 }
 
+// NewDuplexBetween builds a duplex whose endpoints may live on
+// different node views of a sharded engine: each direction is created
+// on its sender's backend and delivers into the receiver's shard via
+// LinkOn. With ba == bb (or any non-sharded backend) it degenerates to
+// NewDuplexOn, creating the same links in the same order.
+func NewDuplexBetween(ba, bb Backend, cfg LinkConfig, toA, toB Handler) *Duplex {
+	return &Duplex{AB: LinkOn(ba, cfg, toB, bb), BA: LinkOn(bb, cfg, toA, ba)}
+}
+
 // Name identifies the simulator backend.
 func (s *Simulator) Name() string { return "sim" }
 

@@ -61,6 +61,12 @@ type LinkConfig struct {
 // them as a View and an attached registry adopts them under
 // "netsim/link<n>". Exported so the real-time backends (channet,
 // udpnet) count into the identical instrument shape.
+//
+// Down drops are split into a send-side and a receive-side counter
+// because on the sharded engine the two ends of a link can execute on
+// different shards; each side increments only its own counter (the
+// single-writer rule) and the registry exports their sum under the
+// historical "down_drop" name.
 type LinkMetrics struct {
 	Sent           metrics.Counter
 	Delivered      metrics.Counter
@@ -70,7 +76,8 @@ type LinkMetrics struct {
 	Reordered      metrics.Counter
 	Corrupted      metrics.Counter
 	QueueDrop      metrics.Counter
-	DownDrop       metrics.Counter
+	DownDrop       metrics.Counter // send side went down
+	DownDropRecv   metrics.Counter // down detected at delivery time
 	ECNMarked      metrics.Counter
 	QueueDepth     metrics.Gauge
 }
@@ -85,7 +92,7 @@ func (m *LinkMetrics) Bind(sc *metrics.Scope) {
 	sc.Register("reordered", &m.Reordered)
 	sc.Register("corrupted", &m.Corrupted)
 	sc.Register("queue_drop", &m.QueueDrop)
-	sc.Register("down_drop", &m.DownDrop)
+	sc.Register("down_drop", metrics.CounterSum{&m.DownDrop, &m.DownDropRecv})
 	sc.Register("ecn_marked", &m.ECNMarked)
 	sc.Register("queue_depth", &m.QueueDepth)
 }
@@ -101,7 +108,7 @@ func (m *LinkMetrics) View() metrics.View {
 		"reordered":       m.Reordered.Value(),
 		"corrupted":       m.Corrupted.Value(),
 		"queue_drop":      m.QueueDrop.Value(),
-		"down_drop":       m.DownDrop.Value(),
+		"down_drop":       m.DownDrop.Value() + m.DownDropRecv.Value(),
 		"ecn_marked":      m.ECNMarked.Value(),
 	}
 }
@@ -110,16 +117,51 @@ func (m *LinkMetrics) View() metrics.View {
 // shares: "link0", "link1", ...
 func linkName(n int) string { return fmt.Sprintf("link%d", n) }
 
+// linkEnv is what a Link needs from its substrate: the send-side
+// clock, the tracer, and the two event sinks. On the sequential
+// Simulator all of it is the one event heap; on the sharded engine the
+// env is the sending node's view, and postDeliver may cross into
+// another shard's mailbox while postQueueFree always stays local (the
+// serializer is send-side state).
+type linkEnv interface {
+	envNow() Time
+	envTracer() Tracer
+	postDeliver(l *Link, at Time, data []byte, ecn bool)
+	postQueueFree(l *Link, at Time)
+}
+
+func (s *Simulator) envNow() Time     { return s.now }
+func (s *Simulator) envTracer() Tracer { return s.tracer }
+
+func (s *Simulator) postDeliver(l *Link, at Time, data []byte, ecn bool) {
+	e := s.post(at)
+	e.kind = evDeliver
+	e.lnk = l
+	e.pkt = Packet{Data: data, ECN: ecn}
+}
+
+func (s *Simulator) postQueueFree(l *Link, at Time) {
+	e := s.post(at)
+	e.kind = evQueueFree
+	e.lnk = l
+}
+
 // Link is a unidirectional impaired channel on the simulator. Create
 // with Simulator.NewLink; send with Send. Delivery invokes the
 // destination handler inside the event loop. Link is the simulator's
 // Port implementation.
 type Link struct {
-	sim  *Simulator
+	env  linkEnv
 	cfg  LinkConfig
 	dst  Handler
 	name string // "link<n>" in creation order; trace/metrics identity
 	m    LinkMetrics
+	// rng is the link's own impairment stream, seeded from the world
+	// seed and the link index, so draws depend only on this link's send
+	// sequence — never on how events from other links interleave. That
+	// independence is what keeps sequential and sharded runs
+	// byte-identical.
+	rng *rand.Rand
 	// serializer state: the time at which the transmitter frees up.
 	txFree Time
 	queued int
@@ -136,7 +178,9 @@ func (s *Simulator) NewLink(cfg LinkConfig, dst Handler) Port {
 	if dst == nil {
 		panic("netsim: NewLink with nil destination")
 	}
-	l := &Link{sim: s, cfg: cfg, dst: dst, up: true, name: linkName(s.linkSeq)}
+	l := &Link{env: s, cfg: cfg, dst: dst, up: true,
+		name: linkName(s.linkSeq),
+		rng:  rand.New(rand.NewSource(linkSeed(s.seed, s.linkSeq)))}
 	if s.msc != nil {
 		l.m.Bind(s.msc.Sub(l.name))
 	}
@@ -150,9 +194,9 @@ func (l *Link) Name() string { return l.name }
 
 // trace emits one link-layer span event when tracing is on. frame
 // carries the wire bytes for packet capture (transmit events only).
-func (l *Link) trace(t Tracer, kind, verdict string, data []byte, end bool, frame []byte) {
+func (l *Link) trace(t Tracer, at Time, kind, verdict string, data []byte, end bool, frame []byte) {
 	t.Emit(TraceEvent{
-		At: l.sim.now, ID: t.ID(data), Len: len(data),
+		At: at, ID: t.ID(data), Len: len(data),
 		Node: l.name, Layer: LayerLink, Kind: kind, Verdict: verdict, End: end,
 	}, frame)
 }
@@ -191,7 +235,7 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 func (l *Link) Send(data []byte) {
 	buf := bufpool.Get(len(data))
 	copy(buf, data)
-	if t := l.sim.tracer; t != nil {
+	if t := l.env.envTracer(); t != nil {
 		t.Stamp(buf) // fresh incarnation: the copy starts its own chain
 	}
 	l.SendOwned(buf, false)
@@ -208,35 +252,39 @@ func (l *Link) SendPacket(pkt *Packet) {
 // the link: the caller must not touch data afterwards. The link either
 // carries the buffer through to the destination handler (which then
 // owns it) or returns it to the bufpool on a drop. Impairments mutate
-// the buffer in place — there is no per-hop copy.
+// the buffer in place — there is no per-hop copy. On the sharded
+// engine a cross-shard delivery hands the buffer off through the
+// window mailbox; the receiving shard is the next owner and the sender
+// never touches it again.
 func (l *Link) SendOwned(data []byte, ecn bool) {
-	tr := l.sim.tracer
+	tr := l.env.envTracer()
+	now := l.env.envNow()
 	l.m.Sent.Inc()
 	if !l.up {
 		l.m.DownDrop.Inc()
 		if tr != nil {
-			l.trace(tr, "drop", VerdictDownDrop, data, true, nil)
+			l.trace(tr, now, "drop", VerdictDownDrop, data, true, nil)
 		}
 		bufpool.Put(data)
 		return
 	}
-	rng := l.sim.rng
+	rng := l.rng
 	if chance(rng, l.cfg.LossProb) {
 		l.m.Lost.Inc()
 		if tr != nil {
-			l.trace(tr, "drop", VerdictLost, data, true, nil)
+			l.trace(tr, now, "drop", VerdictLost, data, true, nil)
 		}
 		bufpool.Put(data)
 		return
 	}
 
 	// Serialization and queueing.
-	depart := l.sim.Now()
+	depart := now
 	if l.cfg.RateBps > 0 {
 		if l.cfg.QueueLimit > 0 && l.queued >= l.cfg.QueueLimit {
 			l.m.QueueDrop.Inc()
 			if tr != nil {
-				l.trace(tr, "drop", VerdictQueueDrop, data, true, nil)
+				l.trace(tr, now, "drop", VerdictQueueDrop, data, true, nil)
 			}
 			bufpool.Put(data)
 			return
@@ -247,15 +295,13 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 		}
 		txTime := Time(int64(len(data)) * 8 * int64(time.Second) / l.cfg.RateBps)
 		start := l.txFree
-		if start < l.sim.Now() {
-			start = l.sim.Now()
+		if start < now {
+			start = now
 		}
 		l.txFree = start + txTime
 		depart = l.txFree
 		l.setQueued(l.queued + 1)
-		qe := l.sim.post(depart)
-		qe.kind = evQueueFree
-		qe.lnk = l
+		l.env.postQueueFree(l, depart)
 	}
 
 	extra := Time(0)
@@ -275,7 +321,7 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 		bit := rng.Intn(len(data) * 8)
 		data[bit/8] ^= 1 << uint(7-bit%8)
 		if tr != nil {
-			l.trace(tr, "corrupt", "", data, false, nil)
+			l.trace(tr, now, "corrupt", "", data, false, nil)
 		}
 	}
 
@@ -283,18 +329,18 @@ func (l *Link) SendOwned(data []byte, ecn bool) {
 	if tr != nil {
 		// The capture point: these exact bytes (after any in-place
 		// corruption) are what travels the wire.
-		l.trace(tr, "transmit", "", data, false, data)
+		l.trace(tr, now, "transmit", "", data, false, data)
 	}
-	l.deliverAt(arrive, data, ecn)
+	l.env.postDeliver(l, arrive, data, ecn)
 	if chance(rng, l.cfg.DupProb) {
 		l.m.Duplicate.Inc()
 		dup := CloneBuf(data)
 		if tr != nil {
 			t := tr
 			t.Stamp(dup)
-			l.trace(t, "dup", "", dup, false, dup)
+			l.trace(t, now, "dup", "", dup, false, dup)
 		}
-		l.deliverAt(arrive+durTicks(time.Microsecond), dup, ecn)
+		l.env.postDeliver(l, arrive+durTicks(time.Microsecond), dup, ecn)
 	}
 }
 
@@ -303,32 +349,25 @@ func (l *Link) setQueued(n int) {
 	l.m.QueueDepth.Set(int64(n))
 }
 
-// deliverAt schedules arrival as a tagged event: the Packet travels
-// inside the (recycled) event, so an in-flight packet costs no
-// allocation at all.
-func (l *Link) deliverAt(at Time, data []byte, ecn bool) {
-	e := l.sim.post(at)
-	e.kind = evDeliver
-	e.lnk = l
-	e.pkt = Packet{Data: data, ECN: ecn}
-}
-
-// deliver runs at arrival time. The *Packet points into the event and
-// is only valid for the duration of the handler call; the Data buffer,
-// however, is the handler's to keep (or Put back to the bufpool).
-func (l *Link) deliver(p *Packet) {
+// deliver runs at arrival time on the destination's shard. The *Packet
+// points into the event and is only valid for the duration of the
+// handler call; the Data buffer, however, is the handler's to keep (or
+// Put back to the bufpool). Only receive-side state (Delivered,
+// DownDropRecv, the destination handler) is touched here — never the
+// serializer or the impairment stream, which belong to the sender.
+func (l *Link) deliver(p *Packet, at Time, tr Tracer) {
 	if !l.up {
-		l.m.DownDrop.Inc()
-		if t := l.sim.tracer; t != nil {
-			l.trace(t, "drop", VerdictDownDrop, p.Data, true, nil)
+		l.m.DownDropRecv.Inc()
+		if tr != nil {
+			l.trace(tr, at, "drop", VerdictDownDrop, p.Data, true, nil)
 		}
 		bufpool.Put(p.Data)
 		return
 	}
 	l.m.Delivered.Inc()
 	l.m.DeliveredBytes.Add(uint64(len(p.Data)))
-	if t := l.sim.tracer; t != nil {
-		l.trace(t, "deliver", "", p.Data, false, nil)
+	if tr != nil {
+		l.trace(tr, at, "deliver", "", p.Data, false, nil)
 	}
 	l.dst(p)
 }

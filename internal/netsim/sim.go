@@ -2,8 +2,8 @@
 //
 // Every protocol in this repository — data link, routing, transport —
 // runs over netsim rather than a real network. All time is virtual and
-// all randomness flows from a single seeded source, so every experiment
-// in EXPERIMENTS.md is an exact function of its seed: loss patterns,
+// all randomness flows from seeded sources, so every experiment in
+// EXPERIMENTS.md is an exact function of its seed: loss patterns,
 // reordering, corruption and timer interleavings replay identically.
 //
 // The model is intentionally small: a Simulator owns a virtual clock
@@ -11,7 +11,9 @@
 // configurable propagation delay, jitter, serialization rate, queue
 // limit, loss, duplication, reordering, bit corruption and ECN marking;
 // a Bus is a shared broadcast medium with collisions for the MAC
-// sublayer experiments.
+// sublayer experiments. The Sharded engine (sharded.go) runs several
+// event heaps in parallel under conservative lookahead windows while
+// producing byte-identical results.
 package netsim
 
 import (
@@ -42,27 +44,51 @@ const (
 	evQueueFree              // release one serializer queue slot on lnk
 )
 
+// event carries the canonical ordering key (at, schedAt, rank, seq):
+// execution time, then scheduling time, then the scheduler's identity
+// rank, then the scheduler's local sequence number. On the sequential
+// simulator every event has rank 0 and a global seq, which makes the
+// key order-equivalent to the historical (at, seq) FIFO tiebreak —
+// schedAt is nondecreasing in seq because schedules happen in
+// time-ordered execution. The sharded engine assigns each node view a
+// stable rank, so the same key decides the same order regardless of
+// how shards interleave; this is the deterministic merge rule.
 type event struct {
-	at   Time
-	seq  uint64 // FIFO tiebreak for simultaneous events: determinism
-	gen  uint32 // bumped on recycle; detached Timers compare it
-	kind uint8
-	fn   func()
-	lnk  *Link
-	pkt  Packet
-	dead bool
-	idx  int
-	sim  *Simulator // owner, so Timer.Stop can account the cancellation
+	at      Time
+	schedAt Time   // virtual time the schedule call was made
+	seq     uint64 // scheduler-local FIFO tiebreak for simultaneous events
+	rank    int32  // scheduler identity (0 sequential, node rank sharded)
+	gen     uint32 // bumped on recycle; detached Timers compare it
+	kind    uint8
+	fn      func()
+	lnk     *Link
+	pkt     Packet
+	dead    bool
+	idx     int
+	core    *evCore // owner, so Timer.Stop can account the cancellation
+}
+
+// before reports whether e orders before the (at, schedAt, rank, seq)
+// key — the single comparison the heap and the sharded window bounds
+// share.
+func (e *event) before(at, schedAt Time, rank int32, seq uint64) bool {
+	if e.at != at {
+		return e.at < at
+	}
+	if e.schedAt != schedAt {
+		return e.schedAt < schedAt
+	}
+	if e.rank != rank {
+		return e.rank < rank
+	}
+	return e.seq < seq
 }
 
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+	return h[i].before(h[j].at, h[j].schedAt, h[j].rank, h[j].seq)
 }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
@@ -82,29 +108,184 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Simulator owns the virtual clock, the event queue and the random
-// source. It is not safe for concurrent use; all protocol code runs
-// single-threaded inside event callbacks, which is what makes runs
-// reproducible.
-type Simulator struct {
+// evCore is one event heap plus its clock, freelist and counters: the
+// whole engine of the sequential Simulator, and one shard of the
+// Sharded engine. Every instrument has a single writer (the goroutine
+// running the core), which is the discipline that lets the sharded
+// engine avoid atomics: cross-core reads only happen at barriers.
+type evCore struct {
 	now    Time
 	events eventHeap
 	seq    uint64
-	rng    *rand.Rand
 
 	// free recycles executed and compacted-away events. An event is
 	// only recycled once it is out of the heap, and its gen counter is
-	// bumped so a stale Timer can never cancel the reincarnation.
+	// bumped so a stale Timer can never cancel the reincarnation. The
+	// freelist is per-core: a recycled event (and the generation-tagged
+	// Timer protocol built on it) never crosses shards.
 	free []*event
 
 	scheduled metrics.Counter
 	executed  metrics.Counter
 	cancelled metrics.Counter
-	// deadPending counts cancelled events still sitting in the heap.
-	// When they outnumber the live ones the heap is compacted, so a
-	// workload that arms and cancels many timers (retransmission timers
-	// across thousands of flows) cannot grow the heap without bound.
+	// deadPending counts cancelled events still sitting in this core's
+	// heap. When they outnumber the live ones the heap is compacted, so
+	// a workload that arms and cancels many timers (retransmission
+	// timers across thousands of flows) cannot grow the heap without
+	// bound. Both the count and the compaction are shard-local.
 	deadPending int
+}
+
+// post pushes a recycled (or fresh) event carrying the full ordering
+// key. The caller has already clamped at and computed schedAt/rank/seq;
+// kind-specific fields are filled in afterwards.
+func (c *evCore) post(at, schedAt Time, rank int32, seq uint64) *event {
+	c.scheduled.Inc()
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		e.at, e.schedAt, e.rank, e.seq = at, schedAt, rank, seq
+		e.dead = false
+	} else {
+		e = &event{at: at, schedAt: schedAt, rank: rank, seq: seq, core: c}
+	}
+	heap.Push(&c.events, e)
+	return e
+}
+
+// postForeign ingests a cross-shard mailbox delivery: the event keeps
+// the sender's key (already counted as scheduled on the sender's core)
+// so the comparator alone decides its order among local events.
+func (c *evCore) postForeign(at, schedAt Time, rank int32, seq uint64, lnk *Link, pkt Packet) {
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		e.at, e.schedAt, e.rank, e.seq = at, schedAt, rank, seq
+		e.dead = false
+	} else {
+		e = &event{at: at, schedAt: schedAt, rank: rank, seq: seq, core: c}
+	}
+	e.kind = evDeliver
+	e.lnk = lnk
+	e.pkt = pkt
+	heap.Push(&c.events, e)
+}
+
+// recycle returns an event that left the heap to the core's freelist.
+func (c *evCore) recycle(e *event) {
+	e.gen++
+	e.kind = evFunc
+	e.fn = nil
+	e.lnk = nil
+	e.pkt = Packet{}
+	c.free = append(c.free, e)
+}
+
+// maybeCompact rebuilds the heap without tombstones once cancelled
+// events outnumber live ones. Rebuilding is O(n), amortized O(1) per
+// cancellation since at least half the heap is discarded each time.
+func (c *evCore) maybeCompact() {
+	if c.deadPending*2 <= len(c.events) {
+		return
+	}
+	live := make(eventHeap, 0, len(c.events)-c.deadPending)
+	for _, e := range c.events {
+		if !e.dead {
+			live = append(live, e)
+		} else {
+			c.recycle(e)
+		}
+	}
+	for i, e := range live {
+		e.idx = i
+	}
+	c.events = live
+	heap.Init(&c.events)
+	c.deadPending = 0
+}
+
+// step executes the next pending event, reporting false on an empty
+// heap.
+func (c *evCore) step(tr Tracer) bool {
+	for len(c.events) > 0 {
+		e := heap.Pop(&c.events).(*event)
+		if e.dead {
+			c.deadPending--
+			c.recycle(e)
+			continue
+		}
+		e.dead = true // a fired timer is no longer Active
+		c.now = e.at
+		c.executed.Inc()
+		dispatch(e, tr)
+		c.recycle(e)
+		return true
+	}
+	return false
+}
+
+// runBefore executes every event strictly before the (at, schedAt,
+// rank, seq) bound — the sharded engine's window body. Events a
+// callback schedules inside the bound run in the same pass.
+func (c *evCore) runBefore(at, schedAt Time, rank int32, seq uint64, tr Tracer) {
+	for len(c.events) > 0 {
+		e := c.events[0]
+		if e.dead {
+			heap.Pop(&c.events)
+			c.deadPending--
+			c.recycle(e)
+			continue
+		}
+		if !e.before(at, schedAt, rank, seq) {
+			return
+		}
+		c.step(tr)
+	}
+}
+
+// nextAt returns the execution time of the earliest live event, popping
+// tombstones off the top, or ok=false on an empty heap. Only safe to
+// call when the core is not running (at a barrier).
+func (c *evCore) nextAt() (Time, bool) {
+	for len(c.events) > 0 {
+		e := c.events[0]
+		if e.dead {
+			heap.Pop(&c.events)
+			c.deadPending--
+			c.recycle(e)
+			continue
+		}
+		return e.at, true
+	}
+	return 0, false
+}
+
+// dispatch runs one live event. Tagged kinds keep the per-packet link
+// events closure-free; everything else goes through fn.
+func dispatch(e *event, tr Tracer) {
+	switch e.kind {
+	case evDeliver:
+		e.lnk.deliver(&e.pkt, e.at, tr)
+	case evQueueFree:
+		e.lnk.setQueued(e.lnk.queued - 1)
+	default:
+		e.fn()
+	}
+}
+
+// Simulator owns the virtual clock, the event queue and the random
+// source. It is not safe for concurrent use; all protocol code runs
+// single-threaded inside event callbacks, which is what makes runs
+// reproducible.
+type Simulator struct {
+	evCore
+	seed int64
+	rng  *rand.Rand
+
 	// msc is the simulator's metrics scope ("netsim/..."); nil when no
 	// registry is attached (all instruments then run detached).
 	msc     *metrics.Scope
@@ -132,7 +313,7 @@ func WithMetrics(reg *metrics.Registry) Option {
 
 // NewSimulator returns a simulator whose randomness derives from seed.
 func NewSimulator(seed int64, opts ...Option) *Simulator {
-	s := &Simulator{rng: rand.New(rand.NewSource(seed))}
+	s := &Simulator{seed: seed, rng: rand.New(rand.NewSource(seed))}
 	for _, o := range opts {
 		o(s)
 	}
@@ -152,6 +333,14 @@ func (s *Simulator) Now() Time { return s.now }
 // use this (never the global source) to stay deterministic.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
+// linkSeed derives the impairment stream of link index idx from the
+// world seed. Links draw loss/jitter/reorder/corrupt/dup from their own
+// stream — a pure function of (seed, index, send count) — so the draws
+// are identical whether the links execute sequentially or sharded.
+func linkSeed(seed int64, idx int) int64 {
+	return seed ^ (int64(idx)+1)*0x1E3779B97F4A7C15
+}
+
 // Timer is a handle to a scheduled callback, on any backend. On the
 // simulator it remembers the event's generation at scheduling time:
 // once the event fires (or is stopped) and gets recycled for an
@@ -168,9 +357,11 @@ type Timer struct {
 // Stop cancels the timer if it has not fired. It reports whether the
 // cancellation prevented a pending firing. On the simulator the event
 // stays in the heap as a tombstone; once tombstones exceed half the
-// heap the simulator compacts it, so cancelled timers cannot leak. On
-// real-time backends the caller must hold the backend lock (be inside
-// a callback or Exec), which is already true of all protocol code.
+// heap the owning core compacts it, so cancelled timers cannot leak —
+// the bookkeeping (cancelled counter, deadPending) lives on the shard
+// that owns the event, never globally. On real-time backends the
+// caller must hold the backend lock (be inside a callback or Exec),
+// which is already true of all protocol code.
 func (t *Timer) Stop() bool {
 	if t == nil {
 		return false
@@ -188,10 +379,10 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.ev.dead = true
-	if s := t.ev.sim; s != nil {
-		s.cancelled.Inc()
-		s.deadPending++
-		s.maybeCompact()
+	if c := t.ev.core; c != nil {
+		c.cancelled.Inc()
+		c.deadPending++
+		c.maybeCompact()
 	}
 	return true
 }
@@ -238,98 +429,23 @@ func (s *Simulator) ScheduleTimer(d time.Duration, fn func()) Timer {
 	return Timer{ev: e, gen: e.gen}
 }
 
-// post pushes a recycled (or fresh) event onto the heap at time at,
-// clamped to ≥ now. The caller fills in the kind-specific fields.
+// post pushes an event at time at (clamped to ≥ now) with the
+// sequential key: rank 0, global sequence, schedAt = now.
 func (s *Simulator) post(at Time) *event {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	s.scheduled.Inc()
-	var e *event
-	if n := len(s.free); n > 0 {
-		e = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		e.at = at
-		e.seq = s.seq
-		e.dead = false
-	} else {
-		e = &event{at: at, seq: s.seq, sim: s}
-	}
-	heap.Push(&s.events, e)
-	return e
-}
-
-// recycle returns an event that left the heap to the freelist.
-func (s *Simulator) recycle(e *event) {
-	e.gen++
-	e.kind = evFunc
-	e.fn = nil
-	e.lnk = nil
-	e.pkt = Packet{}
-	s.free = append(s.free, e)
+	return s.evCore.post(at, s.now, 0, s.seq)
 }
 
 // Pending returns the number of events in the heap, tombstones
 // included (tests and capacity planning).
 func (s *Simulator) Pending() int { return len(s.events) }
 
-// maybeCompact rebuilds the heap without tombstones once cancelled
-// events outnumber live ones. Rebuilding is O(n), amortized O(1) per
-// cancellation since at least half the heap is discarded each time.
-func (s *Simulator) maybeCompact() {
-	if s.deadPending*2 <= len(s.events) {
-		return
-	}
-	live := make(eventHeap, 0, len(s.events)-s.deadPending)
-	for _, e := range s.events {
-		if !e.dead {
-			live = append(live, e)
-		} else {
-			s.recycle(e)
-		}
-	}
-	for i, e := range live {
-		e.idx = i
-	}
-	s.events = live
-	heap.Init(&s.events)
-	s.deadPending = 0
-}
-
 // Step executes the next pending event. It reports false when the queue
 // is empty.
-func (s *Simulator) Step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
-		if e.dead {
-			s.deadPending--
-			s.recycle(e)
-			continue
-		}
-		e.dead = true // a fired timer is no longer Active
-		s.now = e.at
-		s.executed.Inc()
-		s.dispatch(e)
-		s.recycle(e)
-		return true
-	}
-	return false
-}
-
-// dispatch runs one live event. Tagged kinds keep the per-packet link
-// events closure-free; everything else goes through fn.
-func (s *Simulator) dispatch(e *event) {
-	switch e.kind {
-	case evDeliver:
-		e.lnk.deliver(&e.pkt)
-	case evQueueFree:
-		e.lnk.setQueued(e.lnk.queued - 1)
-	default:
-		e.fn()
-	}
-}
+func (s *Simulator) Step() bool { return s.step(s.tracer) }
 
 // Run executes events until the queue drains or the step limit is hit;
 // it returns the number of events executed. A zero limit means no
@@ -352,16 +468,9 @@ func (s *Simulator) RunFor(d time.Duration) {
 // RunUntil executes all events scheduled strictly up to and including
 // time t, then sets the clock to t.
 func (s *Simulator) RunUntil(t Time) {
-	for len(s.events) > 0 {
-		// Peek.
-		e := s.events[0]
-		if e.dead {
-			heap.Pop(&s.events)
-			s.deadPending--
-			s.recycle(e)
-			continue
-		}
-		if e.at > t {
+	for {
+		at, ok := s.nextAt()
+		if !ok || at > t {
 			break
 		}
 		s.Step()
@@ -383,7 +492,7 @@ func (s *Simulator) Every(interval time.Duration, fn func()) *Repeater {
 }
 
 // timerScheduler is the sliver of Backend a Repeater needs to re-arm;
-// both the Simulator and the RTClock satisfy it.
+// the Simulator, the RTClock and the sharded engine's views satisfy it.
 type timerScheduler interface {
 	ScheduleTimer(d time.Duration, fn func()) Timer
 }

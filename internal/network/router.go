@@ -334,9 +334,17 @@ func (e *routerEnv) Sim() netsim.Backend { return e.sim }
 // ConnectRouters wires two routers with a duplex link of the given
 // config and cost, returning the duplex for failure injection.
 func ConnectRouters(sim netsim.Backend, a, b *Router, cfg netsim.LinkConfig, cost uint8) *netsim.Duplex {
+	return ConnectRoutersOn(sim, sim, a, b, cfg, cost)
+}
+
+// ConnectRoutersOn is ConnectRouters for routers whose nodes may live
+// on different backend views (shards of a sharded engine): each
+// direction's link is created on the sending router's backend and
+// delivers into the receiving router's shard.
+func ConnectRoutersOn(ba, bb netsim.Backend, a, b *Router, cfg netsim.LinkConfig, cost uint8) *netsim.Duplex {
 	pa := NewLinkPort(nil)
 	pb := NewLinkPort(nil)
-	d := netsim.NewDuplexOn(sim, cfg,
+	d := netsim.NewDuplexBetween(ba, bb, cfg,
 		func(pkt *netsim.Packet) { pa.Deliver(pkt) },
 		func(pkt *netsim.Packet) { pb.Deliver(pkt) },
 	)

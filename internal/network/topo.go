@@ -16,7 +16,21 @@ type Topology struct {
 	Sim     netsim.Backend
 	Routers map[Addr]*Router
 	Links   map[[2]Addr]*netsim.Duplex
-	edges   []Edge
+	// NodeB is each node's backend: on a sharded engine the per-node
+	// shard view, otherwise Sim itself. Anything that wires extra
+	// endpoints onto a node (transport stacks, extra ports) must use
+	// that node's backend so its events land on the node's shard.
+	NodeB map[Addr]netsim.Backend
+	edges []Edge
+}
+
+// Backend returns the backend the given node runs on (Sim when the
+// node is unknown).
+func (t *Topology) Backend(a Addr) netsim.Backend {
+	if b, ok := t.NodeB[a]; ok {
+		return b
+	}
+	return t.Sim
 }
 
 // Edge is one bidirectional adjacency.
@@ -33,27 +47,48 @@ func BuildTopology(sim netsim.Backend, edges []Edge, link netsim.LinkConfig, ncf
 		Sim:     sim,
 		Routers: make(map[Addr]*Router),
 		Links:   make(map[[2]Addr]*netsim.Duplex),
+		NodeB:   make(map[Addr]netsim.Backend),
 		edges:   edges,
 	}
+	// Assign nodes to backends first, in sorted address order. On a
+	// sharded engine each node gets a view pinned to a contiguous shard
+	// block (node i of n → shard i*s/n); the view creation order IS the
+	// node's rank in the deterministic event-ordering key, so it must
+	// depend only on the address set, never on the shard count or edge
+	// order. Links with zero propagation delay cannot be cut points
+	// (lookahead would be zero), so such worlds collapse to one shard.
+	nodes := make(map[Addr]bool)
 	for _, e := range edges {
-		for _, a := range []Addr{e.A, e.B} {
-			if t.Routers[a] == nil {
-				t.Routers[a] = NewRouter(sim, a, mk(), ncfg)
-			}
-		}
+		nodes[e.A], nodes[e.B] = true, true
 	}
-	for _, e := range edges {
-		t.Links[[2]Addr{e.A, e.B}] = ConnectRouters(sim, t.Routers[e.A], t.Routers[e.B], link, e.Cost)
-	}
-	// Start in address order, not map order: the first hello round fires
-	// at t=0 in start order, and each hello's loss draw comes from the
-	// shared seeded RNG, so start order is part of the deterministic
-	// world. Map iteration here would make same-seed runs diverge.
-	addrs := make([]Addr, 0, len(t.Routers))
-	for a := range t.Routers {
+	addrs := make([]Addr, 0, len(nodes))
+	for a := range nodes {
 		addrs = append(addrs, a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	if sh, ok := sim.(netsim.Sharder); ok {
+		s := sh.Shards()
+		if link.Delay <= 0 {
+			s = 1
+		}
+		for i, a := range addrs {
+			t.NodeB[a] = sh.NodeView(i * s / len(addrs))
+		}
+	} else {
+		for _, a := range addrs {
+			t.NodeB[a] = sim
+		}
+	}
+	for _, a := range addrs {
+		t.Routers[a] = NewRouter(t.NodeB[a], a, mk(), ncfg)
+	}
+	for _, e := range edges {
+		t.Links[[2]Addr{e.A, e.B}] = ConnectRoutersOn(t.NodeB[e.A], t.NodeB[e.B], t.Routers[e.A], t.Routers[e.B], link, e.Cost)
+	}
+	// Start in address order, not map order: the first hello round fires
+	// at t=0 in start order, and hello impairment draws come from each
+	// link's seeded stream, so start order is part of the deterministic
+	// world. Map iteration here would make same-seed runs diverge.
 	for _, a := range addrs {
 		t.Routers[a].Start()
 	}

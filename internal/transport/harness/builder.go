@@ -13,9 +13,10 @@ import (
 // Backend kind names, re-exported from the backend registry so most
 // callers only import harness.
 const (
-	BackendSim  = backends.Sim
-	BackendChan = backends.Chan
-	BackendUDP  = backends.UDP
+	BackendSim     = backends.Sim
+	BackendSharded = backends.Sharded
+	BackendChan    = backends.Chan
+	BackendUDP     = backends.UDP
 )
 
 // BackendNames lists every backend kind, sim first.
@@ -47,6 +48,18 @@ func WithSeed(seed int64) Option {
 // WithHops sets the line-topology length (routers on the path, ≥ 2).
 func WithHops(n int) Option {
 	return func(c *WorldConfig) { c.Hops = n }
+}
+
+// WithShards selects the sharded simulator backend with n shards —
+// shorthand for the "sharded:N" backend kind.
+func WithShards(n int) Option {
+	return func(c *WorldConfig) { c.Backend = backends.ShardedKind(n) }
+}
+
+// WithPairs builds n disjoint client/server pairs in one world (E16
+// scaling matrices). Simulator backends only.
+func WithPairs(n int) Option {
+	return func(c *WorldConfig) { c.Pairs = n }
 }
 
 // WithLink sets the per-hop link shape.

@@ -210,8 +210,27 @@ type World struct {
 	Topo   *network.Topology
 	Client Transport
 	Server Transport
-	// Backend is the kind the world was built on ("sim", "chan", "udp").
+	// ClientB and ServerB are the end hosts' node backends: on a
+	// sharded engine the per-node shard views, otherwise Sim. Driver
+	// code reading a host's clock (flow completion stamps) must use the
+	// host's backend so the reading reflects that shard's progress.
+	ClientB netsim.Backend
+	ServerB netsim.Backend
+	// Ends lists every client/server pair. Single-pair worlds (the
+	// default) have exactly one entry, aliased by Client/Server; the
+	// E16 scaling matrices build WorldConfig.Pairs disjoint lines.
+	Ends []End
+	// Backend is the kind the world was built on ("sim", "sharded",
+	// "chan", "udp").
 	Backend string
+}
+
+// End is one client/server pair: transports, their node backends and
+// addresses.
+type End struct {
+	Client, Server         Transport
+	ClientB, ServerB       netsim.Backend
+	ClientAddr, ServerAddr network.Addr
 }
 
 // Exec runs fn holding the backend lock — how driver code outside a
@@ -236,8 +255,13 @@ type WorldConfig struct {
 	Backend string
 	Link    netsim.LinkConfig
 	Hops    int // routers on the path, ≥ 2 (the two hosts); default 4
-	Client  Kind
-	Server  Kind
+	// Pairs builds that many disjoint client/server line topologies in
+	// one world (default 1) — the E16 many-flow scaling shape, where a
+	// sharded backend spreads the pairs across shards. Simulator
+	// backends only.
+	Pairs  int
+	Client Kind
+	Server Kind
 	Tracker *verify.Tracker // attached to both transports (E6)
 	SubCfg  sublayered.Config
 	MonoCfg monolithic.Config
@@ -279,9 +303,22 @@ func BuildWorld(cfg WorldConfig) *World {
 		ncfg.HelloInterval = 50 * time.Millisecond
 		dvInterval = 100 * time.Millisecond
 	}
+	pairs := cfg.Pairs
+	if pairs < 1 {
+		pairs = 1
+	}
+	if pairs > 1 && rt {
+		panic("harness: multi-pair worlds require a simulator backend")
+	}
+	// Pair p occupies addresses p*Hops+1 … (p+1)*Hops, a disjoint line;
+	// on a sharded engine contiguous address blocks land on contiguous
+	// shard blocks, so aligned pair counts shard with no cut links.
 	var edges []network.Edge
-	for i := 1; i < cfg.Hops; i++ {
-		edges = append(edges, network.Edge{A: network.Addr(i), B: network.Addr(i + 1), Cost: 1})
+	for p := 0; p < pairs; p++ {
+		base := p * cfg.Hops
+		for i := 1; i < cfg.Hops; i++ {
+			edges = append(edges, network.Edge{A: network.Addr(base + i), B: network.Addr(base + i + 1), Cost: 1})
+		}
 	}
 	w := &World{Sim: b, Backend: cfg.Backend}
 	// Construction arms timers whose firings (on a real-time backend)
@@ -295,8 +332,19 @@ func BuildWorld(cfg WorldConfig) *World {
 		if cfg.Metrics != nil {
 			w.Topo.BindMetrics(cfg.Metrics)
 		}
-		w.Client = buildTransport(cfg.Client, b, w.Topo.Routers[1], cfg, hostScope(cfg.Metrics, 1))
-		w.Server = buildTransport(cfg.Server, b, w.Topo.Routers[network.Addr(cfg.Hops)], cfg, hostScope(cfg.Metrics, cfg.Hops))
+		for p := 0; p < pairs; p++ {
+			ca := network.Addr(p*cfg.Hops + 1)
+			sa := network.Addr((p + 1) * cfg.Hops)
+			cb, sb := w.Topo.Backend(ca), w.Topo.Backend(sa)
+			// Each stack gets its own tracker session: the two ends may
+			// execute concurrently on different shards, and the
+			// current-handler scope must not cross-contaminate.
+			cl := buildTransport(cfg.Client, cb, w.Topo.Routers[ca], cfg, hostScope(cfg.Metrics, int(ca)), cfg.Tracker.Session())
+			sv := buildTransport(cfg.Server, sb, w.Topo.Routers[sa], cfg, hostScope(cfg.Metrics, int(sa)), cfg.Tracker.Session())
+			w.Ends = append(w.Ends, End{Client: cl, Server: sv, ClientB: cb, ServerB: sb, ClientAddr: ca, ServerAddr: sa})
+		}
+		w.Client, w.Server = w.Ends[0].Client, w.Ends[0].Server
+		w.ClientB, w.ServerB = w.Ends[0].ClientB, w.Ends[0].ServerB
 	})
 	if rt {
 		waitConverged(w, 10*time.Second)
@@ -346,29 +394,33 @@ func hostScope(reg *metrics.Registry, addr int) *metrics.Scope {
 	return reg.Scope(fmt.Sprintf("n%d", addr)).Sub("transport")
 }
 
-func buildTransport(k Kind, sim netsim.Backend, r *network.Router, cfg WorldConfig, msc *metrics.Scope) Transport {
+func buildTransport(k Kind, sim netsim.Backend, r *network.Router, cfg WorldConfig, msc *metrics.Scope, tracker *verify.Tracker) Transport {
 	switch k {
 	case KindMonolithic:
 		mc := cfg.MonoCfg
-		mc.Tracker = cfg.Tracker
+		mc.Tracker = tracker
 		mc.Metrics = msc
 		return NewMonolithic(sim, r, mc, cfg.Opts...)
 	case KindSublayeredShim:
 		sc := cfg.SubCfg
 		sc.UseShim = true
-		sc.Tracker = cfg.Tracker
+		sc.Tracker = tracker
 		sc.Metrics = msc
 		return NewSublayered(sim, r, sc, cfg.Opts...)
 	default:
 		sc := cfg.SubCfg
-		sc.Tracker = cfg.Tracker
+		sc.Tracker = tracker
 		sc.Metrics = msc
 		return NewSublayered(sim, r, sc, cfg.Opts...)
 	}
 }
 
-// ServerAddr returns the far end host's address.
+// ServerAddr returns the primary pair's server address (the far end
+// host of a single-pair world).
 func (w *World) ServerAddr() network.Addr {
+	if len(w.Ends) > 0 {
+		return w.Ends[0].ServerAddr
+	}
 	var maxAddr network.Addr
 	for a := range w.Topo.Routers {
 		if a > maxAddr {
@@ -400,12 +452,23 @@ func RunTransfer(w *World, c2s, s2c []byte, budget time.Duration) (*TransferResu
 	var start netsim.Time
 	var done [2]bool
 	var finish [2]netsim.Time
+	// Completion stamps read the finishing host's clock: the callbacks
+	// run in protocol context, where only that node's shard clock is
+	// coherent. Index 0 is only ever written on the server's shard and
+	// index 1 on the client's (single-writer rule).
+	clientB, serverB := w.ClientB, w.ServerB
+	if clientB == nil {
+		clientB = w.Sim
+	}
+	if serverB == nil {
+		serverB = w.Sim
+	}
 	w.Exec(func() {
 		start = w.Sim.Now()
-		markDone := func(i int) {
+		markDone := func(i int, b netsim.Backend) {
 			if !done[i] {
 				done[i] = true
-				finish[i] = w.Sim.Now()
+				finish[i] = b.Now()
 			}
 		}
 		if err := w.Server.Listen(80, func(sc Endpoint) {
@@ -427,7 +490,7 @@ func RunTransfer(w *World, c2s, s2c []byte, budget time.Duration) (*TransferResu
 				res.ServerGot = append(res.ServerGot, sc.ReadAll()...)
 				if sc.EOF() {
 					res.ServerEOF = true
-					markDone(0)
+					markDone(0, serverB)
 				}
 			}, push, func(err error) { res.ServerErr = err })
 		}); err != nil {
@@ -457,7 +520,7 @@ func RunTransfer(w *World, c2s, s2c []byte, budget time.Duration) (*TransferResu
 			res.ClientGot = append(res.ClientGot, cc.ReadAll()...)
 			if cc.EOF() {
 				res.ClientEOF = true
-				markDone(1)
+				markDone(1, clientB)
 			}
 		}, push, func(err error) { res.ClientErr = err })
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Tracker instruments state access for the entanglement experiment
@@ -21,18 +22,42 @@ import (
 //     ownership problem Dafny surfaces as frame annotations.
 //
 // A nil *Tracker is a no-op, so production paths pay one nil check.
+//
+// Concurrency: on the sharded simulator backend the two stacks of a
+// world may execute on different shards, so the accumulated matrix
+// lives in a mutex-guarded state shared by per-stack Sessions, while
+// the current-handler scope — which must not cross-contaminate between
+// concurrent stacks — is per-Session. Recorded facts are idempotent
+// set inserts, so the matrix is independent of shard interleaving.
 type Tracker struct {
+	shared  *trackerState
 	handler string
-	reads   map[string]map[string]bool // handler → vars read
-	writes  map[string]map[string]bool // handler → vars written
+}
+
+// trackerState is the accumulated access matrix, shared by every
+// Session of one tracker.
+type trackerState struct {
+	mu     sync.Mutex
+	reads  map[string]map[string]bool // handler → vars read
+	writes map[string]map[string]bool // handler → vars written
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{
+	return &Tracker{shared: &trackerState{
 		reads:  make(map[string]map[string]bool),
 		writes: make(map[string]map[string]bool),
+	}}
+}
+
+// Session returns a tracker handle with its own handler scope feeding
+// the same access matrix. Give each concurrently executing stack its
+// own session; a nil receiver returns nil, preserving the no-op chain.
+func (t *Tracker) Session() *Tracker {
+	if t == nil {
+		return nil
 	}
+	return &Tracker{shared: t.shared}
 }
 
 // Enter sets the current handler scope; handlers do not nest in the
@@ -42,10 +67,13 @@ func (t *Tracker) Enter(handler string) {
 		return
 	}
 	t.handler = handler
-	if t.reads[handler] == nil {
-		t.reads[handler] = make(map[string]bool)
-		t.writes[handler] = make(map[string]bool)
+	s := t.shared
+	s.mu.Lock()
+	if s.reads[handler] == nil {
+		s.reads[handler] = make(map[string]bool)
+		s.writes[handler] = make(map[string]bool)
 	}
+	s.mu.Unlock()
 }
 
 // Read records that the current handler read variable v.
@@ -53,7 +81,10 @@ func (t *Tracker) Read(v string) {
 	if t == nil || t.handler == "" {
 		return
 	}
-	t.reads[t.handler][v] = true
+	s := t.shared
+	s.mu.Lock()
+	s.reads[t.handler][v] = true
+	s.mu.Unlock()
 }
 
 // Write records that the current handler wrote variable v (writes
@@ -62,14 +93,17 @@ func (t *Tracker) Write(v string) {
 	if t == nil || t.handler == "" {
 		return
 	}
-	t.writes[t.handler][v] = true
-	t.reads[t.handler][v] = true
+	s := t.shared
+	s.mu.Lock()
+	s.writes[t.handler][v] = true
+	s.reads[t.handler][v] = true
+	s.mu.Unlock()
 }
 
 // Handlers returns the handlers observed, sorted.
 func (t *Tracker) Handlers() []string {
 	var out []string
-	for h := range t.reads {
+	for h := range t.shared.reads {
 		out = append(out, h)
 	}
 	sort.Strings(out)
@@ -79,7 +113,7 @@ func (t *Tracker) Handlers() []string {
 // Vars returns all variables observed, sorted.
 func (t *Tracker) Vars() []string {
 	set := make(map[string]bool)
-	for _, vs := range t.reads {
+	for _, vs := range t.shared.reads {
 		for v := range vs {
 			set[v] = true
 		}
@@ -111,11 +145,11 @@ func (t *Tracker) Analyze() Entanglement {
 	writeCount := make(map[string]int)
 	total := 0
 	for _, h := range hs {
-		for v := range t.reads[h] {
+		for v := range t.shared.reads[h] {
 			touchCount[v]++
 			total++
 		}
-		for v := range t.writes[h] {
+		for v := range t.shared.writes[h] {
 			writeCount[v]++
 		}
 	}
@@ -133,8 +167,8 @@ func (t *Tracker) Analyze() Entanglement {
 	for i := 0; i < len(hs); i++ {
 		for j := i + 1; j < len(hs); j++ {
 			shared := false
-			for v := range t.reads[hs[i]] {
-				if t.reads[hs[j]][v] {
+			for v := range t.shared.reads[hs[i]] {
+				if t.shared.reads[hs[j]][v] {
 					shared = true
 					break
 				}
@@ -169,16 +203,16 @@ func (t *Tracker) Blast(v string) Blast {
 	touched := make(map[string]bool)
 	written := make(map[string]bool)
 	for _, h := range t.Handlers() {
-		if !t.reads[h][v] {
+		if !t.shared.reads[h][v] {
 			continue
 		}
 		b.Handlers = append(b.Handlers, h)
-		for ov := range t.reads[h] {
+		for ov := range t.shared.reads[h] {
 			if ov != v {
 				touched[ov] = true
 			}
 		}
-		for ov := range t.writes[h] {
+		for ov := range t.shared.writes[h] {
 			if ov != v {
 				written[ov] = true
 			}
@@ -215,9 +249,9 @@ func (t *Tracker) Matrix() string {
 		fmt.Fprintf(&b, "%-*s", w+1, h)
 		for _, v := range vs {
 			switch {
-			case t.writes[h][v]:
+			case t.shared.writes[h][v]:
 				b.WriteString(" W")
-			case t.reads[h][v]:
+			case t.shared.reads[h][v]:
 				b.WriteString(" r")
 			default:
 				b.WriteString(" .")

@@ -64,13 +64,19 @@ type BakeoffCell struct {
 // arrival schedule, payloads) is identical across cells and the only
 // thing that varies is the stack, the controller and the loss regime.
 func Bakeoff(seed int64, flows int) []BakeoffCell {
+	return BakeoffOn("", seed, flows)
+}
+
+// BakeoffOn is Bakeoff on an explicit backend ("" = default sim); the
+// cells are byte-identical across sim and sharded backends.
+func BakeoffOn(backend string, seed int64, flows int) []BakeoffCell {
 	var cells []BakeoffCell
 	for _, kind := range MatrixKinds {
 		for _, cc := range BakeoffCCs {
 			for _, rg := range BakeoffRegimes() {
 				t0 := time.Now()
 				rep := Run(Config{
-					Seed: seed, Flows: flows,
+					Seed: seed, Backend: backend, Flows: flows,
 					Client: kind, Server: kind,
 					CC: cc, Link: rg.Link, Script: rg.Script,
 				})

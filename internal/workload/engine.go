@@ -39,6 +39,11 @@ type Config struct {
 	Backend string
 	// Flows is the number of connections to open (default 100).
 	Flows int
+	// Pairs spreads the flows round-robin over that many disjoint
+	// client/server pairs in one world (default 1). On the sharded
+	// backend the pairs land on different shards — the E16 scaling
+	// shape. Simulator backends only.
+	Pairs int
 	// Client and Server select the stack implementations.
 	Client, Server harness.Kind
 	// Hops is the line-topology length (harness default 4).
@@ -80,6 +85,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Flows <= 0 {
 		c.Flows = 100
+	}
+	if c.Pairs <= 0 {
+		c.Pairs = 1
 	}
 	if c.Link == (netsim.LinkConfig{}) {
 		c.Link = netsim.LinkConfig{Delay: time.Millisecond, RateBps: 20_000_000, QueueLimit: 256}
@@ -124,6 +132,7 @@ type Report struct {
 	Stack          string `json:"stack"`        // client stack name
 	CC             string `json:"cc,omitempty"` // controller name ("" = stack default)
 	Flows          int    `json:"flows"`
+	Pairs          int    `json:"pairs,omitempty"` // client/server pairs (omitted when 1)
 	Completed      int    `json:"completed"`
 	Failed         int    `json:"failed"`
 	BytesSent      uint64 `json:"bytes_sent"`
@@ -148,16 +157,32 @@ type Report struct {
 	Metrics metrics.Snapshot `json:"metrics"`
 }
 
-// flow is the engine's in-run state for one connection.
+// flow is the engine's in-run state for one connection. On the
+// sharded backend each field has exactly one writing context: start is
+// stamped in driver context (the dial event), got/done/end on the
+// server's shard, and the two error slots on their own sides — the
+// single-writer discipline that keeps the engine race-free with no
+// locks, with barrier synchronization publishing everything to the
+// driver's summarize pass.
 type flow struct {
-	id      int
-	payload []byte
-	startAt netsim.Time // scheduled dial time
-	start   netsim.Time // actual dial time
-	end     netsim.Time
-	got     []byte
-	done    bool
-	err     error
+	id        int
+	pair      int // index into the world's Ends
+	payload   []byte
+	startAt   netsim.Time // scheduled dial time
+	start     netsim.Time // actual dial time (driver context)
+	end       netsim.Time // completion stamp, server-side clock
+	got       []byte      // server side
+	done      bool        // server side
+	errClient error       // client-side failure
+	errServer error       // server-side failure
+}
+
+// err merges the two error slots deterministically (client first).
+func (f *flow) err() error {
+	if f.errClient != nil {
+		return f.errClient
+	}
+	return f.errServer
 }
 
 // Run executes one many-flow simulation and reports it.
@@ -166,7 +191,7 @@ func Run(cfg Config) *Report {
 	reg := metrics.New()
 	wcfg := harness.WorldConfig{
 		Seed: cfg.Seed, Backend: cfg.Backend, Link: cfg.Link, Hops: cfg.Hops,
-		Client: cfg.Client, Server: cfg.Server,
+		Pairs: cfg.Pairs, Client: cfg.Client, Server: cfg.Server,
 		Metrics: reg,
 	}
 	if cfg.CC != "" {
@@ -184,10 +209,6 @@ func Run(cfg Config) *Report {
 			inj.MustApply(cfg.Script)
 		}
 	})
-	// From here on the engine sees only the interface: either stack,
-	// same code path.
-	var client, server transport.Stack = w.Client, w.Server
-
 	wsc := reg.Scope("workload")
 	started := wsc.Counter("flows_started")
 	completedC := wsc.Counter("flows_completed")
@@ -213,17 +234,18 @@ func Run(cfg Config) *Report {
 			time.Duration(plan.Int63n(int64(cfg.OnPeriod)))
 		// The receive side accumulates exactly size bytes; reserving
 		// them up front avoids regrowing got on every delivery burst.
-		flows[i] = &flow{id: i, payload: payload, startAt: base + netsim.Time(at), got: make([]byte, 0, size)}
+		flows[i] = &flow{id: i, pair: i % cfg.Pairs, payload: payload,
+			startAt: base + netsim.Time(at), got: make([]byte, 0, size)}
 	}
 
-	// The server drains every inbound connection; an accepted conn's
-	// remote port is the dialling flow's local port, which the dial
-	// event records in byPort before the SYN can arrive. Listening and
-	// dial scheduling mutate protocol state, so they run under Exec
-	// (inline on the simulator, the backend lock elsewhere).
-	byPort := make(map[uint16]*flow, cfg.Flows)
+	// Each pair's server drains its inbound connections; an accepted
+	// conn's remote port is the dialling flow's local port, which the
+	// dial event records in that pair's byPort before the SYN can
+	// arrive (port spaces are per-stack, so the maps are per-pair).
+	// Listening and dial scheduling mutate protocol state, so they run
+	// under Exec (inline on the simulator, the backend lock elsewhere).
 	var listenErr error
-	w.Exec(func() { listenErr = listenAndSchedule(cfg, w, client, server, flows, base, byPort, started, completedC, failedC, fctMs) })
+	w.Exec(func() { listenErr = listenAndSchedule(cfg, w, flows, base, started) })
 	if listenErr != nil {
 		panic(fmt.Sprintf("workload: listen: %v", listenErr))
 	}
@@ -240,7 +262,7 @@ func Run(cfg Config) *Report {
 		settled := true
 		w.Exec(func() {
 			for _, f := range flows {
-				if !f.done && f.err == nil {
+				if !f.done && f.err() == nil {
 					settled = false
 					break
 				}
@@ -253,54 +275,65 @@ func Run(cfg Config) *Report {
 	}
 
 	var rep *Report
-	w.Exec(func() { rep = summarize(cfg, w, client, flows, wd, reg) })
+	w.Exec(func() { rep = summarize(cfg, w, flows, wd, reg, completedC, failedC, fctMs) })
 	return rep
 }
 
-// listenAndSchedule installs the server's accept loop and every flow's
-// dial event. It must run with the backend lock held.
-func listenAndSchedule(cfg Config, w *harness.World, client, server transport.Stack,
-	flows []*flow, base netsim.Time, byPort map[uint16]*flow,
-	started, completedC, failedC *metrics.Counter, fctMs *metrics.Histogram) error {
-	if err := server.Listen(80, func(sc transport.Conn) {
-		f := byPort[sc.RemotePort()]
-		if f == nil {
-			return // stray accept; the flow side will show as unfinished
+// listenAndSchedule installs every pair's accept loop and every flow's
+// dial event. It must run with the backend lock held. Flow-outcome
+// counters are folded in later by summarize (a pure function of the
+// per-flow state, so the values match the old inline accounting) —
+// protocol callbacks on different shards must not share counters.
+func listenAndSchedule(cfg Config, w *harness.World,
+	flows []*flow, base netsim.Time, started *metrics.Counter) error {
+	byPort := make([]map[uint16]*flow, len(w.Ends))
+	for p, end := range w.Ends {
+		p, end := p, end
+		byPort[p] = make(map[uint16]*flow)
+		// Completion stamps read the pair's server-side clock: the
+		// accept callbacks execute on that node's shard.
+		serverB := end.ServerB
+		if err := end.Server.Listen(80, func(sc transport.Conn) {
+			f := byPort[p][sc.RemotePort()]
+			if f == nil {
+				return // stray accept; the flow side will show as unfinished
+			}
+			sc.Callbacks(nil, func() {
+				f.got = append(f.got, sc.ReadAll()...)
+				if sc.EOF() && !f.done {
+					f.done = true
+					f.end = serverB.Now()
+				}
+			}, nil, func(err error) {
+				if err != nil && f.errServer == nil {
+					f.errServer = err
+				}
+			})
+		}); err != nil {
+			return err
 		}
-		sc.Callbacks(nil, func() {
-			f.got = append(f.got, sc.ReadAll()...)
-			if sc.EOF() && !f.done {
-				f.done = true
-				f.end = w.Sim.Now()
-				completedC.Inc()
-				fctMs.Observe(int64(time.Duration(f.end-f.start) / time.Millisecond))
-			}
-		}, nil, func(err error) {
-			if err != nil && f.err == nil {
-				f.err = err
-			}
-		})
-	}); err != nil {
-		return err
 	}
 
 	// Dial events: each flow opens its connection at its scheduled
 	// arrival and pushes its payload as buffer space opens up. The
 	// delay is relative (startAt - base = Now), which on the simulator
 	// lands on the identical absolute tick and FIFO slot the old
-	// ScheduleAt call did, so reports stay byte-identical.
+	// ScheduleAt call did, so reports stay byte-identical. Dial events
+	// run in driver context (serially, at barriers on the sharded
+	// engine), so the shared started counter and byPort maps are safe
+	// here.
 	for _, f := range flows {
 		f := f
+		end := w.Ends[f.pair]
 		w.Sim.Schedule(time.Duration(f.startAt-base), func() {
 			f.start = w.Sim.Now()
-			cc, err := client.Dial(server.Addr(), 80)
+			cc, err := end.Client.Dial(end.ServerAddr, 80)
 			if err != nil {
-				f.err = err
-				failedC.Inc()
+				f.errClient = err
 				return
 			}
 			started.Inc()
-			byPort[cc.LocalPort()] = f
+			byPort[f.pair][cc.LocalPort()] = f
 			toSend := f.payload
 			push := func() {
 				for len(toSend) > 0 {
@@ -313,9 +346,8 @@ func listenAndSchedule(cfg Config, w *harness.World, client, server transport.St
 				cc.Close()
 			}
 			cc.Callbacks(push, nil, push, func(err error) {
-				if err != nil && f.err == nil {
-					f.err = err
-					failedC.Inc()
+				if err != nil && f.errClient == nil {
+					f.errClient = err
 				}
 			})
 		})
@@ -323,15 +355,22 @@ func listenAndSchedule(cfg Config, w *harness.World, client, server transport.St
 	return nil
 }
 
-// summarize folds per-flow outcomes into the Report and runs the
-// watchdog over every delivered stream.
-func summarize(cfg Config, w *harness.World, client transport.Stack,
-	flows []*flow, wd *faults.Watchdog, reg *metrics.Registry) *Report {
+// summarize folds per-flow outcomes into the Report, runs the
+// watchdog over every delivered stream, and settles the flow-outcome
+// instruments from the per-flow state (counter values and histogram
+// contents are order-independent, so folding here instead of in the
+// per-shard completion callbacks changes nothing observable).
+func summarize(cfg Config, w *harness.World,
+	flows []*flow, wd *faults.Watchdog, reg *metrics.Registry,
+	completedC, failedC *metrics.Counter, fctMs *metrics.Histogram) *Report {
 	rep := &Report{
 		Seed:  cfg.Seed,
-		Stack: client.Name(),
+		Stack: w.Client.Name(),
 		CC:    cfg.CC,
 		Flows: cfg.Flows,
+	}
+	if cfg.Pairs > 1 {
+		rep.Pairs = cfg.Pairs
 	}
 	var fcts []time.Duration
 	var goodputs []float64
@@ -356,11 +395,14 @@ func summarize(cfg Config, w *harness.World, client transport.Stack,
 				lastEnd = f.end
 			}
 			rep.Completed++
+			completedC.Inc()
+			fctMs.Observe(int64(fct / time.Millisecond))
 		} else {
 			// Unfinished flows still owe the prefix invariant.
 			wd.CheckPrefix(name, f.payload, f.got)
-			if f.err != nil {
+			if f.err() != nil {
 				rep.Failed++
+				failedC.Inc()
 			}
 		}
 		if cfg.KeepPerFlow {
@@ -369,8 +411,8 @@ func summarize(cfg Config, w *harness.World, client transport.Stack,
 			if f.done {
 				fs.FCT = time.Duration(f.end - f.start)
 			}
-			if f.err != nil {
-				fs.Err = f.err.Error()
+			if err := f.err(); err != nil {
+				fs.Err = err.Error()
 			}
 			rep.PerFlow = append(rep.PerFlow, fs)
 		}

@@ -26,17 +26,26 @@ type Cell struct {
 	Allocs uint64
 }
 
-// Matrix runs the flow-scaling sweep. Wall time and allocation counts
-// are measured around each cell for the perf report; everything in
-// Cell.Report stays a pure function of the seed.
+// Matrix runs the flow-scaling sweep on the default simulator. Wall
+// time and allocation counts are measured around each cell for the
+// perf report; everything in Cell.Report stays a pure function of the
+// seed.
 func Matrix(seed int64, flowCounts []int, kinds []harness.Kind) []Cell {
+	return MatrixOn("", seed, flowCounts, kinds)
+}
+
+// MatrixOn is Matrix on an explicit backend ("" = default sim). The
+// byte-determinism contract makes every Cell.Report identical across
+// "sim" and "sharded[:N]" — E11 run through a sharded world is the
+// experiment-level leg of the parallel-determinism gate.
+func MatrixOn(backend string, seed int64, flowCounts []int, kinds []harness.Kind) []Cell {
 	var cells []Cell
 	for _, flows := range flowCounts {
 		for _, kind := range kinds {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			t0 := time.Now()
-			rep := Run(Config{Seed: seed, Flows: flows, Client: kind, Server: kind})
+			rep := Run(Config{Seed: seed, Backend: backend, Flows: flows, Client: kind, Server: kind})
 			wall := time.Since(t0).Nanoseconds()
 			runtime.ReadMemStats(&after)
 			cells = append(cells, Cell{
@@ -103,16 +112,32 @@ type PerfReport struct {
 	Seed    int64        `json:"seed"`
 	Rows    []PerfRow    `json:"rows"`
 	Bakeoff []BakeoffRow `json:"bakeoff,omitempty"`
-	Soak    []SoakRow    `json:"soak,omitempty"`
-	Timing  *PerfTiming  `json:"timing,omitempty"`
+	// Scaling is the E16 section: deterministic per-flow-count rows
+	// (part of DeterministicJSON — the Identical flag doubles as a
+	// cross-backend divergence alarm) plus wall-clock ScalingTiming
+	// rows excluded from it like Timing and Soak.
+	Scaling       []ScalingRow    `json:"scaling,omitempty"`
+	ScalingTiming []ScalingTiming `json:"scaling_timing,omitempty"`
+	Soak          []SoakRow       `json:"soak,omitempty"`
+	Timing        *PerfTiming     `json:"timing,omitempty"`
 }
 
 // Perf builds the full perf report at seed: the E11 matrix and the E12
 // bake-off with per-cell wall costs folded into aggregate timing, the
-// RunSeeds parallel-speedup measurement, plus the E15 backend soak
-// (chan always, udp where loopback sockets exist).
-func Perf(seed int64) *PerfReport {
+// RunSeeds parallel-speedup measurement, the E16 shard-scaling matrix
+// (1k/10k flows; the 100k point is the long soak's), plus the E15
+// backend soak (chan always, udp where loopback sockets exist).
+func Perf(seed int64) *PerfReport { return PerfLong(seed, false) }
+
+// PerfLong is Perf with the long flag: true widens the E16 scaling
+// axis to the 100k-flow point (the weekly soak; minutes per backend).
+func PerfLong(seed int64, long bool) *PerfReport {
 	rep := perfReport(seed, MatrixFlows, 100, 16)
+	flows := ScalingFlows
+	if long {
+		flows = ScalingFlowsLong
+	}
+	rep.Scaling, rep.ScalingTiming = Scaling(seed, flows, ScalingShards)
 	rep.Soak = Soak(seed, SoakBackends, SoakFlows, MatrixKinds)
 	return rep
 }
@@ -200,11 +225,11 @@ func measureSpeedup(cfg Config) (workers int, serialNs, parallelNs int64, speedu
 }
 
 // DeterministicJSON marshals the seed-determined part of the report —
-// everything except the wall-clock sections (Timing and the E15 Soak
-// rows). Two runs at the same seed must produce
+// everything except the wall-clock sections (Timing, ScalingTiming and
+// the E15 Soak rows). Two runs at the same seed must produce
 // byte-identical output; CI and the tests compare exactly this.
 func (p *PerfReport) DeterministicJSON() []byte {
-	d := PerfReport{Seed: p.Seed, Rows: p.Rows, Bakeoff: p.Bakeoff}
+	d := PerfReport{Seed: p.Seed, Rows: p.Rows, Bakeoff: p.Bakeoff, Scaling: p.Scaling}
 	b, _ := json.MarshalIndent(&d, "", "  ")
 	return append(b, '\n')
 }

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/transport/harness"
+)
+
+// reportJSON marshals a report the way the reporters do, so the
+// comparison below is exactly the byte-identity CI gates on.
+func reportJSON(t *testing.T, r *Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardedWorkloadReportIdentity is the workload-level determinism
+// oracle behind the parallel-determinism CI job: the same Config run
+// on the sequential simulator and on the sharded engine (1 and 4
+// shards) must serialize to byte-identical reports — flows, FCT
+// percentiles, fairness, event counts, the full metrics snapshot.
+func TestShardedWorkloadReportIdentity(t *testing.T) {
+	for _, kind := range []harness.Kind{harness.KindSublayeredNative, harness.KindMonolithic} {
+		mk := func(backend string) []byte {
+			return reportJSON(t, Run(Config{
+				Seed: 41, Backend: backend, Flows: 30,
+				Client: kind, Server: kind, KeepPerFlow: true,
+			}))
+		}
+		base := mk(harness.BackendSim)
+		for _, backend := range []string{"sharded:1", "sharded:4"} {
+			if got := mk(backend); !bytes.Equal(base, got) {
+				t.Errorf("%v: report differs between sim and %s", kind, backend)
+			}
+		}
+	}
+}
+
+// TestShardedMultiPairWorkload pins the E16 shape end to end: flows
+// spread over several disjoint pairs, all completing, with the report
+// byte-identical between the sequential and sharded engines at every
+// shard count — including counts that do not divide the pair set
+// evenly (cut links between shard blocks).
+func TestShardedMultiPairWorkload(t *testing.T) {
+	mk := func(backend string) *Report {
+		return Run(Config{
+			Seed: 17, Backend: backend, Flows: 24, Pairs: 4, Hops: 2,
+			Client: harness.KindSublayeredNative, Server: harness.KindSublayeredNative,
+			Budget: 2 * time.Minute,
+		})
+	}
+	base := mk(harness.BackendSim)
+	if base.Completed != 24 || base.Failed != 0 {
+		t.Fatalf("sim: completed=%d failed=%d", base.Completed, base.Failed)
+	}
+	if len(base.Violations) != 0 {
+		t.Fatalf("sim: violations: %v", base.Violations)
+	}
+	baseJSON := reportJSON(t, base)
+	for _, backend := range []string{"sharded:2", "sharded:3", "sharded:4"} {
+		got := mk(backend)
+		if got.Completed != 24 {
+			t.Errorf("%s: completed=%d", backend, got.Completed)
+		}
+		if !bytes.Equal(baseJSON, reportJSON(t, got)) {
+			t.Errorf("multi-pair report differs between sim and %s", backend)
+		}
+	}
+}
