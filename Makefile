@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build test race race-shard vet lint docs fuzz fuzz-pool fuzz-schedule bench soak soak-long verify report perf perfcheck determinism pardet clean
+.PHONY: all build test race race-shard vet lint docs fuzz fuzz-pool fuzz-schedule bench soak overlay-soak soak-long verify report perf perfcheck determinism pardet clean
 
 all: build
 
@@ -41,9 +41,11 @@ lint:
 	fi
 
 # docs is the documentation gate: an offline markdown link check
-# (cmd/docscheck, no network) over the user-facing docs.
+# (cmd/docscheck, no network). Walk mode covers every root *.md,
+# everything under docs/, and each example's README.md — new docs are
+# checked without touching this target.
 docs:
-	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md
+	$(GO) run ./cmd/docscheck
 
 # fuzz gives the stuffing round-trip spec a brief randomized workout;
 # run with a longer -fuzztime for a real campaign.
@@ -73,6 +75,13 @@ bench:
 # where loopback sockets are forbidden the udp cells skip gracefully.
 soak:
 	$(GO) run ./cmd/benchreport -e e15
+
+# overlay-soak is the E13 wall-clock companion: the overlay churn
+# matrix (all three tiers, clean + churn scenarios) on the real-time
+# backends, invariants unchanged from the simulated E13 cells. Like
+# soak it degrades gracefully where loopback sockets are forbidden.
+overlay-soak:
+	$(GO) run ./cmd/benchreport -e e13soak
 
 # soak-long is the scheduled E16 long soak: the 100k-flow scaling
 # matrix on every backend (weekly / workflow_dispatch territory —

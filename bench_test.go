@@ -216,6 +216,11 @@ func BenchmarkAblationNestedFraming(b *testing.B) {
 	}
 }
 
+// BenchmarkE13Overlay regenerates the application-layer overlay
+// matrix: RPC, DHT and gossip tiers on both stacks under the cluster
+// fault scenarios.
+func BenchmarkE13Overlay(b *testing.B) { benchExperiment(b, "e13") }
+
 // BenchmarkE14CorpusReplay regenerates the fault-schedule fuzz corpus
 // replay: every committed reproducer plus two fresh schedules through
 // the cross-stack differential oracle.

@@ -2,7 +2,15 @@
 // it validates every link in the given markdown files without touching
 // the network, so CI's docs job stays deterministic.
 //
-//	go run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md
+//	go run ./cmd/docscheck                 # walk mode: every tracked doc
+//	go run ./cmd/docscheck README.md docs/OVERLAYS.md
+//
+// With no arguments docscheck walks the repository for the user-facing
+// doc set: every *.md at the root (except the growth driver's working
+// files — ISSUE.md and the paper digests — which are rewritten per
+// PR), everything under docs/, and each example's README.md — so
+// adding a doc or an example makes it checked without touching the
+// Makefile.
 //
 // Checked per file, outside fenced code blocks:
 //
@@ -10,7 +18,8 @@
 //     (resolved against the markdown file's own directory);
 //   - fragment links — `#anchor` alone or `file.md#anchor` — must match
 //     a heading in the target file, using GitHub's anchor derivation
-//     (lowercase, spaces to hyphens, punctuation dropped);
+//     (lowercase, spaces to hyphens, punctuation dropped), including
+//     the "-1", "-2" suffixes GitHub appends to repeated headings;
 //   - absolute URLs (http/https/mailto) are counted but not fetched.
 //
 // Exit status 1 lists every broken link; 0 means all links resolve.
@@ -18,9 +27,11 @@ package main
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -34,12 +45,16 @@ var (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: docscheck <file.md> [file.md ...]")
-		os.Exit(2)
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		if files, err = walkDocs("."); err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	broken, checked := 0, 0
-	for _, path := range os.Args[1:] {
+	for _, path := range files {
 		raw, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
@@ -58,7 +73,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d broken of %d links\n", broken, checked)
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d links ok across %d files\n", checked, len(os.Args)-1)
+	fmt.Printf("docscheck: %d links ok across %d files\n", checked, len(files))
+}
+
+// walkDocs collects the default doc set under root: root-level *.md
+// minus ISSUE.md, every .md under docs/ recursively, and each
+// examples/*/README.md. Sorted, so the report order is stable.
+func walkDocs(root string) ([]string, error) {
+	var files []string
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	// The growth driver rewrites its own working files (the issue, the
+	// paper digests) every PR; they are inputs, not docs we maintain.
+	driverOwned := map[string]bool{"ISSUE.md": true, "PAPER.md": true, "PAPERS.md": true, "SNIPPETS.md": true}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") && !driverOwned[e.Name()] {
+			files = append(files, filepath.Join(root, e.Name()))
+		}
+	}
+	docsDir := filepath.Join(root, "docs")
+	if _, err := os.Stat(docsDir); err == nil {
+		err := filepath.WalkDir(docsDir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	examples, _ := filepath.Glob(filepath.Join(root, "examples", "*", "README.md"))
+	files = append(files, examples...)
+	sort.Strings(files)
+	return files, nil
 }
 
 type link struct {
@@ -107,13 +160,24 @@ func checkLink(from, target string) error {
 	return nil
 }
 
-// checkAnchor verifies a #fragment against the headings of a markdown
-// file, using GitHub's slug rules.
-func checkAnchor(path, frag string) error {
+// anchorCache memoizes per-file anchor sets: EXPERIMENTS.md is the
+// fragment target of dozens of links and needn't be re-parsed for each.
+var anchorCache = map[string]map[string]bool{}
+
+// anchorsOf derives the file's full anchor set with GitHub's slug
+// rules, including duplicate-heading disambiguation: the first
+// "## Raw tables" slugs to raw-tables, the next to raw-tables-1, and
+// so on, in document order.
+func anchorsOf(path string) (map[string]bool, error) {
+	if a, ok := anchorCache[path]; ok {
+		return a, nil
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	anchors := map[string]bool{}
+	seen := map[string]int{}
 	inFence := false
 	for _, line := range strings.Split(string(raw), "\n") {
 		if fenceRe.MatchString(strings.TrimSpace(line)) {
@@ -123,11 +187,31 @@ func checkAnchor(path, frag string) error {
 		if inFence {
 			continue
 		}
-		if m := headRe.FindStringSubmatch(line); m != nil && slug(m[1]) == frag {
-			return nil
+		if m := headRe.FindStringSubmatch(line); m != nil {
+			s := slug(m[1])
+			if n := seen[s]; n > 0 {
+				anchors[fmt.Sprintf("%s-%d", s, n)] = true
+			} else {
+				anchors[s] = true
+			}
+			seen[s]++
 		}
 	}
-	return fmt.Errorf("no heading for #%s in %s", frag, path)
+	anchorCache[path] = anchors
+	return anchors, nil
+}
+
+// checkAnchor verifies a #fragment against the headings of a markdown
+// file.
+func checkAnchor(path, frag string) error {
+	anchors, err := anchorsOf(path)
+	if err != nil {
+		return err
+	}
+	if !anchors[frag] {
+		return fmt.Errorf("no heading for #%s in %s", frag, path)
+	}
+	return nil
 }
 
 // slug is GitHub's heading-to-anchor derivation: strip markdown

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/network"
+	"repro/internal/overlay"
 	"repro/internal/pcap"
 	"repro/internal/trace"
 	"repro/internal/transport/harness"
@@ -47,8 +49,17 @@ func main() {
 		maxDrops = flag.Int("drops", 5, "max dropped-packet timelines to render per stack")
 		pcapOut  = flag.String("pcap", "", "prefix for per-stack pcapng captures (<prefix>-<stack>.pcapng)")
 		dumpIn   = flag.String("dump", "", "render this flight-recorder JSON instead of running a scenario")
+		overlayL = flag.Bool("overlay", false, "trace a DHT lookup on a 5-member overlay ring instead of a transfer")
 	)
 	flag.Parse()
+
+	if *overlayL {
+		if err := runOverlayTrace(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *dumpIn != "" {
 		if err := renderDumpFile(*dumpIn); err != nil {
@@ -82,6 +93,74 @@ func main() {
 		fmt.Println()
 	}
 	renderDiff(os.Stdout, kinds, reports)
+}
+
+// runOverlayTrace renders a DHT lookup hop by hop: a 5-member overlay
+// ring bootstraps and stores a key untraced, then the collector is
+// armed and one Get runs — so every rendered chain is a packet of that
+// single iterative lookup (FIND_NODE/GET requests and replies crossing
+// the ring's routers), not bootstrap noise. docs/ARCHITECTURE.md's
+// walkthrough 4 is this output.
+func runOverlayTrace(seed int64) error {
+	const members = 5
+	cl := harness.BuildCluster(harness.ClusterConfig{Seed: seed, Nodes: members, Kind: harness.KindSublayeredNative})
+	defer cl.Close()
+	dhts := make(map[network.Addr]*overlay.DHT)
+	cl.Exec(func() {
+		for _, h := range cl.Hosts {
+			n, err := overlay.NewNode(h.B, h.Addr, h.Stack, overlay.NodeConfig{Seed: seed})
+			if err != nil {
+				panic(err)
+			}
+			dhts[h.Addr] = overlay.NewDHT(n, overlay.DHTConfig{})
+			addr := h.Addr
+			n.B.Schedule(time.Duration(addr)*50*time.Millisecond, func() {
+				dhts[addr].Join([]network.Addr{1, network.Addr(int(addr)%members + 1)}, nil)
+			})
+		}
+	})
+	cl.Sim.RunFor(3 * time.Second)
+	const key = "demo/motd"
+	cl.Exec(func() { dhts[1].Store(key, []byte("hello overlay"), nil) })
+	cl.Sim.RunFor(2 * time.Second)
+
+	// Arm the tracer only now: everything it sees belongs to the Get.
+	col := trace.NewCollector(trace.Options{RingCap: 1 << 14, DoneCap: 1 << 14, MaxChains: 1 << 12})
+	var start netsim.Time
+	rounds, found := 0, false
+	cl.Exec(func() {
+		cl.Sim.SetTracer(col)
+		start = cl.Sim.Now()
+		dhts[3].Get(key, func(_ []byte, r int, ok bool) { rounds, found = r, ok })
+	})
+	cl.Sim.RunFor(2 * time.Second)
+
+	fmt.Printf("=== overlay DHT lookup (seed %d, %d members, key %q from n3) ===\n", seed, members, key)
+	rep := col.Report()
+	chains := append(append([]trace.Chain(nil), rep.Completed...), rep.Live...)
+	sort.Slice(chains, func(i, j int) bool {
+		if len(chains[i].Events) == 0 || len(chains[j].Events) == 0 {
+			return len(chains[i].Events) > len(chains[j].Events)
+		}
+		return chains[i].Events[0].At < chains[j].Events[0].At
+	})
+	shown := 0
+	for _, ch := range chains {
+		if ch.Flow == 0 || len(ch.Events) == 0 {
+			continue // control plane (hellos, DV adverts)
+		}
+		_, _, sp, dp := netsim.UnpackFlow(ch.Flow)
+		if sp != overlay.DefaultPort && dp != overlay.DefaultPort {
+			continue
+		}
+		if ch.Events[0].At < start {
+			continue
+		}
+		renderChain(os.Stdout, ch)
+		shown++
+	}
+	fmt.Printf("\nlookup finished: found=%v in %d round(s), %d overlay packets traced\n", found, rounds, shown)
+	return nil
 }
 
 // runTraced builds one lossy world, attaches a collector (and a pcap

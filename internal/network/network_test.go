@@ -64,14 +64,14 @@ func quickLink() netsim.LinkConfig {
 
 // lineTopology: 1 - 2 - 3 - 4.
 func lineEdges() []Edge {
-	return []Edge{{1, 2, 1}, {2, 3, 1}, {3, 4, 1}}
+	return []Edge{{A: 1, B: 2, Cost: 1}, {A: 2, B: 3, Cost: 1}, {A: 3, B: 4, Cost: 1}}
 }
 
 func converge(t *Topology, d time.Duration) { t.Sim.RunFor(d) }
 
 func TestNeighborDiscoveryAndExpiry(t *testing.T) {
 	sim := netsim.NewSimulator(1)
-	topo := BuildTopology(sim, []Edge{{1, 2, 1}}, quickLink(), fastNeighborCfg(),
+	topo := BuildTopology(sim, []Edge{{A: 1, B: 2, Cost: 1}}, quickLink(), fastNeighborCfg(),
 		func() RouteComputer { return NewDistanceVector(DVConfig{}) })
 	converge(topo, 2*time.Second)
 	n1 := topo.Routers[1].Neighbors().Neighbors()
@@ -179,7 +179,7 @@ func TestReconvergenceAfterLinkFailure(t *testing.T) {
 		mk := mk
 		t.Run(name, func(t *testing.T) {
 			// Square with diagonal costs: 1-2, 2-4 (primary), 1-3, 3-4 (backup).
-			edges := []Edge{{1, 2, 1}, {2, 4, 1}, {1, 3, 2}, {3, 4, 2}}
+			edges := []Edge{{A: 1, B: 2, Cost: 1}, {A: 2, B: 4, Cost: 1}, {A: 1, B: 3, Cost: 2}, {A: 3, B: 4, Cost: 2}}
 			sim := netsim.NewSimulator(9)
 			topo := BuildTopology(sim, edges, quickLink(), fastNeighborCfg(), mk)
 			converge(topo, 10*time.Second)
@@ -309,7 +309,7 @@ func TestCountToInfinityBounded(t *testing.T) {
 	// After partition, DV routes to the lost half disappear (bounded
 	// by Infinity=16) rather than oscillating forever.
 	sim := netsim.NewSimulator(6)
-	edges := []Edge{{1, 2, 1}, {2, 3, 1}}
+	edges := []Edge{{A: 1, B: 2, Cost: 1}, {A: 2, B: 3, Cost: 1}}
 	topo := BuildTopology(sim, edges, quickLink(), fastNeighborCfg(),
 		func() RouteComputer { return NewDistanceVector(DVConfig{AdvertiseInterval: 300 * time.Millisecond}) })
 	converge(topo, 6*time.Second)
@@ -356,7 +356,7 @@ func TestFormatRoutesDeterministic(t *testing.T) {
 }
 
 func TestReferenceDistances(t *testing.T) {
-	edges := []Edge{{1, 2, 1}, {2, 3, 1}, {1, 3, 5}}
+	edges := []Edge{{A: 1, B: 2, Cost: 1}, {A: 2, B: 3, Cost: 1}, {A: 1, B: 3, Cost: 5}}
 	d := ReferenceDistances(edges)
 	if d[1][3] != 2 {
 		t.Errorf("d(1,3) = %d, want 2 via 2", d[1][3])
@@ -464,7 +464,7 @@ func TestLSPAging(t *testing.T) {
 // after the GC interval rather than lingering at Infinity forever.
 func TestDVGarbageCollection(t *testing.T) {
 	sim := netsim.NewSimulator(32)
-	topo := BuildTopology(sim, []Edge{{1, 2, 1}}, quickLink(), fastNeighborCfg(),
+	topo := BuildTopology(sim, []Edge{{A: 1, B: 2, Cost: 1}}, quickLink(), fastNeighborCfg(),
 		func() RouteComputer {
 			return NewDistanceVector(DVConfig{
 				AdvertiseInterval: 300 * time.Millisecond,

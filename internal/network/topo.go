@@ -37,6 +37,11 @@ func (t *Topology) Backend(a Addr) netsim.Backend {
 type Edge struct {
 	A, B Addr
 	Cost uint8
+	// Link, when non-nil, overrides the topology-wide link shape for
+	// this adjacency — heterogeneous delays, rates or loss on selected
+	// hops (the cluster builder staggers per-edge delays with this so
+	// deliveries from different neighbors never share an arrival tick).
+	Link *netsim.LinkConfig
 }
 
 // BuildTopology constructs routers for every address appearing in
@@ -71,6 +76,12 @@ func BuildTopology(sim netsim.Backend, edges []Edge, link netsim.LinkConfig, ncf
 		if link.Delay <= 0 {
 			s = 1
 		}
+		for _, e := range edges {
+			if e.Link != nil && e.Link.Delay <= 0 {
+				s = 1
+				break
+			}
+		}
 		for i, a := range addrs {
 			t.NodeB[a] = sh.NodeView(i * s / len(addrs))
 		}
@@ -83,7 +94,11 @@ func BuildTopology(sim netsim.Backend, edges []Edge, link netsim.LinkConfig, ncf
 		t.Routers[a] = NewRouter(t.NodeB[a], a, mk(), ncfg)
 	}
 	for _, e := range edges {
-		t.Links[[2]Addr{e.A, e.B}] = ConnectRoutersOn(t.NodeB[e.A], t.NodeB[e.B], t.Routers[e.A], t.Routers[e.B], link, e.Cost)
+		lc := link
+		if e.Link != nil {
+			lc = *e.Link
+		}
+		t.Links[[2]Addr{e.A, e.B}] = ConnectRoutersOn(t.NodeB[e.A], t.NodeB[e.B], t.Routers[e.A], t.Routers[e.B], lc, e.Cost)
 	}
 	// Start in address order, not map order: the first hello round fires
 	// at t=0 in start order, and hello impairment draws come from each

@@ -1,0 +1,75 @@
+package overlay
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// ID is a 160-bit overlay identifier in Kademlia's XOR metric space.
+// Node IDs derive deterministically from member addresses and key IDs
+// from key strings, so any member can recompute any ID locally — peer
+// lists on the wire carry 4-byte addresses, never 20-byte IDs.
+type ID [20]byte
+
+// NodeID derives the overlay ID of the member at addr.
+func NodeID(addr network.Addr) ID {
+	return ID(sha1.Sum(fmt.Appendf(nil, "node-%d", addr)))
+}
+
+// KeyID derives the overlay ID a key hashes to.
+func KeyID(key string) ID {
+	return ID(sha1.Sum([]byte(key)))
+}
+
+// xor returns the XOR distance between two IDs.
+func (a ID) xor(b ID) ID {
+	var d ID
+	for i := range a {
+		d[i] = a[i] ^ b[i]
+	}
+	return d
+}
+
+// less orders IDs lexicographically — XOR distances compare this way.
+func (a ID) less(b ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// bucketIndex is the index of the highest set bit of the XOR distance
+// a^b: 159 for far apart, 0 for adjacent, -1 for equal IDs. It names
+// the k-bucket b belongs to in a's routing table.
+func (a ID) bucketIndex(b ID) int {
+	d := a.xor(b)
+	for i := 0; i < len(d); i++ {
+		if d[i] == 0 {
+			continue
+		}
+		bit := 7
+		for d[i]>>uint(bit) == 0 {
+			bit--
+		}
+		return (len(d)-1-i)*8 + bit
+	}
+	return -1
+}
+
+// sortByDistance orders addrs by XOR distance of their node IDs to
+// target, closest first, ties (impossible for distinct addresses)
+// broken by address so the order is total.
+func sortByDistance(addrs []network.Addr, target ID) {
+	sort.Slice(addrs, func(i, j int) bool {
+		di, dj := NodeID(addrs[i]).xor(target), NodeID(addrs[j]).xor(target)
+		if di != dj {
+			return di.less(dj)
+		}
+		return addrs[i] < addrs[j]
+	})
+}

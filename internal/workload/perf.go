@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/overlay"
 	"repro/internal/transport/harness"
 )
 
@@ -88,6 +89,67 @@ type BakeoffRow struct {
 	Violations int    `json:"violations"`
 }
 
+// OverlayRow is the deterministic slice of one E13 overlay cell: a
+// tier on a stack under a fault scenario, on the simulator at a fixed
+// seed. Latencies are in microseconds (milliseconds would round the
+// sub-20ms RPC medians into noise).
+type OverlayRow struct {
+	Scenario   string `json:"scenario"`
+	Stack      string `json:"stack"`
+	Tier       string `json:"tier"`
+	Issued     int    `json:"issued"`
+	Resolved   int    `json:"resolved"`
+	Missed     int    `json:"missed"`
+	HopP50     int    `json:"hop_p50"`
+	HopP99     int    `json:"hop_p99"`
+	LatP50Us   int64  `json:"lat_p50_us"`
+	LatP99Us   int64  `json:"lat_p99_us"`
+	ConvP50Us  int64  `json:"conv_p50_us"`
+	ConvMaxUs  int64  `json:"conv_max_us"`
+	MsgsPerOp  string `json:"msgs_per_op"` // %.2f, avoids float-noise diffs
+	Retries    uint64 `json:"retries"`
+	Dups       uint64 `json:"dups"`
+	Violations int    `json:"violations"`
+}
+
+// OverlayScenarioNames is the scenario subset the perf report carries:
+// the clean baseline and the churn matrix (the overlay acceptance
+// story). The full four-scenario matrix lives in E13 itself.
+var OverlayScenarioNames = []string{"clean", "churn"}
+
+// OverlayRows runs the E13 subset on the simulator and projects the
+// deterministic fields — the overlay leg of BENCH_perf.json and of
+// the benchreport -check gate.
+func OverlayRows(seed int64) []OverlayRow {
+	byName := make(map[string]overlay.Scenario)
+	for _, sc := range overlay.Scenarios(8) {
+		byName[sc.Name] = sc
+	}
+	var rows []OverlayRow
+	idx := int64(0)
+	for _, name := range OverlayScenarioNames {
+		for _, kind := range MatrixKinds {
+			for _, tier := range overlay.Tiers() {
+				idx++
+				r := overlay.Run(overlay.RunConfig{
+					Seed: seed + idx, Kind: kind, Tier: tier, Scenario: byName[name],
+				})
+				rows = append(rows, OverlayRow{
+					Scenario: name, Stack: kind.String(), Tier: string(tier),
+					Issued: r.Issued, Resolved: r.Resolved, Missed: r.Missed,
+					HopP50: r.HopP50, HopP99: r.HopP99,
+					LatP50Us: r.LatP50.Microseconds(), LatP99Us: r.LatP99.Microseconds(),
+					ConvP50Us: r.ConvergeP50.Microseconds(), ConvMaxUs: r.ConvergeMax.Microseconds(),
+					MsgsPerOp: strconv.FormatFloat(r.MsgsPerOp, 'f', 2, 64),
+					Retries:   r.Retries, Dups: r.DupReplies,
+					Violations: len(r.Violations),
+				})
+			}
+		}
+	}
+	return rows
+}
+
 // PerfTiming carries the wall-clock measurements. These fields vary
 // run to run and machine to machine, so they are excluded from the
 // deterministic identity (DeterministicJSON).
@@ -118,8 +180,11 @@ type PerfReport struct {
 	// rows excluded from it like Timing and Soak.
 	Scaling       []ScalingRow    `json:"scaling,omitempty"`
 	ScalingTiming []ScalingTiming `json:"scaling_timing,omitempty"`
-	Soak          []SoakRow       `json:"soak,omitempty"`
-	Timing        *PerfTiming     `json:"timing,omitempty"`
+	// Overlay is the E13 section: the clean/churn overlay matrix on the
+	// simulator, deterministic like Rows and part of DeterministicJSON.
+	Overlay []OverlayRow `json:"overlay,omitempty"`
+	Soak    []SoakRow    `json:"soak,omitempty"`
+	Timing  *PerfTiming  `json:"timing,omitempty"`
 }
 
 // Perf builds the full perf report at seed: the E11 matrix and the E12
@@ -161,6 +226,7 @@ func perfReport(seed int64, flowCounts []int, speedupFlows, bakeoffFlows int) *P
 			events += c.Report.Events
 		}
 	}
+	rep.Overlay = OverlayRows(seed)
 	timing := &PerfTiming{WallNs: wall, NumCPU: runtime.NumCPU()}
 	if events > 0 {
 		timing.NsPerEvent = float64(wall) / float64(events)
@@ -229,7 +295,7 @@ func measureSpeedup(cfg Config) (workers int, serialNs, parallelNs int64, speedu
 // the E15 Soak rows). Two runs at the same seed must produce
 // byte-identical output; CI and the tests compare exactly this.
 func (p *PerfReport) DeterministicJSON() []byte {
-	d := PerfReport{Seed: p.Seed, Rows: p.Rows, Bakeoff: p.Bakeoff, Scaling: p.Scaling}
+	d := PerfReport{Seed: p.Seed, Rows: p.Rows, Bakeoff: p.Bakeoff, Scaling: p.Scaling, Overlay: p.Overlay}
 	b, _ := json.MarshalIndent(&d, "", "  ")
 	return append(b, '\n')
 }
